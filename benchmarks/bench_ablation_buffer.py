@@ -1,0 +1,31 @@
+"""E7 — ablation: BRAM command-buffer size vs communication steps.
+
+Section 6.1: "A trade-off between the size of the BRAM-based memory and
+the number of communication steps can be made, as long as the memory is
+not capable of storing the partial bitstream at once."  The sweep shows
+batching config frames cuts the 28.5 s measured duration toward the
+readback-round-trip floor (~15.5 s), and flags the degenerate whole-
+bitstream buffer as infeasible.
+"""
+
+from repro.analysis.experiments import e7_buffer_ablation
+
+
+def test_buffer_tradeoff(benchmark):
+    result = benchmark(e7_buffer_ablation)
+    print("\n" + result.rendered)
+    rows = result.rows
+    # Paper configuration: one frame per packet, 26,400 config commands.
+    assert rows[0].buffer_frames == 1
+    assert rows[0].config_commands == 26_400
+    assert abs(rows[0].duration_s - 28.5) < 0.2
+    # Batching cuts the duration toward the readback round-trip floor
+    # (~15.5 s); it cannot go below it, and the curve flattens there.
+    feasible = [row for row in rows if row.feasible]
+    best = min(row.duration_s for row in feasible)
+    assert best < rows[0].duration_s * 0.6
+    readback_floor_s = 28_488 * 492_955e-9
+    assert all(row.duration_s > readback_floor_s for row in feasible)
+    # The bounded-memory guardrail: a buffer holding the whole partial
+    # bitstream is rejected.
+    assert not rows[-1].feasible

@@ -1,0 +1,25 @@
+"""E14 — ablation: a compressing adversary vs the bounded-memory model.
+
+The paper cites [24] for the fact that BRAM cannot buffer a bitstream
+configuring a large part of the FPGA.  The sweep quantifies the margin:
+at full utilization the DynPart image is incompressible (ratio ~1) and
+exceeds BRAM 4.5x; only below ~22 % utilization could a compressed
+image be hoarded — and the verifier controls utilization, since *it*
+fills the DynMem.
+"""
+
+from repro.analysis.experiments import e14_compression_margin
+
+
+def test_compression_margin(benchmark):
+    result = benchmark.pedantic(e14_compression_margin, rounds=1, iterations=1)
+    print("\n" + result.rendered)
+    rows = {row.utilization: row for row in result.rows}
+    # Full utilization: incompressible, nowhere near BRAM.
+    assert rows[1.00].ratio < 1.05
+    assert not rows[1.00].fits_in_bram
+    # The paper's operating point (the whole DynMem is sent) is safe by
+    # a wide margin; only very sparse images become hoardable.
+    assert rows[0.05].fits_in_bram
+    assert not rows[0.25].fits_in_bram
+    assert 0.15 < result.break_even_utilization < 0.30

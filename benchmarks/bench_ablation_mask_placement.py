@@ -1,0 +1,25 @@
+"""E15 — ablation: where the Msk is applied (Section 6.1's note).
+
+The paper applies the mask at the verifier (frames travel Prv → Vrf);
+its noted alternative sends the Msk with each readback command (masks
+travel Vrf → Prv, no frames return).  The paper claims "a similar
+communication latency" — reproduced here at 1.005× at paper scale —
+while the sweep surfaces the difference the paper does not mention:
+the alternative cannot localize a tamper to a frame.
+"""
+
+from repro.analysis.experiments import e15_mask_placement
+
+
+def test_mask_placement_variants(benchmark):
+    result = benchmark.pedantic(e15_mask_placement, rounds=1, iterations=1)
+    print("\n" + result.rendered)
+    paper, alternative = result.rows
+    # Both variants reject the tampered device.
+    assert not paper.accepted
+    assert not alternative.accepted
+    # Only the paper's variant localizes the tamper.
+    assert paper.localizes_tamper
+    assert not alternative.localizes_tamper
+    # "A similar communication latency": within 5 % at paper scale.
+    assert 0.95 < result.latency_ratio < 1.05

@@ -1,0 +1,27 @@
+"""E8 — ablation: readback-order strategies.
+
+Section 6.1 allows any order ("this ascending order ... is in no way
+required. The order ... can be any permutation. ... a number of frames
+could also appear multiple times").  The sweep shows every
+full-coverage order detects the same tamper; repeats only add steps and
+time.
+"""
+
+from repro.analysis.experiments import e8_order_ablation
+from repro.fpga.device import SIM_MEDIUM
+
+
+def test_order_strategies(benchmark):
+    result = benchmark.pedantic(
+        lambda: e8_order_ablation(SIM_MEDIUM), rounds=1, iterations=1
+    )
+    print("\n" + result.rendered)
+    rows = {row.order_name: row for row in result.rows}
+    assert set(rows) == {"sequential", "offset", "permutation", "repeated"}
+    # Detection is order-independent.
+    assert all(row.tamper_detected for row in result.rows)
+    # Repeats cost extra steps and therefore extra time.
+    assert rows["repeated"].steps > rows["sequential"].steps
+    assert rows["repeated"].duration_ms > rows["sequential"].duration_ms
+    # Full-coverage permutations cost the same step count as sequential.
+    assert rows["permutation"].steps == rows["sequential"].steps

@@ -1,0 +1,56 @@
+"""E10 — crypto-core throughput.
+
+The MAC update step (A6) is 128 ns per frame in hardware because the
+CMAC pipeline streams concurrently with the readback.  The software
+model cannot match that wall-clock, but these benches pin down the cost
+of each primitive the protocol leans on, frame-sized where relevant.
+"""
+
+from repro.crypto.aes import Aes
+from repro.crypto.cmac import AesCmac, aes_cmac
+from repro.crypto.sha256 import sha256
+from repro.fpga.device import XC6VLX240T
+
+KEY = bytes(range(16))
+FRAME = bytes(range(256)) + bytes(XC6VLX240T.frame_bytes - 256)
+
+
+def test_aes_block_encrypt(benchmark):
+    aes = Aes(KEY)
+    block = bytes(16)
+    result = benchmark(aes.encrypt_block, block)
+    assert len(result) == 16
+
+
+def test_cmac_frame_update(benchmark):
+    """One A6 step: folding one 324-byte frame into the running MAC."""
+    mac = AesCmac(KEY)
+
+    def update():
+        mac.update(FRAME)
+
+    benchmark(update)
+
+
+def test_cmac_full_frame_oneshot(benchmark):
+    tag = benchmark(aes_cmac, KEY, FRAME)
+    assert len(tag) == 16
+
+
+def test_cmac_hundred_frames(benchmark):
+    """A 100-frame readback stretch (the protocol's inner loop)."""
+    payload = [bytes([i % 256]) * XC6VLX240T.frame_bytes for i in range(100)]
+
+    def run():
+        mac = AesCmac(KEY)
+        for frame in payload:
+            mac.update(frame)
+        return mac.finalize()
+
+    tag = benchmark(run)
+    assert len(tag) == 16
+
+
+def test_sha256_frame(benchmark):
+    digest = benchmark(sha256, FRAME)
+    assert len(digest) == 32

@@ -1,0 +1,79 @@
+"""E12 — extension bench: MAC vs signature authenticator (Section 8).
+
+Compares the paper's CMAC mode against the future-work signature mode
+on the same device: both must reach the same verdicts; the signature
+trades a pre-shared secret for a bigger authenticator (288 vs 16 bytes)
+and a public-key operation per run.
+"""
+
+from repro.core.protocol import run_attestation
+from repro.core.provisioning import provision_device
+from repro.core.signature_ext import SignatureVerifier, upgrade_to_signatures
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import SIM_SMALL
+from repro.utils.rng import DeterministicRng
+
+
+def test_mac_mode_run(benchmark):
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, record = provision_device(system, "bench-mac", seed=9000)
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(9001))
+    counter = [0]
+
+    def one_run():
+        counter[0] += 1
+        return run_attestation(
+            provisioned.prover, verifier, DeterministicRng(counter[0])
+        )
+
+    result = benchmark.pedantic(one_run, rounds=5, iterations=1)
+    assert result.report.accepted
+    assert len(result.tag) == 16
+
+
+def test_signature_mode_run(benchmark):
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, record = provision_device(system, "bench-sig", seed=9010)
+    prover, public_key = upgrade_to_signatures(provisioned, record)
+    verifier = SignatureVerifier(record.system, public_key, DeterministicRng(9011))
+    counter = [0]
+
+    def one_run():
+        counter[0] += 1
+        return run_attestation(prover, verifier, DeterministicRng(counter[0]))
+
+    result = benchmark.pedantic(one_run, rounds=5, iterations=1)
+    assert result.report.accepted
+    assert len(result.tag) == 288
+
+
+def test_modes_agree_on_tamper(benchmark):
+    """Both authenticator modes reject the same tampered device."""
+
+    def verdicts():
+        outcomes = {}
+        for mode in ("mac", "signature"):
+            system = build_sacha_system(SIM_SMALL)
+            provisioned, record = provision_device(
+                system, f"bench-{mode}", seed=9020
+            )
+            frame = system.partition.static_frame_list()[0]
+            provisioned.board.fpga.memory.flip_bit(frame, 0, 3)
+            if mode == "mac":
+                prover = provisioned.prover
+                verifier = SachaVerifier(
+                    record.system, record.mac_key, DeterministicRng(9021)
+                )
+            else:
+                prover, public_key = upgrade_to_signatures(provisioned, record)
+                verifier = SignatureVerifier(
+                    record.system, public_key, DeterministicRng(9021)
+                )
+            outcomes[mode] = run_attestation(
+                prover, verifier, DeterministicRng(9022)
+            ).report.accepted
+        return outcomes
+
+    outcomes = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    assert outcomes == {"mac": False, "signature": False}

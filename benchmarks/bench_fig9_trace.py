@@ -1,0 +1,28 @@
+"""E6 — Figure 9: the low-level message sequence.
+
+Checks that an executed protocol run has exactly the paper's trace
+shape: a run of ICAP_config commands covering the whole DynMem, the MAC
+initialization, a run of ICAP_readback commands covering every frame,
+then the MAC_checksum exchange.
+"""
+
+from repro.analysis.experiments import e6_protocol_trace
+from repro.fpga.device import SIM_SMALL
+
+
+def test_figure9_trace_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: e6_protocol_trace(SIM_SMALL), rounds=3, iterations=1
+    )
+    print("\n" + result.rendered)
+    assert result.accepted
+    kinds = result.kinds_in_order
+    assert kinds[0] == "ICAP_config"
+    assert "MAC_init" in kinds
+    assert "ICAP_readback" in kinds
+    assert kinds[-2:] == ["MAC_checksum", "MAC_response"]
+    # Counts: one config per DynMem frame, one readback per device frame.
+    assert result.counts["ICAP_config"] == 24  # DynMem of SIM-SMALL
+    assert result.counts["ICAP_readback"] == SIM_SMALL.total_frames
+    assert result.counts["MAC_init"] == 1
+    assert result.counts["MAC_checksum"] == 1

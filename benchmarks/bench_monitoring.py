@@ -1,0 +1,24 @@
+"""E17 — continuous monitoring: detection latency vs attestation period.
+
+Detection latency grows with the monitoring period (the tamper waits
+for the next sweep), while the period itself is floored by one protocol
+duration — 28.5 s at paper scale on the lab network.
+"""
+
+import pytest
+
+from repro.analysis.experiments import e17_monitor_latency
+
+
+def test_monitoring_latency_tradeoff(benchmark):
+    result = benchmark.pedantic(e17_monitor_latency, rounds=1, iterations=1)
+    print("\n" + result.rendered)
+    rows = result.rows
+    # Latency grows with the period...
+    latencies = [row.detection_latency_ms for row in rows]
+    assert all(b > a for a, b in zip(latencies, latencies[1:]))
+    # ... and is bounded by one period plus one run.
+    for row in rows:
+        assert row.detection_latency_ms < row.period_ms + rows[0].period_ms
+    # The paper-scale floor: a run takes 28.5 s on the lab network.
+    assert result.paper_scale_min_period_s == pytest.approx(28.5, abs=0.05)

@@ -1,0 +1,21 @@
+"""E5 — the security evaluation of Section 7.2.
+
+Mounts every adversary class against freshly provisioned devices and
+checks that every defense holds (attack infeasible or detected).
+"""
+
+from repro.analysis.experiments import e5_security_evaluation
+from repro.fpga.device import SIM_MEDIUM
+
+
+def test_security_evaluation(benchmark):
+    result = benchmark.pedantic(
+        lambda: e5_security_evaluation(SIM_MEDIUM), rounds=1, iterations=1
+    )
+    print("\n" + result.rendered)
+    assert result.all_defenses_hold
+    assert len(result.outcomes) == 9
+    mounted = [outcome for outcome in result.outcomes if outcome.mounted]
+    detected = [outcome for outcome in mounted if outcome.detected]
+    # Every mounted attack is detected; the rest are infeasible.
+    assert len(detected) == len(mounted)

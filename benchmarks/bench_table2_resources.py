@@ -1,0 +1,25 @@
+"""E1 — Table 2: FPGA resources of the SACHa architecture.
+
+Regenerates the resource table from the implemented design on the
+XC6VLX240T model and checks it matches the paper cell for cell.
+"""
+
+from repro.analysis.experiments import PAPER_TABLE2, e1_table2
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import XC6VLX240T
+
+
+def test_table2_regeneration(benchmark):
+    result = benchmark(e1_table2)
+    print("\n" + result.rendered)
+    assert result.matches_paper
+    assert dict(result.rows) == PAPER_TABLE2
+
+
+def test_table2_full_system_build(benchmark):
+    """Cost of implementing the whole SACHa system on the real part
+    (placement + bit generation for 28,488 frames)."""
+    system = benchmark(build_sacha_system, XC6VLX240T)
+    assert system.partition.static_frame_count == 2_088
+    assert system.partition.dynamic_frame_count == 26_400
+    assert system.static_utilization() < 0.09

@@ -1,0 +1,29 @@
+"""E2 — Table 3: timing of the low-level protocol actions A1–A10.
+
+The action model must reproduce every paper value to the nanosecond on
+the XC6VLX240T parameters.
+"""
+
+import pytest
+
+from repro.analysis.experiments import e2_table3
+from repro.fpga.device import XC6VLX240T
+from repro.timing.model import ActionTimingModel, ProtocolAction
+from repro.timing.report import PAPER_TABLE3_NS
+
+
+def test_table3_regeneration(benchmark):
+    result = benchmark(e2_table3)
+    print("\n" + result.rendered)
+    assert result.matches_paper
+
+
+def test_table3_every_action_exact(benchmark):
+    model = ActionTimingModel(XC6VLX240T)
+
+    def evaluate_all():
+        return {action: model.action_ns(action) for action in ProtocolAction}
+
+    values = benchmark(evaluate_all)
+    for action, expected in PAPER_TABLE3_NS.items():
+        assert values[action] == pytest.approx(expected, abs=0.5), action.code

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one artifact of the paper's evaluation and
+asserts the reproduced shape before timing it.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated tables next to the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import SIM_MEDIUM, SIM_SMALL
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture(scope="session")
+def medium_stack():
+    """A provisioned medium-scale device + verifier for protocol benches."""
+    system = build_sacha_system(SIM_MEDIUM)
+    provisioned, record = provision_device(system, "bench-medium", seed=8100)
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(8101))
+    return provisioned, verifier
+
+
+@pytest.fixture(scope="session")
+def small_stack():
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, record = provision_device(system, "bench-small", seed=8200)
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(8201))
+    return provisioned, verifier

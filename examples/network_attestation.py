@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Attestation as real traffic on a simulated Ethernet link.
+
+Runs the protocol through the network substrate — every command and
+response is an Ethernet frame crossing a channel with serialization and
+latency — and shows:
+
+* how the end-to-end duration scales with per-hop latency (why the
+  paper measures 28.5 s against a 1.443 s theoretical bound);
+* a man-in-the-middle tap that rewrites one readback response being
+  caught by the MAC comparison.
+
+Run:  python examples/network_attestation.py
+"""
+
+from repro import DeterministicRng, SIM_SMALL, build_sacha_system
+from repro.core import NetworkAttestationSession, SachaVerifier, provision_device
+from repro.net.channel import Channel, LatencyModel
+from repro.net.ethernet import EthernetFrame
+from repro.sim.events import Simulator
+
+
+def run_session(latency_ns: float, seed: int = 11, tap=None):
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, record = provision_device(system, "net-board", seed=seed)
+    simulator = Simulator()
+    channel = Channel(simulator, LatencyModel(base_ns=latency_ns))
+    if tap is not None:
+        channel.add_tap(tap)
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(seed + 1))
+    session = NetworkAttestationSession(
+        simulator, channel, provisioned.prover, verifier, DeterministicRng(seed + 2)
+    )
+    return session.run()
+
+
+def main() -> None:
+    print("=== Latency sweep (honest prover) ===\n")
+    print(f"{'one-way latency':>18}  {'duration':>12}  verdict")
+    for latency_us in (1, 10, 100, 500, 2_000):
+        result = run_session(latency_us * 1_000.0)
+        verdict = "attested" if result.report.accepted else "REJECTED"
+        print(
+            f"{latency_us:>15} us  {result.duration_ns / 1e6:>9.2f} ms  {verdict}"
+        )
+
+    print(
+        "\nThe duration is dominated by per-command round trips "
+        f"(the paper's 28.5 s vs 1.443 s at full scale)."
+    )
+
+    print("\n=== Man-in-the-middle rewriting one response ===\n")
+    state = {"rewritten": False}
+
+    def mitm(time_ns, direction, frame):
+        if direction == "prv->vrf" and not state["rewritten"]:
+            payload = bytearray(frame.payload)
+            if payload and payload[0] == 0x81 and len(payload) > 10:
+                payload[9] ^= 0x80
+                state["rewritten"] = True
+                print(f"  [tap] flipped a bit in a readback response at t={time_ns:.0f} ns")
+                return EthernetFrame(
+                    frame.destination, frame.source, frame.ethertype, bytes(payload)
+                )
+        return None
+
+    result = run_session(10_000.0, seed=22, tap=mitm)
+    verdict = "attested (BAD!)" if result.report.accepted else "REJECTED, as it must be"
+    print(f"  verdict with MITM: {verdict}")
+    print(f"  MAC valid: {result.report.mac_valid}")
+
+
+if __name__ == "__main__":
+    main()

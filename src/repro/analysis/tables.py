@@ -1,0 +1,52 @@
+"""ASCII table rendering in the layout of the paper's tables.
+
+The benchmark harness prints these so a run's output can be compared
+line by line with Tables 2–4 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a separator under the header."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_comparison(
+    headers: Sequence[str],
+    paper_rows: Iterable[Sequence[object]],
+    repro_rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Two tables side by side vertically: paper first, reproduction under."""
+    parts = []
+    if title:
+        parts.append(f"== {title} ==")
+    parts.append(render_table(headers, paper_rows, title="-- paper --"))
+    parts.append(render_table(headers, repro_rows, title="-- reproduced --"))
+    return "\n".join(parts)

@@ -1,0 +1,50 @@
+"""Executable adversaries: the security evaluation of Section 7.2 plus
+the related-work critiques of Section 4, all mounted for real."""
+
+from repro.attacks.base import AttackOutcome
+from repro.attacks.provers import (
+    EchoingProver,
+    HoardingProver,
+    SkippingProver,
+    WrongKeyProver,
+)
+from repro.attacks.scenarios import (
+    bram_hoarding_attack,
+    dynpart_malware_attack,
+    impersonation_attack,
+    nonce_suppression_attack,
+    proxy_attack,
+    replay_attack,
+    run_all_scenarios,
+    statpart_insertion_attack,
+    statpart_substitution_attack,
+)
+from repro.attacks.software import (
+    chaves_core_tamper,
+    drimer_kuhn_memory_tamper,
+    pose_resident_malware,
+    smart_key_exfiltration,
+    swatt_redirection,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "EchoingProver",
+    "HoardingProver",
+    "SkippingProver",
+    "WrongKeyProver",
+    "bram_hoarding_attack",
+    "dynpart_malware_attack",
+    "impersonation_attack",
+    "nonce_suppression_attack",
+    "proxy_attack",
+    "replay_attack",
+    "run_all_scenarios",
+    "statpart_insertion_attack",
+    "statpart_substitution_attack",
+    "chaves_core_tamper",
+    "drimer_kuhn_memory_tamper",
+    "pose_resident_malware",
+    "smart_key_exfiltration",
+    "swatt_redirection",
+]

@@ -1,0 +1,37 @@
+"""Attack harness interfaces.
+
+Every scenario of the security evaluation (Section 7.2) is an executable
+that mounts a concrete attack against a provisioned prover/verifier pair
+and reports whether the attack could be mounted at all and whether the
+defense caught it.  The security table of benchmark E5 is just these
+outcomes side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """The result of one mounted (or infeasible) attack."""
+
+    attack_name: str
+    adversary_class: str  # "remote" or "local" per the taxonomy of [3]
+    mounted: bool  # False when the attack is infeasible by construction
+    detected: bool  # True when the verifier rejected (or placement failed)
+    notes: str = ""
+
+    @property
+    def defense_holds(self) -> bool:
+        """The defense wins when the attack is infeasible or detected."""
+        return (not self.mounted) or self.detected
+
+    def explain(self) -> str:
+        if not self.mounted:
+            status = "INFEASIBLE"
+        elif self.detected:
+            status = "DETECTED"
+        else:
+            status = "UNDETECTED (defense failed)"
+        return f"{self.attack_name} [{self.adversary_class}] -> {status}: {self.notes}"

@@ -1,0 +1,44 @@
+"""Baseline attestation schemes the paper builds on or compares against.
+
+* ``mcu`` / ``pose`` — the Perito–Tsudik bounded-memory model on an
+  embedded processor: proofs of secure erasure and secure code update
+  (the paper's reference [1], the inspiration for SACHa);
+* ``swatt`` — SWATT, timing-based software attestation ([6]);
+* ``smart`` — SMART, the minimal hybrid root of trust ([10]): ROM
+  attestation routine + execution-aware key access control;
+* ``chaves`` — on-the-fly bitstream-hash attestation with a trusted
+  attestation core ([23]);
+* ``drimer_kuhn`` — secure remote update with tamper-proof configuration
+  memory ([20]).
+
+The last two are the prior FPGA-attestation schemes whose assumptions
+SACHa removes; the comparison benchmark (E9) shows where each breaks.
+"""
+
+from repro.baselines.chaves import ChavesAttestor, ChavesVerifier
+from repro.baselines.drimer_kuhn import DrimerKuhnDevice, DrimerKuhnVerifier
+from repro.baselines.mcu import BoundedMemoryMcu, ResidentMalware
+from repro.baselines.smart import SmartMcu, SmartVerifier
+from repro.baselines.pose import (
+    PoseResult,
+    proof_of_secure_erasure,
+    secure_code_update,
+)
+from repro.baselines.swatt import SwattProver, SwattResult, SwattVerifier
+
+__all__ = [
+    "ChavesAttestor",
+    "ChavesVerifier",
+    "DrimerKuhnDevice",
+    "DrimerKuhnVerifier",
+    "BoundedMemoryMcu",
+    "ResidentMalware",
+    "PoseResult",
+    "proof_of_secure_erasure",
+    "secure_code_update",
+    "SmartMcu",
+    "SmartVerifier",
+    "SwattProver",
+    "SwattResult",
+    "SwattVerifier",
+]

@@ -1,0 +1,84 @@
+"""On-the-fly bitstream-hash attestation (Chaves et al., reference [23]).
+
+An attestation core *inside the FPGA* hashes every partial bitstream as
+it is being loaded and reports the hash, so the verifier learns what was
+configured.  The scheme's two assumptions, which SACHa removes:
+
+1. the attestation core itself is tamper-proof;
+2. partial updates can only land in a predetermined restricted region.
+
+The model exposes both: with ``core_intact=True`` the scheme works; if
+the adversary tampers the configuration memory holding the attestation
+core (which a real config memory permits), the core can lie and every
+check passes while the device runs malicious logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.crypto.sha256 import sha256
+from repro.errors import ProtocolError
+from repro.fpga.bitstream import Bitstream
+
+
+@dataclass
+class _LoadRecord:
+    digest: bytes
+    frame_count: int
+
+
+class ChavesAttestor:
+    """The in-FPGA attestation core.
+
+    ``restricted_frames`` is the predetermined region partial updates may
+    touch; loads outside it are refused (assumption 2).  Compromising the
+    core (``compromise(fake_digest)``) makes it report attacker-chosen
+    hashes — the scenario assumption 1 rules out by fiat.
+    """
+
+    def __init__(self, restricted_frames: Optional[set] = None) -> None:
+        self._restricted = restricted_frames
+        self._log: List[_LoadRecord] = []
+        self._forged_digest: Optional[bytes] = None
+
+    @property
+    def core_intact(self) -> bool:
+        return self._forged_digest is None
+
+    def compromise(self, forged_digest: bytes) -> None:
+        """Tamper the attestation core's own configuration."""
+        if len(forged_digest) != 32:
+            raise ProtocolError("forged digest must be 32 bytes")
+        self._forged_digest = bytes(forged_digest)
+
+    def observe_load(self, bitstream: Bitstream, target_frames: List[int]) -> bytes:
+        """Hash a partial bitstream while it configures the device."""
+        if self._restricted is not None and self.core_intact:
+            outside = [f for f in target_frames if f not in self._restricted]
+            if outside:
+                raise ProtocolError(
+                    f"partial update touches {len(outside)} frames outside "
+                    "the restricted region"
+                )
+        digest = (
+            self._forged_digest
+            if self._forged_digest is not None
+            else sha256(bitstream.to_bytes())
+        )
+        self._log.append(_LoadRecord(digest=digest, frame_count=len(target_frames)))
+        return digest
+
+    def report(self) -> List[bytes]:
+        return [record.digest for record in self._log]
+
+
+class ChavesVerifier:
+    """Compares reported hashes against golden bitstream hashes."""
+
+    def __init__(self, golden_bitstreams: List[Bitstream]) -> None:
+        self._golden = [sha256(bs.to_bytes()) for bs in golden_bitstreams]
+
+    def verify(self, reported: List[bytes]) -> bool:
+        return reported == self._golden

@@ -1,0 +1,101 @@
+"""Secure remote FPGA updates (Drimer & Kuhn, reference [20]).
+
+The protocol authenticates *updates*: the new bitstream lives in an
+external non-volatile memory, update messages carry MACs and version
+numbers, and the device attests "the running configuration and the
+status of the upload process" through authenticated status responses.
+Its key assumption — removed by SACHa — is a tamper-proof configuration
+memory: the scheme verifies what was *uploaded*, not what the
+configuration memory *currently contains*.
+
+The model runs the update protocol faithfully and then demonstrates the
+gap: an adversary who flips configuration-memory bits directly (without
+going through the update protocol) still produces valid status
+responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.cmac import aes_cmac
+from repro.errors import ProtocolError
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.device import DevicePart
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """One authenticated update: payload, version, MAC."""
+
+    version: int
+    payload: bytes
+    tag: bytes
+
+
+def make_update(key: bytes, version: int, payload: bytes) -> UpdateMessage:
+    tag = aes_cmac(key, version.to_bytes(4, "big") + payload)
+    return UpdateMessage(version=version, payload=payload, tag=tag)
+
+
+class DrimerKuhnDevice:
+    """A device implementing the secure-update protocol."""
+
+    def __init__(self, device: DevicePart, key: bytes) -> None:
+        self._device = device
+        self._key = bytes(key)
+        self.memory = ConfigurationMemory(device)
+        self.nvm: Optional[bytes] = None  # external bitstream storage
+        self.version = 0
+
+    def apply_update(self, update: UpdateMessage) -> bool:
+        """Verify and install an update (into NVM, then config memory)."""
+        expected = aes_cmac(
+            self._key, update.version.to_bytes(4, "big") + update.payload
+        )
+        if expected != update.tag:
+            return False
+        if update.version <= self.version:
+            return False  # replay / rollback refused
+        if len(update.payload) != self._device.configuration_bytes():
+            raise ProtocolError(
+                f"update payload must be a full configuration image "
+                f"({self._device.configuration_bytes()} bytes)"
+            )
+        self.nvm = update.payload
+        self.memory.load_snapshot(update.payload)
+        self.version = update.version
+        return True
+
+    def status_response(self, nonce: bytes) -> bytes:
+        """Authenticated status: MAC over (nonce, version).
+
+        This is the crux: the response covers the upload log, **not** the
+        configuration memory content — the tamper-proof-memory assumption
+        is what makes that sufficient in [20].
+        """
+        return aes_cmac(self._key, nonce + self.version.to_bytes(4, "big"))
+
+
+class DrimerKuhnVerifier:
+    """Verifier for the update + status protocol."""
+
+    def __init__(self, key: bytes) -> None:
+        self._key = bytes(key)
+        self.expected_version = 0
+
+    def push_update(
+        self, device: DrimerKuhnDevice, version: int, payload: bytes
+    ) -> bool:
+        accepted = device.apply_update(make_update(self._key, version, payload))
+        if accepted:
+            self.expected_version = version
+        return accepted
+
+    def attest(self, device: DrimerKuhnDevice, nonce: bytes) -> bool:
+        """True when the device reports the expected upload status."""
+        expected = aes_cmac(
+            self._key, nonce + self.expected_version.to_bytes(4, "big")
+        )
+        return device.status_response(nonce) == expected

@@ -1,0 +1,99 @@
+"""A bounded-memory embedded processor (the Perito–Tsudik platform).
+
+The device has a fixed amount of writable memory and a small immutable
+ROM routine that (1) receives data and writes it to memory and (2)
+computes a keyed checksum of the whole memory and sends it back — exactly
+the platform assumed in the paper's reference [1] and summarized in
+Section 2.2.  Unlike an FPGA, the ROM really is immutable here; SACHa's
+whole point is that FPGAs have no such ROM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.cmac import AesCmac
+from repro.errors import ProtocolError
+
+
+class ResidentMalware:
+    """Malware occupying part of the device's memory.
+
+    To survive a memory-filling update it must keep its own ``body``
+    somewhere in RAM; the bounded-memory model leaves it nowhere to put
+    the verifier's data it displaces.
+    """
+
+    def __init__(self, offset: int, body: bytes) -> None:
+        if offset < 0:
+            raise ValueError(f"malware offset must be non-negative, got {offset}")
+        if not body:
+            raise ValueError("malware body cannot be empty")
+        self.offset = offset
+        self.body = bytes(body)
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+class BoundedMemoryMcu:
+    """The prover device of the proof-of-secure-erasure protocol."""
+
+    def __init__(
+        self,
+        ram_bytes: int,
+        key: bytes,
+        malware: Optional[ResidentMalware] = None,
+    ) -> None:
+        if ram_bytes <= 0:
+            raise ValueError(f"RAM size must be positive, got {ram_bytes}")
+        if len(key) != 16:
+            raise ValueError(f"MCU key must be 16 bytes, got {len(key)}")
+        self.ram_bytes = ram_bytes
+        self._ram = bytearray(ram_bytes)
+        self._key = bytes(key)
+        self._malware = malware
+        if malware is not None:
+            if malware.offset + malware.size > ram_bytes:
+                raise ValueError("malware does not fit in RAM")
+            self._ram[malware.offset : malware.offset + malware.size] = malware.body
+
+    @property
+    def infected(self) -> bool:
+        return self._malware is not None
+
+    # -- ROM routine 1: receive and write ------------------------------------
+
+    def rom_write(self, offset: int, data: bytes) -> None:
+        """The immutable receive-and-write routine.
+
+        An infected device *cannot* let the write erase the malware body,
+        or the malware is gone (which, from the verifier's point of view,
+        is success).  The model therefore makes the malware skip writes
+        that overlap it — the only survival strategy the bounded memory
+        leaves.
+        """
+        if offset < 0 or offset + len(data) > self.ram_bytes:
+            raise ProtocolError(
+                f"write [{offset}, {offset + len(data)}) outside RAM "
+                f"of {self.ram_bytes} bytes"
+            )
+        self._ram[offset : offset + len(data)] = data
+        if self._malware is not None:
+            start = self._malware.offset
+            end = start + self._malware.size
+            self._ram[start:end] = self._malware.body
+
+    # -- ROM routine 2: checksum ---------------------------------------------
+
+    def rom_checksum(self, nonce: bytes) -> bytes:
+        """MAC_K(nonce ‖ whole RAM) — the proof of erasure."""
+        mac = AesCmac(self._key)
+        mac.update(nonce)
+        mac.update(bytes(self._ram))
+        return mac.finalize()
+
+    def read_ram(self) -> bytes:
+        """Debug/verification view of the memory (not part of the ROM API)."""
+        return bytes(self._ram)

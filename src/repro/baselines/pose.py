@@ -1,0 +1,92 @@
+"""Proofs of secure erasure and secure code update (Perito–Tsudik).
+
+The verifier fills the device's *entire* bounded memory — with
+randomness (erasure proof) or with new code (secure update) — then asks
+for a keyed checksum of the whole memory.  A correct checksum implies no
+prior content (malware included) survived, because there was nowhere for
+it to live.  SACHa transplants exactly this argument to the FPGA's
+configuration memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.mcu import BoundedMemoryMcu
+from repro.crypto.cmac import AesCmac
+from repro.crypto.prf import prf_bytes
+from repro.utils.rng import DeterministicRng
+
+#: Transfer granularity of the fill phase (bytes per message).
+CHUNK_BYTES = 256
+
+
+@dataclass(frozen=True)
+class PoseResult:
+    """Outcome of one proof-of-secure-erasure run."""
+
+    accepted: bool
+    chunks_sent: int
+    memory_bytes: int
+
+    def explain(self) -> str:
+        verdict = "erased/updated" if self.accepted else "STALE CONTENT DETECTED"
+        return (
+            f"{verdict}: {self.memory_bytes} bytes filled in "
+            f"{self.chunks_sent} chunks"
+        )
+
+
+def _run_fill_and_check(
+    device: BoundedMemoryMcu, fill: bytes, key: bytes, nonce: bytes
+) -> PoseResult:
+    chunks = 0
+    for offset in range(0, len(fill), CHUNK_BYTES):
+        device.rom_write(offset, fill[offset : offset + CHUNK_BYTES])
+        chunks += 1
+
+    received = device.rom_checksum(nonce)
+    expected_mac = AesCmac(key)
+    expected_mac.update(nonce)
+    expected_mac.update(fill)
+    accepted = received == expected_mac.finalize()
+    return PoseResult(
+        accepted=accepted, chunks_sent=chunks, memory_bytes=len(fill)
+    )
+
+
+def proof_of_secure_erasure(
+    device: BoundedMemoryMcu, key: bytes, rng: DeterministicRng
+) -> PoseResult:
+    """Fill the whole memory with verifier randomness, then check.
+
+    Acceptance proves the memory holds exactly the randomness — i.e.
+    everything that was there before is erased.
+    """
+    nonce = rng.randbytes(16)
+    fill = rng.randbytes(device.ram_bytes)
+    return _run_fill_and_check(device, fill, key, nonce)
+
+
+def secure_code_update(
+    device: BoundedMemoryMcu,
+    key: bytes,
+    rng: DeterministicRng,
+    code: bytes,
+) -> PoseResult:
+    """Send new code padded with keyed filler to the full memory size.
+
+    The code goes first; the rest of the memory is filled with
+    pseudorandom padding derived from the nonce, so no region is left for
+    old content to hide in.  Acceptance proves the device now runs
+    exactly ``code``.
+    """
+    if len(code) > device.ram_bytes:
+        raise ValueError(
+            f"code of {len(code)} bytes exceeds device memory "
+            f"of {device.ram_bytes}"
+        )
+    nonce = rng.randbytes(16)
+    padding = prf_bytes(key, nonce[:8], device.ram_bytes - len(code))
+    fill = code + padding
+    return _run_fill_and_check(device, fill, key, nonce)

@@ -1,0 +1,155 @@
+"""SMART: a minimal hybrid root of trust (the paper's reference [10]).
+
+Section 4.2 surveys hybrid schemes; SMART (El Defrawy et al.) is the
+archetype: a low-end MCU with two minimal hardware changes —
+
+* the attestation routine lives in immutable ROM;
+* the attestation key is readable **only while the program counter is
+  inside that ROM region** (execution-aware memory access control) and
+  the ROM is only enterable at its first instruction.
+
+This model executes that access-control discipline: software (including
+malware) can call the attestation routine and gets correct MACs, but
+any attempt to *read the key* from outside the ROM — or to jump into
+the middle of the routine — is blocked by the hardware.  In the
+comparison matrix it slots between pure-software schemes (SWATT) and
+SACHa: it defeats key extraction, but it is a *processor* architecture —
+it has no answer to the FPGA problem, where the "ROM" itself would be
+reconfigurable fabric (the paper's core observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.crypto.cmac import AesCmac
+from repro.errors import ProtocolError
+
+#: Memory-map constants of the model.
+ROM_BASE = 0xF000
+ROM_SIZE = 0x0400
+KEY_ADDRESS = 0xFF00
+
+
+@dataclass(frozen=True)
+class AccessViolation:
+    """A blocked access, as the hardware monitor records it."""
+
+    program_counter: int
+    target: int
+    reason: str
+
+
+class SmartMcu:
+    """An MCU with SMART's execution-aware key protection."""
+
+    def __init__(self, ram_bytes: int, key: bytes) -> None:
+        if ram_bytes <= 0:
+            raise ProtocolError(f"RAM size must be positive, got {ram_bytes}")
+        if len(key) != 16:
+            raise ProtocolError(f"key must be 16 bytes, got {len(key)}")
+        self.ram = bytearray(ram_bytes)
+        self._key = bytes(key)
+        self._program_counter = 0
+        self.violations: List[AccessViolation] = []
+
+    # -- execution model -------------------------------------------------------
+
+    @property
+    def program_counter(self) -> int:
+        return self._program_counter
+
+    def _in_rom(self, address: int) -> bool:
+        return ROM_BASE <= address < ROM_BASE + ROM_SIZE
+
+    def jump(self, address: int) -> None:
+        """Software branches; entry into ROM only at its first address.
+
+        Jumping into the middle of the ROM routine (to skip checks and
+        land on the key-reading instructions) is blocked — SMART's
+        controlled-invocation rule.
+        """
+        if self._in_rom(address) and address != ROM_BASE:
+            self.violations.append(
+                AccessViolation(
+                    program_counter=self._program_counter,
+                    target=address,
+                    reason="ROM entry not at the first instruction",
+                )
+            )
+            raise ProtocolError(
+                "controlled invocation violated: ROM is only enterable at "
+                f"{ROM_BASE:#06x}"
+            )
+        self._program_counter = address
+
+    def read_key(self) -> bytes:
+        """The key bus: readable only while executing inside the ROM."""
+        if not self._in_rom(self._program_counter):
+            self.violations.append(
+                AccessViolation(
+                    program_counter=self._program_counter,
+                    target=KEY_ADDRESS,
+                    reason="key read from outside the ROM region",
+                )
+            )
+            raise ProtocolError(
+                "execution-aware access control: the attestation key is "
+                "only readable from ROM code"
+            )
+        return self._key
+
+    # -- the ROM attestation routine ---------------------------------------------
+
+    def rom_attest(self, nonce: bytes, start: int = 0, length: Optional[int] = None) -> bytes:
+        """The immutable attestation routine: MAC over a memory range.
+
+        Callable by anyone (controlled invocation), including malware —
+        which is fine: the malware obtains a *correct* MAC over memory
+        that includes itself, which is exactly what convicts it.
+        """
+        self.jump(ROM_BASE)
+        try:
+            key = self.read_key()
+            if length is None:
+                length = len(self.ram) - start
+            if start < 0 or start + length > len(self.ram):
+                raise ProtocolError("attestation range outside RAM")
+            mac = AesCmac(key)
+            mac.update(nonce)
+            mac.update(bytes(self.ram[start : start + length]))
+            return mac.finalize()
+        finally:
+            self.jump(0)  # return to application code
+
+    # -- software actions ------------------------------------------------------------
+
+    def software_write(self, offset: int, data: bytes) -> None:
+        """Normal (or malicious) software writes to RAM."""
+        if offset < 0 or offset + len(data) > len(self.ram):
+            raise ProtocolError("write outside RAM")
+        self.ram[offset : offset + len(data)] = data
+
+    def malware_try_key_exfiltration(self) -> bytes:
+        """Malware running as normal software tries to read the key."""
+        return self.read_key()  # PC is outside ROM → blocked
+
+
+class SmartVerifier:
+    """The remote verifier of the SMART scheme."""
+
+    def __init__(self, key: bytes, expected_image: bytes, ram_bytes: int) -> None:
+        self._key = bytes(key)
+        self._expected = bytes(expected_image) + bytes(
+            ram_bytes - len(expected_image)
+        )
+
+    def expected_mac(self, nonce: bytes) -> bytes:
+        mac = AesCmac(self._key)
+        mac.update(nonce)
+        mac.update(self._expected)
+        return mac.finalize()
+
+    def verify(self, nonce: bytes, received: bytes) -> bool:
+        return received == self.expected_mac(nonce)

@@ -1,0 +1,127 @@
+"""SWATT: software-based attestation via timed pseudorandom traversal.
+
+SWATT (the paper's reference [6]) has the prover walk its memory in a
+challenge-derived pseudorandom order, folding each read into a checksum.
+Malware that wants to answer correctly must *redirect* reads that hit its
+own location to a pristine copy, and the redirection check on every
+access costs extra cycles — the verifier detects the compromise by the
+response time, not the checksum.
+
+The model counts cycles explicitly, which also demonstrates the scheme's
+acknowledged weakness: it only works under strict timing assumptions
+("unfeasible for real-world employment over a network" — Section 4.1),
+whereas SACHa tolerates half a minute of network delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.sha256 import sha256
+from repro.errors import ProtocolError
+
+#: Cycle costs of the inner loop (calibrated to the SWATT paper's shape:
+#: redirection adds a constant factor per access).
+CYCLES_PER_ACCESS = 23
+CYCLES_REDIRECTION_CHECK = 13
+
+
+@dataclass(frozen=True)
+class SwattResult:
+    checksum: bytes
+    cycles: int
+    iterations: int
+
+
+class SwattProver:
+    """A device running the SWATT checksum routine.
+
+    ``malware_range`` marks bytes the malware occupies; the original
+    content of that range is kept in a hidden copy so the checksum still
+    comes out right — at the price of the per-access redirection cycles.
+    """
+
+    def __init__(
+        self, memory: bytes, malware_range: Optional[Tuple[int, int]] = None
+    ) -> None:
+        if not memory:
+            raise ProtocolError("SWATT needs non-empty memory")
+        self._memory = bytearray(memory)
+        self._pristine = bytes(memory)
+        self._malware_range = malware_range
+        if malware_range is not None:
+            start, end = malware_range
+            if not 0 <= start < end <= len(memory):
+                raise ProtocolError(f"malware range {malware_range} out of bounds")
+            # The malware body overwrites its range; the pristine copy is
+            # what redirected reads return.
+            for index in range(start, end):
+                self._memory[index] ^= 0xA5
+
+    @property
+    def compromised(self) -> bool:
+        return self._malware_range is not None
+
+    def respond(self, challenge: bytes, iterations: int) -> SwattResult:
+        """Run the timed checksum loop."""
+        if iterations <= 0:
+            raise ProtocolError(f"iterations must be positive, got {iterations}")
+        size = len(self._memory)
+        state = sha256(challenge)
+        checksum = bytearray(16)
+        cycles = 0
+        for step in range(iterations):
+            if step % 8 == 0:
+                state = sha256(state + challenge)
+            address = (
+                int.from_bytes(state[(step % 8) * 4 : (step % 8) * 4 + 4], "big")
+                % size
+            )
+            cycles += CYCLES_PER_ACCESS
+            if self._malware_range is not None:
+                cycles += CYCLES_REDIRECTION_CHECK
+                start, end = self._malware_range
+                value = (
+                    self._pristine[address]
+                    if start <= address < end
+                    else self._memory[address]
+                )
+            else:
+                value = self._memory[address]
+            checksum[step % 16] ^= value ^ state[step % 32]
+        return SwattResult(
+            checksum=bytes(checksum), cycles=cycles, iterations=iterations
+        )
+
+
+class SwattVerifier:
+    """Checks both the checksum and the response time."""
+
+    def __init__(self, memory: bytes, timing_slack: float = 1.05) -> None:
+        if timing_slack < 1.0:
+            raise ProtocolError(
+                f"timing slack must be >= 1, got {timing_slack}"
+            )
+        self._reference = SwattProver(memory)
+        self._timing_slack = timing_slack
+
+    def expected(self, challenge: bytes, iterations: int) -> SwattResult:
+        return self._reference.respond(challenge, iterations)
+
+    def verify(self, challenge: bytes, iterations: int, result: SwattResult) -> bool:
+        expected = self.expected(challenge, iterations)
+        checksum_ok = expected.checksum == result.checksum
+        cycle_budget = expected.cycles * self._timing_slack
+        timing_ok = result.cycles <= cycle_budget
+        return checksum_ok and timing_ok
+
+    def verify_without_timing(
+        self, challenge: bytes, iterations: int, result: SwattResult
+    ) -> bool:
+        """The networked deployment: timing unusable, checksum only.
+
+        This is exactly why SWATT fails over a network — the redirecting
+        malware passes this check.
+        """
+        return self.expected(challenge, iterations).checksum == result.checksum

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``attest [--device PART] [--seed N] [--tamper]`` — provision a device,
+  run one attestation, print the report;
+* ``tables`` — regenerate Tables 2, 3 and 4 plus the JTAG reference;
+* ``security [--device PART]`` — run the Section-7.2 threat sweep;
+* ``trace [--device PART]`` — print the Figure-9 protocol trace;
+* ``experiment <ID>`` — run one registered experiment (E1-table2, ...);
+* ``list`` — list devices and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    e1_table2,
+    e2_table3,
+    e3_table4,
+    e4_jtag_reference,
+    e5_security_evaluation,
+    e6_protocol_trace,
+)
+from repro.core.protocol import run_attestation
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import catalog, get_part
+from repro.utils.rng import DeterministicRng
+
+
+def _add_device_option(parser: argparse.ArgumentParser, default: str) -> None:
+    parser.add_argument(
+        "--device",
+        default=default,
+        choices=list(catalog()),
+        help=f"device part (default: {default})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SACHa: self-attestation of configurable hardware",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    attest = commands.add_parser("attest", help="run one attestation")
+    _add_device_option(attest, "SIM-MEDIUM")
+    attest.add_argument("--seed", type=int, default=2019)
+    attest.add_argument(
+        "--tamper",
+        action="store_true",
+        help="flip one static-frame bit before attesting",
+    )
+
+    commands.add_parser("tables", help="regenerate Tables 2-4 + JTAG reference")
+
+    security = commands.add_parser("security", help="Section-7.2 threat sweep")
+    _add_device_option(security, "SIM-MEDIUM")
+
+    trace = commands.add_parser("trace", help="Figure-9 protocol trace")
+    _add_device_option(trace, "SIM-SMALL")
+
+    experiment = commands.add_parser("experiment", help="run one experiment")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+
+    commands.add_parser("list", help="list devices and experiments")
+    return parser
+
+
+def _command_attest(args: argparse.Namespace) -> int:
+    device = get_part(args.device)
+    system = build_sacha_system(device)
+    provisioned, record = provision_device(system, "cli-board", seed=args.seed)
+    if args.tamper:
+        frame = system.partition.static_frame_list()[0]
+        provisioned.board.fpga.memory.flip_bit(frame, 0, 0)
+        print(f"(tampered static frame {frame})")
+    verifier = SachaVerifier(
+        record.system, record.mac_key, DeterministicRng(args.seed + 1)
+    )
+    result = run_attestation(
+        provisioned.prover, verifier, DeterministicRng(args.seed + 2)
+    )
+    print(result.report.explain())
+    return 0 if result.report.accepted == (not args.tamper) else 1
+
+
+def _command_tables(_: argparse.Namespace) -> int:
+    ok = True
+    table2 = e1_table2()
+    table3 = e2_table3()
+    table4 = e3_table4()
+    for rendered in (table2.rendered, table3.rendered, table4.rendered,
+                     e4_jtag_reference().rendered):
+        print(rendered)
+        print()
+    ok = table2.matches_paper and table3.matches_paper
+    ok = ok and table4.theoretical_matches and table4.measured_matches
+    return 0 if ok else 1
+
+
+def _command_security(args: argparse.Namespace) -> int:
+    result = e5_security_evaluation(get_part(args.device))
+    print(result.rendered)
+    print()
+    for outcome in result.outcomes:
+        print("  *", outcome.explain())
+    return 0 if result.all_defenses_hold else 1
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    result = e6_protocol_trace(get_part(args.device))
+    print(result.rendered)
+    return 0 if result.accepted else 1
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    result = EXPERIMENTS[args.id]()
+    rendered = getattr(result, "rendered", None)
+    print(rendered if rendered is not None else result)
+    return 0
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    print("devices:")
+    for name in catalog():
+        part = get_part(name)
+        print(
+            f"  {name}: {part.total_frames} frames x {part.words_per_frame} "
+            f"words, {part.clb_count} CLB, {part.bram_count} BRAM"
+        )
+    print("experiments:")
+    for identifier in sorted(EXPERIMENTS):
+        print(f"  {identifier}")
+    return 0
+
+
+_HANDLERS = {
+    "attest": _command_attest,
+    "tables": _command_tables,
+    "security": _command_security,
+    "trace": _command_trace,
+    "experiment": _command_experiment,
+    "list": _command_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

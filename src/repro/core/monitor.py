@@ -1,0 +1,152 @@
+"""Continuous attestation: periodic runs on the simulation clock.
+
+A deployed verifier does not attest once — it sweeps the device on a
+period.  The monitor schedules attestation runs on the discrete-event
+clock, charges each run its full protocol duration (a run occupies the
+device: the DynPart is being reconfigured), records the history, and
+reports *detection latency*: the time between a tamper landing in the
+configuration memory and the first rejecting run.
+
+The paper's numbers put a floor under the period: one run takes 28.5 s
+on the lab network, so sub-minute monitoring of an XC6VLX240T keeps the
+link saturated — the trade-off experiment E17 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ProtocolError
+from repro.core.protocol import SessionOptions, run_attestation
+from repro.core.prover import SachaProver
+from repro.core.report import AttestationReport
+from repro.core.verifier import SachaVerifier
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One periodic attestation run."""
+
+    started_ns: float
+    finished_ns: float
+    accepted: bool
+    mismatched_frames: tuple
+
+    @property
+    def duration_ns(self) -> float:
+        return self.finished_ns - self.started_ns
+
+
+@dataclass
+class MonitorHistory:
+    """The monitor's run log plus detection bookkeeping."""
+
+    samples: List[MonitorSample] = field(default_factory=list)
+    tamper_time_ns: Optional[float] = None
+    detection_time_ns: Optional[float] = None
+
+    @property
+    def runs(self) -> int:
+        return len(self.samples)
+
+    @property
+    def rejections(self) -> int:
+        return sum(1 for sample in self.samples if not sample.accepted)
+
+    @property
+    def detection_latency_ns(self) -> Optional[float]:
+        """Tamper-to-rejection latency, if both happened."""
+        if self.tamper_time_ns is None or self.detection_time_ns is None:
+            return None
+        return self.detection_time_ns - self.tamper_time_ns
+
+
+class AttestationMonitor:
+    """Periodic attestation of one prover on a simulator clock.
+
+    ``period_ns`` is start-to-start; a period shorter than the protocol
+    duration is rejected (the link cannot run two attestations of one
+    device concurrently — the DynPart is being rewritten).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        prover: SachaProver,
+        verifier: SachaVerifier,
+        period_ns: float,
+        rng: DeterministicRng,
+        options: SessionOptions = SessionOptions(),
+        stop_on_detection: bool = True,
+        on_rejection: Optional[Callable[[MonitorSample], None]] = None,
+    ) -> None:
+        if period_ns <= 0:
+            raise ProtocolError(f"monitor period must be positive, got {period_ns}")
+        self._simulator = simulator
+        self._prover = prover
+        self._verifier = verifier
+        self._period_ns = period_ns
+        self._rng = rng
+        self._options = options
+        self._stop_on_detection = stop_on_detection
+        self._on_rejection = on_rejection
+        self.history = MonitorHistory()
+        self._remaining_runs = 0
+        self._run_counter = 0
+
+    def record_tamper(self) -> None:
+        """Note the time of an (externally mounted) tamper for latency
+        accounting."""
+        self.history.tamper_time_ns = self._simulator.now_ns
+
+    def start(self, runs: int) -> None:
+        """Schedule ``runs`` periodic attestations from now."""
+        if runs <= 0:
+            raise ProtocolError(f"monitor needs at least one run, got {runs}")
+        self._remaining_runs = runs
+        self._simulator.schedule(0.0, self._run_once, label="monitor-run")
+
+    def _run_once(self) -> None:
+        if self._remaining_runs <= 0:
+            return
+        self._remaining_runs -= 1
+        self._run_counter += 1
+        started = self._simulator.now_ns
+        result = run_attestation(
+            self._prover,
+            self._verifier,
+            self._rng.fork(f"run-{self._run_counter}"),
+            self._options,
+        )
+        report: AttestationReport = result.report
+        duration = report.timing.total_ns if report.timing else 0.0
+        if duration >= self._period_ns:
+            raise ProtocolError(
+                f"monitor period {self._period_ns:.0f} ns is shorter than "
+                f"one attestation ({duration:.0f} ns); the device cannot "
+                "be attested back to back"
+            )
+        finished = started + duration
+        sample = MonitorSample(
+            started_ns=started,
+            finished_ns=finished,
+            accepted=report.accepted,
+            mismatched_frames=tuple(report.mismatched_frames),
+        )
+        self.history.samples.append(sample)
+        if not report.accepted:
+            if self.history.detection_time_ns is None:
+                self.history.detection_time_ns = finished
+            if self._on_rejection is not None:
+                self._on_rejection(sample)
+            if self._stop_on_detection:
+                self._remaining_runs = 0
+                return
+        if self._remaining_runs > 0:
+            next_start = started + self._period_ns
+            self._simulator.schedule_at(
+                next_start, self._run_once, label="monitor-run"
+            )

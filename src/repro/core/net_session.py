@@ -1,0 +1,207 @@
+"""Event-driven attestation over the simulated Ethernet channel.
+
+:func:`run_attestation` in ``repro.core.protocol`` accounts time with the
+calibrated Table-3 action model.  :class:`NetworkAttestationSession`
+instead runs the protocol *through the network substrate*: every command
+and response is a real Ethernet frame crossing a :class:`Channel` with
+serialization and latency, the prover is an endpoint handler, and the
+verifier is a state machine driven by deliveries.  Adversary taps on the
+channel see (and may rewrite) every frame — this is the path the
+man-in-the-middle attacks use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.core.prover import SachaProver
+from repro.core.report import AttestationReport
+from repro.core.verifier import SachaVerifier
+from repro.net.channel import Channel, Endpoint
+from repro.net.ethernet import ETHERTYPE_SACHA, EthernetFrame, MacAddress
+from repro.net.messages import (
+    IcapConfigCommand,
+    IcapReadbackCommand,
+    MacChecksumCommand,
+    MacChecksumResponse,
+    ReadbackResponse,
+    decode_command,
+    decode_response,
+)
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+VERIFIER_MAC = MacAddress.from_string("02:00:00:00:00:01")
+PROVER_MAC = MacAddress.from_string("02:00:00:00:00:02")
+
+
+class _Phase(enum.Enum):
+    IDLE = "idle"
+    CONFIG = "config"
+    READBACK = "readback"
+    CHECKSUM = "checksum"
+    DONE = "done"
+
+
+@dataclass
+class NetworkRunResult:
+    report: AttestationReport
+    duration_ns: float
+    frames_sent_by_verifier: int
+    frames_sent_by_prover: int
+
+
+class NetworkAttestationSession:
+    """One attestation run as network traffic on a channel."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        channel: Channel,
+        prover: SachaProver,
+        verifier: SachaVerifier,
+        rng: Optional[DeterministicRng] = None,
+        reliable: bool = False,
+        arq_timeout_ns: float = 2_000_000.0,
+    ) -> None:
+        self._simulator = simulator
+        self._channel = channel
+        self._prover = prover
+        self._verifier = verifier
+        self._rng = rng or DeterministicRng(0)
+
+        self.verifier_endpoint = Endpoint("vrf", VERIFIER_MAC)
+        self.prover_endpoint = Endpoint("prv", PROVER_MAC)
+        channel.connect(self.verifier_endpoint, self.prover_endpoint)
+        if reliable:
+            # Slot a stop-and-wait ARQ under the session so the strict
+            # command/response sequence survives frame loss.
+            from repro.net.arq import ArqLink
+
+            self._verifier_port = ArqLink(
+                simulator, self.verifier_endpoint, PROVER_MAC, arq_timeout_ns
+            )
+            self._prover_port = ArqLink(
+                simulator, self.prover_endpoint, VERIFIER_MAC, arq_timeout_ns
+            )
+        else:
+            self._verifier_port = self.verifier_endpoint
+            self._prover_port = self.prover_endpoint
+        self._verifier_port.handler = self._on_verifier_delivery
+        self._prover_port.handler = self._on_prover_delivery
+
+        self._phase = _Phase.IDLE
+        self._nonce = b""
+        self._plan: List[int] = []
+        self._plan_cursor = 0
+        self._responses: List[ReadbackResponse] = []
+        self._tag: Optional[bytes] = None
+        self._start_ns = 0.0
+        self._end_ns = 0.0
+
+    # -- verifier side -----------------------------------------------------------
+
+    def run(self) -> NetworkRunResult:
+        """Drive a full attestation and return the verdict."""
+        if self._phase is not _Phase.IDLE:
+            raise ProtocolError("session already ran")
+        self._start_ns = self._simulator.now_ns
+        self._phase = _Phase.CONFIG
+
+        # Fire-and-forget configuration commands; in-order delivery on the
+        # point-to-point channel guarantees they are applied before the
+        # readbacks that follow.
+        self._nonce = self._verifier.new_nonce()
+        for command in self._verifier.config_commands(self._nonce):
+            self._send_to_prover(command.encode())
+
+        self._plan = self._verifier.readback_plan()
+        self._phase = _Phase.READBACK
+        self._send_next_readback()
+
+        self._simulator.run()
+        if self._phase is not _Phase.DONE:
+            raise ProtocolError(
+                f"simulation drained in phase {self._phase.value}; "
+                "a message was lost"
+            )
+
+        report = self._verifier.evaluate(
+            self._nonce, self._plan, self._responses, self._tag or b""
+        )
+        report.config_steps = len(self._verifier.config_commands(self._nonce))
+        report.nonce = self._nonce
+        return NetworkRunResult(
+            report=report,
+            duration_ns=self._end_ns - self._start_ns,
+            frames_sent_by_verifier=self.verifier_endpoint.frames_sent,
+            frames_sent_by_prover=self.prover_endpoint.frames_sent,
+        )
+
+    def _send_next_readback(self) -> None:
+        if self._plan_cursor < len(self._plan):
+            frame_index = self._plan[self._plan_cursor]
+            self._send_to_prover(IcapReadbackCommand(frame_index).encode())
+        else:
+            self._phase = _Phase.CHECKSUM
+            self._send_to_prover(MacChecksumCommand().encode())
+
+    def _on_verifier_delivery(self, frame: EthernetFrame) -> None:
+        response = decode_response(frame.payload)
+        if isinstance(response, ReadbackResponse):
+            if self._phase is not _Phase.READBACK:
+                raise ProtocolError("readback response outside readback phase")
+            self._responses.append(response)
+            self._plan_cursor += 1
+            self._send_next_readback()
+            return
+        if isinstance(response, MacChecksumResponse):
+            if self._phase is not _Phase.CHECKSUM:
+                raise ProtocolError("checksum response outside checksum phase")
+            self._tag = response.tag
+            self._phase = _Phase.DONE
+            self._end_ns = self._simulator.now_ns
+            return
+        raise ProtocolError(f"unexpected response {type(response).__name__}")
+
+    def _send_to_prover(self, payload: bytes) -> None:
+        self._verifier_port.send(
+            EthernetFrame(
+                destination=PROVER_MAC,
+                source=VERIFIER_MAC,
+                ethertype=ETHERTYPE_SACHA,
+                payload=payload,
+            )
+        )
+
+    # -- prover side ---------------------------------------------------------------
+
+    def _on_prover_delivery(self, frame: EthernetFrame) -> None:
+        command = decode_command(frame.payload)
+        if isinstance(command, IcapConfigCommand):
+            self._prover.handle_command(command)
+            # A configured application starts running: declare/refresh its
+            # storage elements once the last application frame arrives.
+            app_frames = self._verifier.system.app_impl.region_frames
+            if command.frame_index == app_frames[-1]:
+                self._verifier.system.app_impl.declare_registers(
+                    self._prover.board.fpga.registers
+                )
+                self._prover.board.fpga.registers.scramble(
+                    self._rng.fork("net-app-activity")
+                )
+            return
+        response = self._prover.handle_command(command)
+        if response is None:
+            return
+        self._prover_port.send(
+            EthernetFrame(
+                destination=VERIFIER_MAC,
+                source=PROVER_MAC,
+                ethertype=ETHERTYPE_SACHA,
+                payload=response.encode(),
+            )
+        )

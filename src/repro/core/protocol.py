@@ -1,0 +1,267 @@
+"""The SACHa attestation protocol (Figures 8 and 9).
+
+:func:`run_attestation` drives one complete run between a prover and a
+verifier: the two-step dynamic configuration (application, then nonce),
+the full-configuration readback in the verifier's order with incremental
+MAC computation, the final checksum exchange, and the verifier's two
+comparisons.  Timing is accumulated from the Table-3 action model plus a
+network model, so a run on the XC6VLX240T reports the paper's 1.443 s /
+28.5 s durations while moving every real byte through the real MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.core.prover import SachaProver
+from repro.core.report import AttestationReport, TimingBreakdown
+from repro.core.verifier import SachaVerifier
+from repro.net.messages import (
+    IcapReadbackCommand,
+    IcapReadbackRangeCommand,
+    MacChecksumCommand,
+    MacChecksumResponse,
+    MaskedReadbackAck,
+    ReadbackRangeResponse,
+    ReadbackResponse,
+)
+from repro.sim.tracing import TraceRecorder
+from repro.timing.model import ActionCounts, ActionTimingModel, ProtocolAction
+from repro.timing.network import IDEAL_NETWORK, NetworkModel
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class SessionOptions:
+    """Knobs of one protocol run."""
+
+    network: NetworkModel = IDEAL_NETWORK
+    record_trace: bool = False
+    #: Simulate the application (and static logic) running between the
+    #: configuration and readback phases: live registers take arbitrary
+    #: values, which the mask must absorb.
+    scramble_registers: bool = True
+    #: Declare the application design's storage elements once its frames
+    #: are configured (a freshly configured design starts flip-flopping).
+    declare_app_registers: bool = True
+    #: Section-6.1 alternative: send the Msk to the prover with each
+    #: readback; the prover masks before MACing and returns no frame
+    #: content.  Similar communication latency, no tamper localization.
+    mask_at_prover: bool = False
+    #: Batch consecutive readbacks into one command/response round trip
+    #: (the optimization the E7 ablation motivates).  1 = the paper's
+    #: one-frame-per-packet protocol.  Incompatible with mask_at_prover.
+    readback_batch_frames: int = 1
+
+
+@dataclass
+class SessionResult:
+    """The run's artifacts beyond the report (for attacks and tests)."""
+
+    report: AttestationReport
+    nonce: bytes = b""
+    plan: List[int] = field(default_factory=list)
+    responses: List[ReadbackResponse] = field(default_factory=list)
+    tag: bytes = b""
+
+
+def _contiguous_batches(plan, batch_frames):
+    """Split a plan into (start, count) runs of consecutive indices."""
+    batches = []
+    position = 0
+    while position < len(plan):
+        start = plan[position]
+        count = 1
+        while (
+            position + count < len(plan)
+            and count < batch_frames
+            and plan[position + count] == start + count
+        ):
+            count += 1
+        batches.append((start, count))
+        position += count
+    return batches
+
+
+def run_attestation(
+    prover: SachaProver,
+    verifier: SachaVerifier,
+    rng: Optional[DeterministicRng] = None,
+    options: SessionOptions = SessionOptions(),
+) -> SessionResult:
+    """Execute one full SACHa attestation."""
+    rng = rng or DeterministicRng(0)
+    trace = TraceRecorder(enabled=options.record_trace)
+    model = ActionTimingModel(verifier.system.device)
+    elapsed = 0.0
+
+    def tick(action: ProtocolAction) -> None:
+        nonlocal elapsed
+        elapsed += model.action_ns(action)
+
+    # -- dynamic configuration phase (Figure 9, top) -------------------------
+    nonce = verifier.new_nonce()
+    config_commands = verifier.config_commands(nonce)
+    config_ns = 0.0
+    for command in config_commands:
+        start = elapsed
+        tick(ProtocolAction.A1)
+        prover.handle_command(command)
+        tick(ProtocolAction.A2)
+        config_ns += elapsed - start
+        trace.record(start, "ICAP_config", "vrf->prv", f"frame {command.frame_index}")
+
+    # The dynamic partition now runs the configured application.
+    registers = prover.board.fpga.registers
+    if options.declare_app_registers:
+        verifier.system.app_impl.declare_registers(registers)
+    if options.scramble_registers:
+        registers.scramble(rng.fork("app-activity"))
+
+    # -- full configuration readback (Figure 9, middle) -----------------------
+    plan = verifier.readback_plan()
+    responses: List[ReadbackResponse] = []
+    readback_ns = 0.0
+    readback_commands = 0
+    first = True
+    if options.mask_at_prover and options.readback_batch_frames > 1:
+        raise ProtocolError(
+            "readback batching is incompatible with prover-side masking"
+        )
+    if options.mask_at_prover:
+        for command in verifier.masked_readback_commands(plan):
+            start = elapsed
+            elapsed += model.masked_readback_send_ns()
+            if first:
+                tick(ProtocolAction.A5)
+                trace.record(elapsed, "MAC_init", "prv")
+                first = False
+            ack = prover.handle_command(command)
+            if not isinstance(ack, MaskedReadbackAck):
+                raise ProtocolError(
+                    f"prover returned {type(ack).__name__} to masked readback"
+                )
+            tick(ProtocolAction.A4)
+            tick(ProtocolAction.A6)
+            elapsed += model.masked_ack_ns()
+            readback_ns += elapsed - start
+            trace.record(
+                start,
+                "ICAP_readback_masked",
+                "vrf->prv",
+                f"frame {command.frame_index}",
+            )
+    elif options.readback_batch_frames > 1:
+        frame_bytes = verifier.system.device.frame_bytes
+        for batch_start, batch_count in _contiguous_batches(
+            plan, options.readback_batch_frames
+        ):
+            start = elapsed
+            tick(ProtocolAction.A3)
+            if first:
+                tick(ProtocolAction.A5)
+                trace.record(elapsed, "MAC_init", "prv")
+                first = False
+            response = prover.handle_command(
+                IcapReadbackRangeCommand(
+                    start_index=batch_start, count=batch_count
+                )
+            )
+            if not isinstance(response, ReadbackRangeResponse):
+                raise ProtocolError(
+                    f"prover returned {type(response).__name__} to a "
+                    "ranged readback"
+                )
+            for offset in range(batch_count):
+                tick(ProtocolAction.A4)
+                tick(ProtocolAction.A6)
+                responses.append(
+                    ReadbackResponse(
+                        frame_index=batch_start + offset,
+                        data=response.data[
+                            offset * frame_bytes : (offset + 1) * frame_bytes
+                        ],
+                    )
+                )
+            # One serialization for the whole batch (A8 amortized).
+            elapsed += (batch_count * frame_bytes + 42) * 8.0
+            readback_ns += elapsed - start
+            readback_commands += 1
+            trace.record(
+                start,
+                "ICAP_readback_range",
+                "vrf->prv",
+                f"frames {batch_start}..{batch_start + batch_count - 1}",
+            )
+    else:
+        for frame_index in plan:
+            start = elapsed
+            tick(ProtocolAction.A3)
+            if first:
+                tick(ProtocolAction.A5)
+                trace.record(elapsed, "MAC_init", "prv")
+                first = False
+            response = prover.handle_command(IcapReadbackCommand(frame_index))
+            if not isinstance(response, ReadbackResponse):
+                raise ProtocolError(
+                    f"prover returned {type(response).__name__} to ICAP_readback"
+                )
+            tick(ProtocolAction.A4)
+            tick(ProtocolAction.A6)
+            tick(ProtocolAction.A8)
+            readback_ns += elapsed - start
+            responses.append(response)
+            trace.record(start, "ICAP_readback", "vrf->prv", f"frame {frame_index}")
+
+    # -- checksum exchange (Figure 9, bottom) ----------------------------------
+    start = elapsed
+    tick(ProtocolAction.A9)
+    checksum_response = prover.handle_command(MacChecksumCommand())
+    if not isinstance(checksum_response, MacChecksumResponse):
+        raise ProtocolError(
+            f"prover returned {type(checksum_response).__name__} to MAC_checksum"
+        )
+    tick(ProtocolAction.A7)
+    tick(ProtocolAction.A10)
+    checksum_ns = elapsed - start
+    trace.record(start, "MAC_checksum", "vrf->prv")
+    trace.record(elapsed, "MAC_response", "prv->vrf")
+
+    # -- verdict -------------------------------------------------------------------
+    counts = ActionCounts(
+        config_steps=len(config_commands),
+        readback_steps=readback_commands or len(plan),
+    )
+    network_ns = options.network.overhead_ns(counts)
+    if options.mask_at_prover:
+        report = verifier.evaluate_masked(nonce, plan, checksum_response.tag)
+    else:
+        report = verifier.evaluate(nonce, plan, responses, checksum_response.tag)
+    report.config_steps = len(config_commands)
+    report.nonce = nonce
+    report.timing = TimingBreakdown(
+        config_ns=config_ns,
+        readback_ns=readback_ns,
+        checksum_ns=checksum_ns,
+        network_overhead_ns=network_ns,
+    )
+    report.trace = trace if options.record_trace else None
+    return SessionResult(
+        report=report,
+        nonce=nonce,
+        plan=plan,
+        responses=responses,
+        tag=checksum_response.tag,
+    )
+
+
+def attest(
+    prover: SachaProver,
+    verifier: SachaVerifier,
+    rng: Optional[DeterministicRng] = None,
+    options: SessionOptions = SessionOptions(),
+) -> AttestationReport:
+    """Convenience wrapper returning just the report."""
+    return run_attestation(prover, verifier, rng, options).report

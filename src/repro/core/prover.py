@@ -1,0 +1,218 @@
+"""The SACHa prover: the protocol engine of the static partition.
+
+This is the software model of what the StatPart hardware does (Figure
+10): receive commands from the ETH core, drive the ICAP, stream readback
+frames through the AES-CMAC core, and send responses.  It holds *no*
+protocol intelligence beyond that — all sequencing decisions belong to
+the verifier, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+from repro.crypto.cmac import AesCmac
+from repro.errors import ProtocolError
+from repro.fpga.board import Board
+from repro.fpga.puf import PufKeySlot, SramPuf
+from repro.net.messages import (
+    Command,
+    IcapConfigCommand,
+    IcapReadbackCommand,
+    IcapReadbackMaskedCommand,
+    IcapReadbackRangeCommand,
+    MacChecksumCommand,
+    MacChecksumResponse,
+    MaskedReadbackAck,
+    ReadbackRangeResponse,
+    ReadbackResponse,
+    Response,
+)
+from repro.utils.rng import DeterministicRng
+
+
+class KeyProvider(abc.ABC):
+    """Where the prover's MAC key comes from (Section 5.2.1)."""
+
+    @abc.abstractmethod
+    def mac_key(self) -> bytes:
+        """The 128-bit AES-CMAC key."""
+
+
+class RegisterKey(KeyProvider):
+    """Proof-of-concept option: a key register in the StatPart."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ProtocolError(f"MAC key must be 16 bytes, got {len(key)}")
+        self._key = bytes(key)
+
+    def mac_key(self) -> bytes:
+        return self._key
+
+
+class PufDerivedKey(KeyProvider):
+    """Foolproof option: re-derive the key from the on-chip PUF.
+
+    The key never exists outside the device; each derivation re-runs the
+    fuzzy extractor on a fresh noisy PUF read.
+    """
+
+    def __init__(self, puf: SramPuf, slot: PufKeySlot, rng: DeterministicRng) -> None:
+        self._puf = puf
+        self._slot = slot
+        self._rng = rng
+
+    def mac_key(self) -> bytes:
+        return self._slot.derive_key(self._puf, self._rng)
+
+
+class ChecksumEngine(abc.ABC):
+    """One attestation run's incremental checksum (MAC or signature)."""
+
+    @abc.abstractmethod
+    def update(self, data: bytes) -> None:
+        """Fold one readback frame into the checksum (action A6)."""
+
+    @abc.abstractmethod
+    def finalize(self) -> bytes:
+        """Produce the transcript authenticator (action A7/A10)."""
+
+
+class CmacEngine(ChecksumEngine):
+    """The paper's checksum: AES-CMAC under the shared key."""
+
+    def __init__(self, key: bytes) -> None:
+        self._mac = AesCmac(key)
+
+    def update(self, data: bytes) -> None:
+        self._mac.update(data)
+
+    def finalize(self) -> bytes:
+        return self._mac.finalize()
+
+
+class SachaProver:
+    """Command handler bound to one board.
+
+    The prover is *stateless between commands* except for the incremental
+    MAC: ``ICAP_readback`` lazily initializes it (Init MAC_K, action A5)
+    and ``MAC_checksum`` finalizes and clears it, so each attestation run
+    starts fresh.
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        key_provider: KeyProvider,
+        device_id: str = "prv-0",
+    ) -> None:
+        self.board = board
+        self.device_id = device_id
+        self._key_provider = key_provider
+        self._mac: Optional[ChecksumEngine] = None
+        self.configs_handled = 0
+        self.readbacks_handled = 0
+        self.checksums_handled = 0
+
+    def _new_checksum(self) -> ChecksumEngine:
+        """Init MAC_K (A5).  Subclasses may substitute another engine
+        (e.g. the Section-8 signature extension)."""
+        return CmacEngine(self._key_provider.mac_key())
+
+    @property
+    def mac_in_progress(self) -> bool:
+        return self._mac is not None
+
+    def handle_command(self, command: Command) -> Optional[Response]:
+        """Dispatch one verifier command; returns the response, if any."""
+        if not self.board.powered_on:
+            raise ProtocolError("prover board is not powered on")
+        if isinstance(command, IcapConfigCommand):
+            self.handle_config(command.frame_index, command.data)
+            return None
+        if isinstance(command, IcapReadbackCommand):
+            data = self.handle_readback(command.frame_index)
+            return ReadbackResponse(frame_index=command.frame_index, data=data)
+        if isinstance(command, IcapReadbackMaskedCommand):
+            self.handle_readback_masked(command.frame_index, command.mask)
+            return MaskedReadbackAck(frame_index=command.frame_index)
+        if isinstance(command, IcapReadbackRangeCommand):
+            data = self.handle_readback_range(command.start_index, command.count)
+            return ReadbackRangeResponse(start_index=command.start_index, data=data)
+        if isinstance(command, MacChecksumCommand):
+            return MacChecksumResponse(tag=self.handle_checksum())
+        raise ProtocolError(f"prover cannot handle {type(command).__name__}")
+
+    def handle_config(self, frame_index: int, data: bytes) -> None:
+        """ICAP_config: write one frame into the configuration memory."""
+        self.board.fpga.icap.write_frame(frame_index, data)
+        self.configs_handled += 1
+
+    def handle_readback(self, frame_index: int) -> bytes:
+        """ICAP_readback: read one frame, fold it into the MAC, return it.
+
+        The first readback of a run initializes the MAC (A5); every
+        readback performs one MAC update step (A6) and sends the frame
+        content back (A8) so the verifier can apply the Msk.
+        """
+        if self._mac is None:
+            self._mac = self._new_checksum()
+        data = self.board.fpga.icap.readback_frame(frame_index)
+        self._mac.update(data)
+        self.readbacks_handled += 1
+        return data
+
+    def handle_readback_range(self, start_index: int, count: int) -> bytes:
+        """Batched readback: ``count`` consecutive frames, one response.
+
+        Each frame still gets its own ICAP readback and MAC update — the
+        batching only amortizes the command/response round trips.
+        """
+        if count < 1:
+            raise ProtocolError(f"batch count must be positive, got {count}")
+        chunks = []
+        for frame_index in range(start_index, start_index + count):
+            chunks.append(self.handle_readback(frame_index))
+        return b"".join(chunks)
+
+    def handle_readback_masked(self, frame_index: int, mask: bytes) -> None:
+        """The Section-6.1 alternative: mask before the MAC step.
+
+        The verifier supplies the ``Msk`` for the frame; the prover
+        clears the masked (register) bits and folds the *masked* frame
+        into the MAC.  No frame content is sent back.
+        """
+        if self._mac is None:
+            self._mac = self._new_checksum()
+        data = self.board.fpga.icap.readback_frame(frame_index)
+        if len(mask) != len(data):
+            raise ProtocolError(
+                f"mask of {len(mask)} bytes does not match the "
+                f"{len(data)}-byte frame"
+            )
+        masked = bytes(
+            frame_byte & ~mask_byte & 0xFF
+            for frame_byte, mask_byte in zip(data, mask)
+        )
+        self._mac.update(masked)
+        self.readbacks_handled += 1
+
+    def handle_checksum(self) -> bytes:
+        """MAC_checksum: finalize (A7) and return the tag (A10)."""
+        if self._mac is None:
+            raise ProtocolError(
+                "MAC_checksum before any ICAP_readback: nothing to finalize"
+            )
+        tag = self._mac.finalize()
+        self._mac = None
+        self.checksums_handled += 1
+        return tag
+
+    def abort_run(self) -> None:
+        """Drop any in-progress MAC (e.g. the verifier timed out)."""
+        self._mac = None
+
+
+ProverLike = Union[SachaProver]

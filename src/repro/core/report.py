@@ -1,0 +1,91 @@
+"""Attestation outcomes.
+
+The verifier's verdict separates the two checks of the protocol
+(Figure 9): the MAC comparison ``H_Prv == H_Vrf`` (origin and transport
+integrity) and the masked configuration comparison ``B_Prv == B_Vrf``
+(the configuration is the intended one).  Both must pass for the prover
+to be attested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.tracing import TraceRecorder
+from repro.utils.units import format_time_ns
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Where the protocol time went, per the Table 3/4 decomposition."""
+
+    config_ns: float
+    readback_ns: float
+    checksum_ns: float
+    network_overhead_ns: float
+
+    @property
+    def theoretical_ns(self) -> float:
+        return self.config_ns + self.readback_ns + self.checksum_ns
+
+    @property
+    def total_ns(self) -> float:
+        return self.theoretical_ns + self.network_overhead_ns
+
+    def summary(self) -> str:
+        return (
+            f"config {format_time_ns(self.config_ns)}, "
+            f"readback {format_time_ns(self.readback_ns)}, "
+            f"checksum {format_time_ns(self.checksum_ns)}, "
+            f"network {format_time_ns(self.network_overhead_ns)} "
+            f"=> total {format_time_ns(self.total_ns)}"
+        )
+
+
+@dataclass
+class AttestationReport:
+    """Everything the verifier concluded from one protocol run."""
+
+    mac_valid: bool
+    config_match: bool
+    mismatched_frames: List[int] = field(default_factory=list)
+    config_steps: int = 0
+    readback_steps: int = 0
+    nonce: bytes = b""
+    timing: Optional[TimingBreakdown] = None
+    trace: Optional[TraceRecorder] = None
+    failure_reason: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        """The overall verdict: prover attested."""
+        return self.mac_valid and self.config_match
+
+    def explain(self) -> str:
+        if self.accepted:
+            lines = [
+                "ATTESTED: MAC valid and configuration matches the golden "
+                "reference",
+            ]
+        else:
+            reasons = []
+            if not self.mac_valid:
+                reasons.append("MAC mismatch (H_Prv != H_Vrf)")
+            if not self.config_match:
+                count = len(self.mismatched_frames)
+                preview = ", ".join(str(f) for f in self.mismatched_frames[:5])
+                suffix = ", ..." if count > 5 else ""
+                reasons.append(
+                    f"configuration mismatch in {count} frame(s) "
+                    f"[{preview}{suffix}]"
+                )
+            if self.failure_reason:
+                reasons.append(self.failure_reason)
+            lines = ["REJECTED: " + "; ".join(reasons)]
+        lines.append(
+            f"steps: {self.config_steps} config, {self.readback_steps} readback"
+        )
+        if self.timing is not None:
+            lines.append("timing: " + self.timing.summary())
+        return "\n".join(lines)

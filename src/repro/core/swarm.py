@@ -1,0 +1,148 @@
+"""Swarm attestation: a fleet of SACHa provers under one verifier.
+
+Section 4.2 notes that hybrid schemes aim at large-scale "swarm"
+attestation of device fleets.  SACHa composes naturally: each board
+attests independently, so a fleet can be swept sequentially (one
+verifier, one network) or in parallel (per-device verifier instances).
+The swarm report aggregates verdicts and localizes compromised devices
+down to their mismatching frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.protocol import SessionOptions, run_attestation
+from repro.core.prover import SachaProver
+from repro.core.report import AttestationReport
+from repro.core.verifier import SachaVerifier
+from repro.errors import ProtocolError
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class SwarmMember:
+    """One enrolled device of the fleet."""
+
+    device_id: str
+    prover: SachaProver
+    verifier: SachaVerifier
+
+
+@dataclass
+class SwarmReport:
+    """Aggregate verdict over the fleet."""
+
+    results: Dict[str, AttestationReport] = field(default_factory=dict)
+    sequential_ns: float = 0.0
+    parallel_ns: float = 0.0
+
+    @property
+    def healthy(self) -> List[str]:
+        return sorted(
+            device_id
+            for device_id, report in self.results.items()
+            if report.accepted
+        )
+
+    @property
+    def compromised(self) -> List[str]:
+        return sorted(
+            device_id
+            for device_id, report in self.results.items()
+            if not report.accepted
+        )
+
+    @property
+    def all_healthy(self) -> bool:
+        return not self.compromised
+
+    def localize(self) -> Dict[str, List[int]]:
+        """Mismatching frames per compromised device."""
+        return {
+            device_id: self.results[device_id].mismatched_frames
+            for device_id in self.compromised
+        }
+
+    def explain(self) -> str:
+        lines = [
+            f"swarm of {len(self.results)}: {len(self.healthy)} healthy, "
+            f"{len(self.compromised)} compromised"
+        ]
+        for device_id in self.compromised:
+            frames = self.results[device_id].mismatched_frames
+            reason = (
+                f"frames {frames[:5]}" if frames else "MAC invalid"
+            )
+            lines.append(f"  - {device_id}: {reason}")
+        lines.append(
+            f"sweep time: {self.sequential_ns / 1e9:.3f} s sequential, "
+            f"{self.parallel_ns / 1e9:.3f} s parallel"
+        )
+        return "\n".join(lines)
+
+
+class SwarmAttestation:
+    """Drives one attestation sweep over a fleet."""
+
+    def __init__(self, members: List[SwarmMember]) -> None:
+        if not members:
+            raise ProtocolError("a swarm needs at least one member")
+        seen = set()
+        for member in members:
+            if member.device_id in seen:
+                raise ProtocolError(
+                    f"duplicate device id {member.device_id!r} in swarm"
+                )
+            seen.add(member.device_id)
+        self._members = list(members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def run(
+        self,
+        rng: DeterministicRng,
+        options: SessionOptions = SessionOptions(),
+        on_result: Callable[[str, AttestationReport], None] = None,
+    ) -> SwarmReport:
+        """Attest every member; independent nonces and readback orders.
+
+        ``sequential_ns`` models one verifier sweeping the fleet member
+        by member; ``parallel_ns`` models per-device verifiers running
+        concurrently (the slowest member bounds the sweep).
+        """
+        report = SwarmReport()
+        durations: List[float] = []
+        for member in self._members:
+            result = run_attestation(
+                member.prover,
+                member.verifier,
+                rng.fork(member.device_id),
+                options,
+            )
+            report.results[member.device_id] = result.report
+            duration = result.report.timing.total_ns if result.report.timing else 0.0
+            durations.append(duration)
+            if on_result is not None:
+                on_result(member.device_id, result.report)
+        report.sequential_ns = sum(durations)
+        report.parallel_ns = max(durations) if durations else 0.0
+        return report
+
+
+def build_swarm(
+    make_member: Callable[[int], Tuple[str, SachaProver, SachaVerifier]],
+    count: int,
+) -> SwarmAttestation:
+    """Construct a swarm from a member factory (index → member parts)."""
+    if count <= 0:
+        raise ProtocolError(f"swarm size must be positive, got {count}")
+    members = []
+    for index in range(count):
+        device_id, prover, verifier = make_member(index)
+        members.append(
+            SwarmMember(device_id=device_id, prover=prover, verifier=verifier)
+        )
+    return SwarmAttestation(members)

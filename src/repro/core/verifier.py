@@ -1,0 +1,232 @@
+"""The SACHa verifier.
+
+The verifier owns every decision in the protocol: which frames to
+configure (the intended application plus a fresh nonce), the readback
+order, and the final two-part verdict — the MAC comparison and the
+masked golden-configuration comparison (Figure 9, right-hand side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.crypto.cmac import AesCmac
+from repro.design.sacha_design import SachaSystemDesign
+from repro.errors import VerificationError
+from repro.core.orders import ReadbackOrder, default_order
+from repro.core.report import AttestationReport
+from repro.net.messages import IcapConfigCommand, ReadbackResponse
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class VerifierPolicy:
+    """Checks the verifier enforces beyond the two comparisons."""
+
+    require_full_coverage: bool = True
+    require_frame_echo: bool = True  # responses must echo requested indices
+    max_readback_steps: Optional[int] = None
+
+    def validate_order(self, sequence: Sequence[int], total_frames: int) -> None:
+        if self.max_readback_steps is not None and len(sequence) > self.max_readback_steps:
+            raise VerificationError(
+                f"readback plan of {len(sequence)} steps exceeds the "
+                f"policy limit {self.max_readback_steps}"
+            )
+
+
+class SachaVerifier:
+    """One verifier instance bound to one enrolled prover device."""
+
+    def __init__(
+        self,
+        system: SachaSystemDesign,
+        key: bytes,
+        rng: DeterministicRng,
+        order: Optional[ReadbackOrder] = None,
+        policy: VerifierPolicy = VerifierPolicy(),
+        attest_live_state: bool = False,
+    ) -> None:
+        if len(key) != 16:
+            raise VerificationError(f"MAC key must be 16 bytes, got {len(key)}")
+        self.system = system
+        self._key = bytes(key)
+        self._rng = rng
+        self._order = order or default_order(rng.fork("readback-order"))
+        self._policy = policy
+        #: Future-work mode (Section 8): attest the live register state
+        #: too — no mask is applied, and the verifier must know the
+        #: expected register values.
+        self.attest_live_state = attest_live_state
+
+    @property
+    def device_total_frames(self) -> int:
+        return self.system.device.total_frames
+
+    # -- challenge construction -------------------------------------------------
+
+    def new_nonce(self) -> bytes:
+        """A fresh nonce for the dynamic configuration step."""
+        return self._rng.randbytes(self.system.nonce_bytes)
+
+    def config_commands(self, nonce: bytes) -> List[IcapConfigCommand]:
+        """The dynamic-configuration phase of Figure 9.
+
+        First the intended application (frame m .. frame n), then the
+        nonce — two separate configuration steps, covering the *entire*
+        DynMem.
+        """
+        commands: List[IcapConfigCommand] = []
+        app_impl = self.system.app_impl
+        for frame_index in app_impl.region_frames:
+            commands.append(
+                IcapConfigCommand(
+                    frame_index=frame_index,
+                    data=app_impl.frame_content[frame_index],
+                )
+            )
+        from repro.design.bitgen import nonce_frame_content
+
+        for frame_index in self.system.partition.nonce_frame_list():
+            commands.append(
+                IcapConfigCommand(
+                    frame_index=frame_index,
+                    data=nonce_frame_content(nonce, self.system.device),
+                )
+            )
+        return commands
+
+    def readback_plan(self) -> List[int]:
+        """The frame sequence for the full-configuration readback."""
+        sequence = (
+            self._order.validate(self.device_total_frames)
+            if self._policy.require_full_coverage
+            else self._order.frame_sequence(self.device_total_frames)
+        )
+        self._policy.validate_order(sequence, self.device_total_frames)
+        return sequence
+
+    # -- verdict -------------------------------------------------------------------
+
+    def expected_mac(
+        self, responses: Sequence[ReadbackResponse]
+    ) -> bytes:
+        """H_Vrf: the MAC over the configuration *as received*."""
+        mac = AesCmac(self._key)
+        for response in responses:
+            mac.update(response.data)
+        return mac.finalize()
+
+    def _check_authenticity(
+        self, responses: Sequence[ReadbackResponse], tag: bytes
+    ) -> bool:
+        """H_Prv == H_Vrf.  Subclasses may substitute another mechanism
+        (e.g. the Section-8 signature extension)."""
+        return self.expected_mac(responses) == tag
+
+    # -- masked-readback variant (Section 6.1 alternative) --------------------
+
+    def masked_readback_commands(self, plan: Sequence[int]):
+        """The ``ICAP_readback(frame, Msk)`` commands of the variant."""
+        from repro.net.messages import IcapReadbackMaskedCommand
+
+        mask = self.system.combined_mask()
+        return [
+            IcapReadbackMaskedCommand(
+                frame_index=frame_index, mask=mask.frame_mask(frame_index)
+            )
+            for frame_index in plan
+        ]
+
+    def expected_masked_mac(self, nonce: bytes, plan: Sequence[int]) -> bytes:
+        """MAC over the *masked golden* configuration in plan order."""
+        golden = self.system.golden_memory(nonce)
+        mask = self.system.combined_mask()
+        mac = AesCmac(self._key)
+        for frame_index in plan:
+            mac.update(
+                mask.apply_to_frame(frame_index, golden.read_frame(frame_index))
+            )
+        return mac.finalize()
+
+    def evaluate_masked(
+        self, nonce: bytes, plan: Sequence[int], tag: bytes
+    ) -> AttestationReport:
+        """The variant's verdict: one comparison carries both checks.
+
+        Because the prover masks before MACing, a matching tag proves
+        both origin *and* configuration correctness — but a mismatch can
+        no longer be localized to frames (nothing was sent back), the
+        variant's trade-off.
+        """
+        report = AttestationReport(
+            mac_valid=False,
+            config_match=False,
+            nonce=nonce,
+            readback_steps=len(plan),
+        )
+        matched = self.expected_masked_mac(nonce, plan) == tag
+        report.mac_valid = matched
+        report.config_match = matched
+        if not matched:
+            report.failure_reason = (
+                "masked-readback MAC mismatch (no frame localization "
+                "available in this variant)"
+            )
+        return report
+
+    def evaluate(
+        self,
+        nonce: bytes,
+        plan: Sequence[int],
+        responses: Sequence[ReadbackResponse],
+        tag: bytes,
+    ) -> AttestationReport:
+        """The two comparisons of Figure 9 plus policy checks."""
+        report = AttestationReport(
+            mac_valid=False,
+            config_match=False,
+            nonce=nonce,
+            readback_steps=len(responses),
+        )
+
+        if len(responses) != len(plan):
+            report.failure_reason = (
+                f"expected {len(plan)} readback responses, got {len(responses)}"
+            )
+            return report
+        if self._policy.require_frame_echo:
+            for requested, response in zip(plan, responses):
+                if response.frame_index != requested:
+                    report.failure_reason = (
+                        f"prover answered frame {response.frame_index} "
+                        f"when frame {requested} was requested"
+                    )
+                    return report
+
+        # Check 1: H_Prv == H_Vrf over the received data.
+        report.mac_valid = self._check_authenticity(responses, tag)
+
+        # Check 2: masked received configuration == masked golden.  In
+        # live-state mode (Section 8 future work) the received data stays
+        # unmasked — the register state is attested too — and the golden
+        # side carries the *expected* state (reset values, i.e. masked
+        # positions cleared).  A running application whose registers have
+        # drifted from the expected state therefore fails, which is why
+        # the extension needs expected-state tracking.
+        golden = self.system.golden_memory(nonce)
+        mask = self.system.combined_mask()
+        mismatched: List[int] = []
+        for response in responses:
+            expected = mask.apply_to_frame(
+                response.frame_index, golden.read_frame(response.frame_index)
+            )
+            received = response.data
+            if not self.attest_live_state:
+                received = mask.apply_to_frame(response.frame_index, received)
+            if expected != received and response.frame_index not in mismatched:
+                mismatched.append(response.frame_index)
+        report.mismatched_frames = sorted(mismatched)
+        report.config_match = not mismatched
+        return report

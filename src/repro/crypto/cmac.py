@@ -1,0 +1,77 @@
+"""AES-CMAC (RFC 4493 / NIST SP 800-38B), with incremental steps.
+
+The SACHa prover computes the MAC of the configuration memory in 28,488
+per-frame steps: ``Init MAC_K``, one ``Update MAC_K`` per frame read back,
+and a ``finalize MAC_K`` when the verifier sends the ``MAC_checksum``
+command (Figure 9).  :class:`AesCmac` mirrors exactly that structure.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import BLOCK_SIZE, Aes
+from repro.utils.bitops import xor_bytes
+
+_MSB = 0x80
+_RB = 0x87  # the constant R_128 from RFC 4493
+
+
+def _double(block: bytes) -> bytes:
+    """Multiply by x in GF(2^128) as defined for CMAC subkeys."""
+    value = int.from_bytes(block, "big")
+    value <<= 1
+    if value >> 128:
+        value = (value & ((1 << 128) - 1)) ^ _RB
+    return value.to_bytes(BLOCK_SIZE, "big")
+
+
+class AesCmac:
+    """Incremental AES-CMAC.
+
+    Usage mirrors the hardware core::
+
+        mac = AesCmac(key)          # Init MAC_K
+        mac.update(frame_bytes)     # Update MAC_K, once per frame
+        tag = mac.finalize()        # finalize MAC_K
+
+    ``update`` may be called with arbitrary-length chunks; the result is
+    identical to one-shot CMAC over the concatenation (a property test in
+    ``tests/crypto`` checks this).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = Aes(key)
+        zero = self._aes.encrypt_block(bytes(BLOCK_SIZE))
+        self._k1 = _double(zero)
+        self._k2 = _double(self._k1)
+        self._state = bytes(BLOCK_SIZE)
+        self._buffer = b""
+        self._finalized = False
+
+    def update(self, data: bytes) -> "AesCmac":
+        if self._finalized:
+            raise ValueError("CMAC already finalized; create a new instance")
+        self._buffer += data
+        # Keep at least one byte buffered: the final block needs subkey
+        # treatment, so we may only absorb a block once we know more data
+        # follows it.
+        while len(self._buffer) > BLOCK_SIZE:
+            block, self._buffer = self._buffer[:BLOCK_SIZE], self._buffer[BLOCK_SIZE:]
+            self._state = self._aes.encrypt_block(xor_bytes(self._state, block))
+        return self
+
+    def finalize(self) -> bytes:
+        if self._finalized:
+            raise ValueError("CMAC already finalized; create a new instance")
+        self._finalized = True
+        block = self._buffer
+        if len(block) == BLOCK_SIZE:
+            last = xor_bytes(block, self._k1)
+        else:
+            padded = block + b"\x80" + bytes(BLOCK_SIZE - len(block) - 1)
+            last = xor_bytes(padded, self._k2)
+        return self._aes.encrypt_block(xor_bytes(self._state, last))
+
+
+def aes_cmac(key: bytes, message: bytes) -> bytes:
+    """One-shot AES-CMAC of ``message`` under ``key``."""
+    return AesCmac(key).update(message).finalize()

@@ -1,0 +1,36 @@
+"""Key derivation from PUF responses.
+
+The weak PUF in the SACHa architecture yields a noisy device-unique byte
+string; after error correction (see ``repro.fpga.puf``) the corrected
+response is hashed down to the 128-bit AES-CMAC key.  Derivation is
+domain-separated so the same response can yield independent keys for
+different purposes (MAC key, future signature key).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import sha256
+
+
+def derive_key(secret: bytes, label: str, length: int = 16) -> bytes:
+    """Derive ``length`` key bytes from ``secret`` for the given ``label``.
+
+    A simple counter-mode KDF over SHA-256: output block i is
+    ``SHA256(counter ‖ label ‖ secret)``.
+    """
+    if length <= 0:
+        raise ValueError(f"key length must be positive, got {length}")
+    if length > 255 * 32:
+        raise ValueError(f"requested key too long: {length} bytes")
+    label_bytes = label.encode("utf-8")
+    blocks = bytearray()
+    counter = 0
+    while len(blocks) < length:
+        blocks += sha256(bytes([counter]) + label_bytes + b"\x00" + secret)
+        counter += 1
+    return bytes(blocks[:length])
+
+
+def derive_mac_key(puf_response: bytes) -> bytes:
+    """The 128-bit AES-CMAC key from a corrected PUF response."""
+    return derive_key(puf_response, "sacha/mac-key", 16)

@@ -1,0 +1,51 @@
+"""Keystream / PRF utilities built on AES-CTR.
+
+Two consumers:
+
+* the Perito–Tsudik and Choi-style baselines fill the prover's bounded
+  memory with verifier-chosen pseudorandomness;
+* deterministic payload generation for workloads and attack harnesses.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import BLOCK_SIZE, Aes
+
+
+class AesCtrKeystream:
+    """AES-128 in counter mode used as a deterministic byte stream."""
+
+    def __init__(self, key: bytes, nonce: bytes = b"") -> None:
+        if len(nonce) > 8:
+            raise ValueError(f"nonce must be at most 8 bytes, got {len(nonce)}")
+        self._aes = Aes(key)
+        self._prefix = nonce + bytes(8 - len(nonce))
+        self._counter = 0
+        self._pending = b""
+
+    def read(self, count: int) -> bytes:
+        """Return the next ``count`` keystream bytes."""
+        if count < 0:
+            raise ValueError(f"cannot read {count} bytes")
+        out = bytearray()
+        if self._pending:
+            take = min(count, len(self._pending))
+            out += self._pending[:take]
+            self._pending = self._pending[take:]
+        while len(out) < count:
+            block = self._aes.encrypt_block(
+                self._prefix + self._counter.to_bytes(8, "big")
+            )
+            self._counter += 1
+            need = count - len(out)
+            if need >= BLOCK_SIZE:
+                out += block
+            else:
+                out += block[:need]
+                self._pending = block[need:]
+        return bytes(out)
+
+
+def prf_bytes(key: bytes, label: bytes, count: int) -> bytes:
+    """Deterministic ``count`` bytes bound to ``key`` and ``label``."""
+    return AesCtrKeystream(key, nonce=label[:8].ljust(8, b"\x00")).read(count)

@@ -1,0 +1,137 @@
+"""Schnorr signatures over a Schnorr group, implemented from scratch.
+
+Section 8 of the paper proposes "a signature mechanism ... when it is
+not possible to exchange a secret key between the prover and the
+verifier before deployment".  This module provides the primitive: a
+classic Schnorr signature over a prime-order subgroup of Z_p*, with
+deterministic (RFC-6979-style) nonces so signing needs no runtime
+randomness — the only secret is the PUF-derived private key.
+
+The group is the 2048-bit MODP group of RFC 3526 (order q = (p-1)/2,
+generator 4 = 2² generates the quadratic residues).  Parameters are
+fixed; no parameter negotiation exists in the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.sha256 import sha256
+
+#: RFC 3526, 2048-bit MODP group prime (a safe prime: p = 2q + 1).
+GROUP_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+GROUP_Q = (GROUP_P - 1) // 2
+GROUP_G = 4  # 2^2: generates the order-q subgroup of quadratic residues
+
+
+@dataclass(frozen=True)
+class SchnorrPublicKey:
+    """The verification key: y = g^x mod p."""
+
+    y: int
+
+    def encode(self) -> bytes:
+        return self.y.to_bytes(256, "big")
+
+
+@dataclass(frozen=True)
+class SchnorrKeyPair:
+    """A signing keypair."""
+
+    private: int
+    public: SchnorrPublicKey
+
+
+def keypair_from_seed(seed: bytes) -> SchnorrKeyPair:
+    """Derive a keypair deterministically from secret seed material.
+
+    In the SACHa extension the seed is the PUF-derived device secret, so
+    the private key — like the MAC key it replaces — exists only inside
+    the device and is never provisioned over any channel.
+    """
+    if not seed:
+        raise ValueError("keypair seed must be non-empty")
+    material = b""
+    counter = 0
+    while len(material) < 64:
+        material += sha256(bytes([counter]) + b"schnorr-key" + seed)
+        counter += 1
+    private = int.from_bytes(material[:64], "big") % (GROUP_Q - 1) + 1
+    public = SchnorrPublicKey(pow(GROUP_G, private, GROUP_P))
+    return SchnorrKeyPair(private=private, public=public)
+
+
+def _challenge(*parts: bytes) -> int:
+    """The 256-bit Fiat-Shamir challenge c = H(R ‖ y ‖ m)."""
+    blob = b""
+    for part in parts:
+        blob += len(part).to_bytes(4, "big") + part
+    return int.from_bytes(sha256(blob), "big")
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A signature (c, s): c = H(R ‖ y ‖ m), s = k − c·x mod q."""
+
+    c: int
+    s: int
+
+    def encode(self) -> bytes:
+        return self.c.to_bytes(32, "big") + self.s.to_bytes(256, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SchnorrSignature":
+        if len(data) != 32 + 256:
+            raise ValueError(f"signature must be 288 bytes, got {len(data)}")
+        return cls(
+            c=int.from_bytes(data[:32], "big"),
+            s=int.from_bytes(data[32:], "big"),
+        )
+
+
+def sign(keypair: SchnorrKeyPair, message: bytes) -> SchnorrSignature:
+    """Sign with a deterministic per-message nonce (no RNG on device)."""
+    nonce_material = b""
+    counter = 0
+    while len(nonce_material) < 64:
+        nonce_material += sha256(
+            bytes([counter])
+            + b"schnorr-nonce"
+            + keypair.private.to_bytes(256, "big")
+            + message
+        )
+        counter += 1
+    k = int.from_bytes(nonce_material[:64], "big") % (GROUP_Q - 1) + 1
+    commitment = pow(GROUP_G, k, GROUP_P)
+    c = _challenge(
+        commitment.to_bytes(256, "big"), keypair.public.encode(), message
+    )
+    s = (k - c * keypair.private) % GROUP_Q
+    return SchnorrSignature(c=c, s=s)
+
+
+def verify(
+    public: SchnorrPublicKey, message: bytes, signature: SchnorrSignature
+) -> bool:
+    """Check g^s · y^c == R and c == H(R ‖ y ‖ m)."""
+    if not 0 <= signature.c < (1 << 256) or not 0 <= signature.s < GROUP_Q:
+        return False
+    if not 1 < public.y < GROUP_P:
+        return False
+    commitment = (
+        pow(GROUP_G, signature.s, GROUP_P) * pow(public.y, signature.c, GROUP_P)
+    ) % GROUP_P
+    expected = _challenge(
+        commitment.to_bytes(256, "big"), public.encode(), message
+    )
+    return expected == signature.c

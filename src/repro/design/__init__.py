@@ -1,0 +1,77 @@
+"""Design layer: core library, netlists, placement, bit generation.
+
+Bridges the FPGA substrate and the SACHa protocol: turns the block
+diagram of the paper's Figure 10 into placed designs, configuration
+content, register maps and mask files.
+"""
+
+from repro.design.bitgen import Implementation, implement, nonce_frame_content
+from repro.design.cores import (
+    AES_CMAC_CORE,
+    APP_AES_ACCELERATOR,
+    APP_BLINKER,
+    APP_SOFTCORE,
+    CMD_BRAM,
+    CLOCK_INFRA,
+    CORE_LIBRARY,
+    ETH_CORE,
+    HEADER_FIFO,
+    ICAP_CONTROLLER,
+    KEY_STORE,
+    MALICIOUS_KEY_EXFIL,
+    MALICIOUS_TAP,
+    NONCE_REGISTER,
+    PUF_CORE,
+    RX_FSM,
+    STATIC_CORES,
+    TX_FSM,
+    CoreSpec,
+    get_core,
+    static_resources,
+)
+from repro.design.netlist import Design, Instance, design_from_cores
+from repro.design.placer import Placement, place
+from repro.design.sacha_design import (
+    SachaSystemDesign,
+    build_sacha_system,
+    build_static_design,
+    default_floorplan,
+    scaled_static_design,
+)
+
+__all__ = [
+    "Implementation",
+    "implement",
+    "nonce_frame_content",
+    "AES_CMAC_CORE",
+    "APP_AES_ACCELERATOR",
+    "APP_BLINKER",
+    "APP_SOFTCORE",
+    "CMD_BRAM",
+    "CLOCK_INFRA",
+    "CORE_LIBRARY",
+    "ETH_CORE",
+    "HEADER_FIFO",
+    "ICAP_CONTROLLER",
+    "KEY_STORE",
+    "MALICIOUS_KEY_EXFIL",
+    "MALICIOUS_TAP",
+    "NONCE_REGISTER",
+    "PUF_CORE",
+    "RX_FSM",
+    "STATIC_CORES",
+    "TX_FSM",
+    "CoreSpec",
+    "get_core",
+    "static_resources",
+    "Design",
+    "Instance",
+    "design_from_cores",
+    "Placement",
+    "place",
+    "SachaSystemDesign",
+    "build_sacha_system",
+    "build_static_design",
+    "default_floorplan",
+    "scaled_static_design",
+]

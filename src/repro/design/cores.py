@@ -1,0 +1,235 @@
+"""Hardware core library.
+
+Each :class:`CoreSpec` describes one block of the SACHa block diagram
+(Figure 10) or an application core for the dynamic partition: its
+resource cost, its storage-element (register) count — which determines
+how many readback bits the ``Msk`` must cover — and the clock domain it
+runs in.
+
+The StatPart budget reproduces Table 2 exactly: the static cores sum to
+1,400 CLBs and 72 BRAMs, with the AES-CMAC core (including its input
+FIFO) at 283 CLBs / 8 BRAMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.fpga.fabric import ResourceCount
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """One synthesizable core: cost, state size, clock domain."""
+
+    name: str
+    clb: int
+    bram: int = 0
+    iob: int = 0
+    dcm: int = 0
+    icap: int = 0
+    register_bits: int = 0
+    clock_domain: str = "RX"
+    description: str = ""
+
+    def resources(self) -> ResourceCount:
+        return ResourceCount(
+            clb=self.clb, bram=self.bram, iob=self.iob, dcm=self.dcm, icap=self.icap
+        )
+
+
+# ---------------------------------------------------------------------------
+# Static-partition cores (Figure 10).  CLB sum = 1,400; BRAM sum = 72.
+# ---------------------------------------------------------------------------
+
+ETH_CORE = CoreSpec(
+    name="eth_core",
+    clb=420,
+    bram=24,
+    iob=24,
+    register_bits=512,
+    clock_domain="RX",
+    description="Gigabit Ethernet MAC: one byte per 125 MHz cycle, RX + TX ports",
+)
+
+RX_FSM = CoreSpec(
+    name="rx_fsm",
+    clb=110,
+    register_bits=96,
+    clock_domain="RX",
+    description="Receive-side finite state machine: parses command packets",
+)
+
+TX_FSM = CoreSpec(
+    name="tx_fsm",
+    clb=125,
+    register_bits=112,
+    clock_domain="TX",
+    description="Transmit-side FSM: assembles response packets",
+)
+
+CMD_BRAM = CoreSpec(
+    name="cmd_bram",
+    clb=45,
+    bram=16,
+    register_bits=48,
+    clock_domain="RX",
+    description="BRAM command buffer: stores exactly one bitstream frame",
+)
+
+HEADER_FIFO = CoreSpec(
+    name="header_fifo",
+    clb=35,
+    bram=8,
+    register_bits=40,
+    clock_domain="TX",
+    description="FIFO holding the outgoing packet header",
+)
+
+AES_CMAC_CORE = CoreSpec(
+    name="aes_cmac",
+    clb=283,
+    bram=8,
+    register_bits=384,
+    clock_domain="TX",
+    description=(
+        "Low-area AES-128 CMAC core incl. its input FIFO "
+        "(283 CLBs / 8 BRAMs — the MAC row of Table 2)"
+    ),
+)
+
+ICAP_CONTROLLER = CoreSpec(
+    name="icap_ctrl",
+    clb=190,
+    icap=1,
+    register_bits=160,
+    clock_domain="ICAP",
+    description="ICAP sequencer: frame writes, readback, FAR management",
+)
+
+KEY_STORE = CoreSpec(
+    name="key_store",
+    clb=112,
+    bram=16,
+    register_bits=128,
+    clock_domain="TX",
+    description="Key register (proof of concept) or PUF + fuzzy extractor slot",
+)
+
+CLOCK_INFRA = CoreSpec(
+    name="clock_infra",
+    clb=80,
+    dcm=1,
+    register_bits=32,
+    clock_domain="ICAP",
+    description="DCM glue: derives the 125 MHz TX and 100 MHz ICAP clocks",
+)
+
+STATIC_CORES: Tuple[CoreSpec, ...] = (
+    ETH_CORE,
+    RX_FSM,
+    TX_FSM,
+    CMD_BRAM,
+    HEADER_FIFO,
+    AES_CMAC_CORE,
+    ICAP_CONTROLLER,
+    KEY_STORE,
+    CLOCK_INFRA,
+)
+
+# ---------------------------------------------------------------------------
+# Dynamic-partition cores.
+# ---------------------------------------------------------------------------
+
+NONCE_REGISTER = CoreSpec(
+    name="nonce_register",
+    clb=4,
+    register_bits=0,  # the nonce is *configuration* content, not live state
+    clock_domain="RX",
+    description="64-bit nonce, configured by the verifier as frame content",
+)
+
+PUF_CORE = CoreSpec(
+    name="puf_core",
+    clb=96,
+    register_bits=64,
+    clock_domain="TX",
+    description="Weak key-generating PUF shipped by the verifier (option 2)",
+)
+
+APP_BLINKER = CoreSpec(
+    name="app_blinker",
+    clb=12,
+    iob=2,
+    register_bits=36,
+    clock_domain="RX",
+    description="Minimal demo application: LED blinker",
+)
+
+APP_AES_ACCELERATOR = CoreSpec(
+    name="app_aes_accel",
+    clb=850,
+    bram=12,
+    register_bits=1024,
+    clock_domain="RX",
+    description="Representative application: pipelined AES accelerator",
+)
+
+APP_SOFTCORE = CoreSpec(
+    name="app_softcore",
+    clb=2400,
+    bram=64,
+    iob=8,
+    register_bits=4096,
+    clock_domain="RX",
+    description="Embedded soft-core processor (future-work scenario, Sec. 8)",
+)
+
+MALICIOUS_TAP = CoreSpec(
+    name="malicious_tap",
+    clb=64,
+    register_bits=80,
+    clock_domain="RX",
+    description="Adversarial core: taps internal signals and leaks them",
+)
+
+MALICIOUS_KEY_EXFIL = CoreSpec(
+    name="malicious_key_exfil",
+    clb=150,
+    bram=2,
+    iob=2,
+    register_bits=192,
+    clock_domain="TX",
+    description="Adversarial core: attempts to copy key material to pins",
+)
+
+CORE_LIBRARY: Dict[str, CoreSpec] = {
+    core.name: core
+    for core in STATIC_CORES
+    + (
+        NONCE_REGISTER,
+        PUF_CORE,
+        APP_BLINKER,
+        APP_AES_ACCELERATOR,
+        APP_SOFTCORE,
+        MALICIOUS_TAP,
+        MALICIOUS_KEY_EXFIL,
+    )
+}
+
+
+def get_core(name: str) -> CoreSpec:
+    try:
+        return CORE_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(CORE_LIBRARY))
+        raise KeyError(f"unknown core {name!r}; known cores: {known}") from None
+
+
+def static_resources() -> ResourceCount:
+    """Total resources of the StatPart design (the Table 2 row)."""
+    total = ResourceCount()
+    for core in STATIC_CORES:
+        total = total + core.resources()
+    return total

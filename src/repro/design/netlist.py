@@ -1,0 +1,100 @@
+"""Design netlists: named instances of library cores.
+
+A :class:`Design` is what the bit generator consumes: a set of core
+instances destined for one partition.  It knows its total resource cost
+and its total storage-element (register) bit count — the quantities the
+placer checks against region capacity and the mask generator covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.design.cores import CoreSpec
+from repro.errors import PlacementError
+from repro.fpga.fabric import ResourceCount
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One placed-able occurrence of a core."""
+
+    name: str
+    core: CoreSpec
+
+
+@dataclass
+class Design:
+    """A named collection of core instances."""
+
+    name: str
+    instances: List[Instance] = field(default_factory=list)
+
+    def add(self, core: CoreSpec, instance_name: str = "") -> "Design":
+        instance_name = instance_name or core.name
+        if any(existing.name == instance_name for existing in self.instances):
+            raise PlacementError(
+                f"design {self.name!r} already has an instance {instance_name!r}"
+            )
+        self.instances.append(Instance(instance_name, core))
+        return self
+
+    def remove(self, instance_name: str) -> "Design":
+        before = len(self.instances)
+        self.instances = [
+            instance for instance in self.instances if instance.name != instance_name
+        ]
+        if len(self.instances) == before:
+            raise PlacementError(
+                f"design {self.name!r} has no instance {instance_name!r}"
+            )
+        return self
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self.instances)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def resources(self) -> ResourceCount:
+        total = ResourceCount()
+        for instance in self.instances:
+            total = total + instance.core.resources()
+        return total
+
+    def register_bit_count(self) -> int:
+        return sum(instance.core.register_bits for instance in self.instances)
+
+    def resource_table(self) -> List[Tuple[str, Dict[str, int]]]:
+        """Per-instance resource summary (for reports)."""
+        return [
+            (instance.name, instance.core.resources().as_dict())
+            for instance in self.instances
+        ]
+
+    def content_signature(self) -> bytes:
+        """A stable byte signature of the netlist.
+
+        The bit generator derives frame content from this, so two
+        identical designs produce identical bitstreams and any netlist
+        change changes the configuration — the property tamper detection
+        relies on.
+        """
+        parts = [self.name.encode("utf-8")]
+        for instance in sorted(self.instances, key=lambda i: i.name):
+            core = instance.core
+            parts.append(
+                f"{instance.name}:{core.name}:{core.clb}:{core.bram}:{core.iob}:"
+                f"{core.dcm}:{core.icap}:{core.register_bits}:{core.clock_domain}"
+                .encode("utf-8")
+            )
+        return b"|".join(parts)
+
+
+def design_from_cores(name: str, cores: List[CoreSpec]) -> Design:
+    """Build a design with one instance per core."""
+    design = Design(name)
+    for core in cores:
+        design.add(core)
+    return design

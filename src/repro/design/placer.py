@@ -1,0 +1,187 @@
+"""A deterministic placer.
+
+The placer assigns every instance of a design a disjoint set of frames
+inside its target region and decides where the instance's storage-element
+bits sit inside those frames.  It is intentionally simple — frames are
+the placement unit, shares are proportional to resource cost — but it
+enforces the checks that matter for the reproduction:
+
+* the design's CLB/BRAM/IOB cost must fit the region's column capacity
+  (this is what makes the StatPart-malware attack fail: there is no room
+  in the 2,088-frame static region for extra logic);
+* register-bit positions are deterministic functions of the design, so
+  the generated ``Msk`` is stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.crypto.sha256 import sha256
+from repro.design.netlist import Design, Instance
+from repro.errors import PlacementError
+from repro.fpga.device import DevicePart
+from repro.fpga.fabric import Fabric, ResourceCount
+from repro.fpga.registers import RegisterBit
+
+
+@dataclass
+class Placement:
+    """The result of placing one design into one region."""
+
+    design: Design
+    device: DevicePart
+    region_frames: List[int]
+    frame_assignment: Dict[str, List[int]] = field(default_factory=dict)
+    register_positions: Dict[str, List[RegisterBit]] = field(default_factory=dict)
+
+    def all_register_positions(self) -> List[RegisterBit]:
+        positions: List[RegisterBit] = []
+        for instance_positions in self.register_positions.values():
+            positions.extend(instance_positions)
+        return sorted(positions)
+
+    def frames_of(self, instance_name: str) -> List[int]:
+        try:
+            return self.frame_assignment[instance_name]
+        except KeyError:
+            raise PlacementError(
+                f"instance {instance_name!r} is not placed"
+            ) from None
+
+    def used_frames(self) -> List[int]:
+        used: List[int] = []
+        for frames in self.frame_assignment.values():
+            used.extend(frames)
+        return sorted(used)
+
+    def unused_region_frames(self) -> List[int]:
+        used = set(self.used_frames())
+        return [frame for frame in self.region_frames if frame not in used]
+
+
+def _check_capacity(
+    design: Design, fabric: Fabric, region_frames: Sequence[int]
+) -> None:
+    need = design.resources()
+    region_capacity = fabric.capacity_of_frames(region_frames)
+    # CLB/BRAM/IOB live in the region's columns; DCM and ICAP are dedicated
+    # primitives checked against the whole device.
+    device_capacity = fabric.device_capacity()
+    shortfalls = []
+    if need.clb > region_capacity.clb:
+        shortfalls.append(f"CLB {need.clb} > {region_capacity.clb}")
+    if need.bram > region_capacity.bram:
+        shortfalls.append(f"BRAM {need.bram} > {region_capacity.bram}")
+    if need.iob > region_capacity.iob:
+        shortfalls.append(f"IOB {need.iob} > {region_capacity.iob}")
+    if need.dcm > device_capacity.dcm:
+        shortfalls.append(f"DCM {need.dcm} > {device_capacity.dcm}")
+    if need.icap > device_capacity.icap:
+        shortfalls.append(f"ICAP {need.icap} > {device_capacity.icap}")
+    if shortfalls:
+        raise PlacementError(
+            f"design {design.name!r} does not fit its region: "
+            + "; ".join(shortfalls)
+        )
+
+
+def _frame_shares(instances: List[Instance], frame_budget: int) -> List[int]:
+    """Proportional frame shares (largest-remainder method), each >= 1."""
+    weights = [max(1, instance.core.clb + 8 * instance.core.bram) for instance in instances]
+    total_weight = sum(weights)
+    if frame_budget < len(instances):
+        raise PlacementError(
+            f"region of {frame_budget} frames cannot hold "
+            f"{len(instances)} instances"
+        )
+    raw = [weight * frame_budget / total_weight for weight in weights]
+    shares = [max(1, int(value)) for value in raw]
+    remainders = sorted(
+        range(len(instances)),
+        key=lambda index: raw[index] - int(raw[index]),
+        reverse=True,
+    )
+    index = 0
+    while sum(shares) < frame_budget and index < len(remainders):
+        # Hand out leftover frames by largest remainder.  It is fine to
+        # leave frames unassigned (they become default-content fabric),
+        # but never to over-assign.
+        shares[remainders[index]] += 1
+        index += 1
+    while sum(shares) > frame_budget:
+        largest = max(range(len(shares)), key=lambda i: shares[i])
+        if shares[largest] == 1:
+            raise PlacementError("cannot shrink shares below one frame each")
+        shares[largest] -= 1
+    return shares
+
+
+def _register_bits_for(
+    instance: Instance,
+    frames: List[int],
+    device: DevicePart,
+    design_signature: bytes,
+) -> List[RegisterBit]:
+    """Deterministic storage-element positions within the instance frames."""
+    count = instance.core.register_bits
+    if count == 0:
+        return []
+    capacity = len(frames) * device.words_per_frame * 32
+    if count > capacity:
+        raise PlacementError(
+            f"instance {instance.name!r} needs {count} register bits but its "
+            f"{len(frames)} frames only hold {capacity}"
+        )
+    positions: List[RegisterBit] = []
+    seen = set()
+    counter = 0
+    seed = design_signature + instance.name.encode("utf-8")
+    bits_per_frame = device.words_per_frame * 32
+    while len(positions) < count:
+        digest = sha256(seed + counter.to_bytes(4, "big"))
+        counter += 1
+        for offset in range(0, len(digest) - 3, 4):
+            value = int.from_bytes(digest[offset : offset + 4], "big")
+            frame = frames[value % len(frames)]
+            bit_offset = (value // len(frames)) % bits_per_frame
+            key = (frame, bit_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            positions.append(
+                RegisterBit(
+                    frame_index=frame,
+                    word_index=bit_offset // 32,
+                    bit_index=bit_offset % 32,
+                )
+            )
+            if len(positions) == count:
+                break
+    return positions
+
+
+def place(design: Design, device: DevicePart, region_frames: Sequence[int]) -> Placement:
+    """Place ``design`` into the frames of one region."""
+    region = sorted(set(region_frames))
+    if not region:
+        raise PlacementError("cannot place into an empty region")
+    if len(design) == 0:
+        raise PlacementError(f"design {design.name!r} has no instances")
+    fabric = Fabric(device)
+    _check_capacity(design, fabric, region)
+
+    instances = sorted(design.instances, key=lambda instance: instance.name)
+    shares = _frame_shares(instances, len(region))
+    placement = Placement(design=design, device=device, region_frames=region)
+    signature = design.content_signature()
+    cursor = 0
+    for instance, share in zip(instances, shares):
+        frames = region[cursor : cursor + share]
+        cursor += share
+        placement.frame_assignment[instance.name] = frames
+        placement.register_positions[instance.name] = _register_bits_for(
+            instance, frames, device, signature
+        )
+    return placement

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the SACHa reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigMemoryError(ReproError):
+    """Invalid access to the FPGA configuration memory."""
+
+
+class FrameAddressError(ConfigMemoryError):
+    """A frame address is malformed or out of range for the device."""
+
+
+class BitstreamError(ReproError):
+    """A bitstream could not be encoded or decoded."""
+
+
+class BitstreamCrcError(BitstreamError):
+    """The CRC check of a bitstream packet stream failed."""
+
+
+class IcapError(ReproError):
+    """The ICAP primitive rejected an operation."""
+
+
+class PartitionError(ReproError):
+    """Partition layout violation (overlap, out of bounds, wrong region)."""
+
+
+class PlacementError(ReproError):
+    """The design does not fit into its target partition."""
+
+
+class FlashError(ReproError):
+    """Illegal BootMem operation (capacity, online programming, ...)."""
+
+
+class PufError(ReproError):
+    """PUF enrollment or key reconstruction failure."""
+
+
+class NetworkError(ReproError):
+    """Network substrate failure (malformed frame, channel down, ...)."""
+
+
+class WireFormatError(NetworkError):
+    """A SACHa command or response could not be (de)serialized."""
+
+
+class ProtocolError(ReproError):
+    """The attestation protocol was driven out of order or timed out."""
+
+
+class ProvisioningError(ReproError):
+    """Pre-deployment provisioning failed (enrollment, golden registration)."""
+
+
+class AttackError(ReproError):
+    """An attack harness was configured inconsistently."""
+
+
+class VerificationError(ReproError):
+    """The verifier could not reach a verdict (missing golden data, ...)."""

@@ -1,0 +1,126 @@
+"""FPGA substrate: device geometry, configuration memory, ICAP, bitstreams.
+
+Everything the SACHa architecture stands on: a frame-accurate model of an
+SRAM-based FPGA (primary part: the paper's Xilinx Virtex-6 XC6VLX240T),
+partial reconfiguration and configuration readback through the ICAP, the
+bitstream/mask toolchain, the boot flash, the PUF and the clocking.
+"""
+
+from repro.fpga.bitstream import (
+    Bitstream,
+    BitstreamHeader,
+    BitstreamLoader,
+    BitstreamWriter,
+    ConfigCommand,
+    ConfigRegister,
+    LoadReport,
+    build_full_bitstream,
+    build_partial_bitstream,
+)
+from repro.fpga.board import Board, Fpga
+from repro.fpga.bram import BoundedMemoryCheck, BramInventory
+from repro.fpga.clocking import ClockDomain, Dcm, sacha_clocking
+from repro.fpga.compression import (
+    CompressionReport,
+    compress_frames,
+    compress_words,
+    decompress_words,
+)
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.device import (
+    SIM_MEDIUM,
+    SIM_SMALL,
+    XC6VLX240T,
+    ColumnSpec,
+    DevicePart,
+    TileType,
+    catalog,
+    get_part,
+)
+from repro.fpga.fabric import Fabric, ResourceCount
+from repro.fpga.flash import BootMem
+from repro.fpga.frames import (
+    BLOCK_TYPE_BRAM_CONTENT,
+    BLOCK_TYPE_CONFIG,
+    FarCodec,
+    FrameAddress,
+)
+from repro.fpga.icap import Icap, IcapStats
+from repro.fpga.jtag import JtagPort
+from repro.fpga.mask import MaskFile, mask_from_registers
+from repro.fpga.partitions import (
+    PartitionMap,
+    column_floorplan,
+    partition_ratio,
+    sacha_floorplan,
+    sacha_virtex6_floorplan,
+)
+from repro.fpga.puf import (
+    FuzzyExtractor,
+    HelperData,
+    PufKeySlot,
+    SramPuf,
+    enroll_device,
+)
+from repro.fpga.registers import LiveRegisterFile, RegisterBit
+from repro.fpga.scrubbing import Scrubber, ScrubReport, SeuEvent, SeuInjector
+
+__all__ = [
+    "Bitstream",
+    "BitstreamHeader",
+    "BitstreamLoader",
+    "BitstreamWriter",
+    "ConfigCommand",
+    "ConfigRegister",
+    "LoadReport",
+    "build_full_bitstream",
+    "build_partial_bitstream",
+    "Board",
+    "Fpga",
+    "BoundedMemoryCheck",
+    "BramInventory",
+    "ClockDomain",
+    "Dcm",
+    "sacha_clocking",
+    "CompressionReport",
+    "compress_frames",
+    "compress_words",
+    "decompress_words",
+    "ConfigurationMemory",
+    "SIM_MEDIUM",
+    "SIM_SMALL",
+    "XC6VLX240T",
+    "ColumnSpec",
+    "DevicePart",
+    "TileType",
+    "catalog",
+    "get_part",
+    "Fabric",
+    "ResourceCount",
+    "BootMem",
+    "BLOCK_TYPE_BRAM_CONTENT",
+    "BLOCK_TYPE_CONFIG",
+    "FarCodec",
+    "FrameAddress",
+    "Icap",
+    "IcapStats",
+    "JtagPort",
+    "MaskFile",
+    "mask_from_registers",
+    "PartitionMap",
+    "column_floorplan",
+    "partition_ratio",
+    "sacha_floorplan",
+    "sacha_virtex6_floorplan",
+    "FuzzyExtractor",
+    "HelperData",
+    "PufKeySlot",
+    "SramPuf",
+    "enroll_device",
+    "LiveRegisterFile",
+    "RegisterBit",
+    "Scrubber",
+    "ScrubReport",
+    "SeuEvent",
+    "SeuInjector",
+]

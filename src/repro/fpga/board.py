@@ -1,0 +1,83 @@
+"""The prover board: FPGA + BootMem + clocks + network port.
+
+``Fpga`` bundles the live state of the chip (configuration memory, live
+registers, ICAP, PUF).  ``Board`` adds the off-chip parts of the system
+model (Figure 6): the boot flash and the power-on flow that loads StatMem
+from BootMem — the only thing that happens without the verifier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FlashError
+from repro.fpga.bitstream import Bitstream, BitstreamLoader, LoadReport
+from repro.fpga.clocking import ClockDomain, sacha_clocking
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.device import DevicePart
+from repro.fpga.flash import BootMem
+from repro.fpga.icap import Icap
+from repro.fpga.puf import SramPuf
+from repro.fpga.registers import LiveRegisterFile
+
+
+class Fpga:
+    """One FPGA chip: fabric state and its internal access ports."""
+
+    def __init__(
+        self,
+        device: DevicePart,
+        puf: Optional[SramPuf] = None,
+    ) -> None:
+        self._device = device
+        self.memory = ConfigurationMemory(device)
+        self.registers = LiveRegisterFile(device)
+        self.icap = Icap(self.memory, self.registers)
+        self.puf = puf
+        self.clocks = sacha_clocking()
+
+    @property
+    def device(self) -> DevicePart:
+        return self._device
+
+    def clock(self, name: str) -> ClockDomain:
+        return self.clocks[name]
+
+
+class Board:
+    """The deployed embedded system on the prover's side."""
+
+    def __init__(
+        self,
+        fpga: Fpga,
+        boot_mem: BootMem,
+    ) -> None:
+        self.fpga = fpga
+        self.boot_mem = boot_mem
+        self.powered_on = False
+        self.boot_report: Optional[LoadReport] = None
+
+    def power_on(self) -> LoadReport:
+        """Cold boot: load the static bitstream from BootMem into StatMem.
+
+        SRAM configuration memory is volatile, so the chip comes up blank;
+        the boot controller streams the BootMem image into the
+        configuration logic.  Everything outside the static bitstream's
+        frames (the whole DynMem) stays blank until the verifier
+        configures it.
+        """
+        if not self.boot_mem.is_programmed:
+            raise FlashError("cannot boot: BootMem is not programmed")
+        self.fpga.memory.zeroize()
+        bitstream = Bitstream.from_bytes(self.boot_mem.read())
+        loader = BitstreamLoader(self.fpga.icap)
+        report = loader.load(bitstream)
+        self.powered_on = True
+        self.boot_report = report
+        return report
+
+    def power_off(self) -> None:
+        """Power loss clears the (volatile) configuration memory."""
+        self.fpga.memory.zeroize()
+        self.powered_on = False
+        self.boot_report = None

@@ -1,0 +1,72 @@
+"""Block RAM inventory and the bounded-memory argument.
+
+SACHa's security reduces to one quantitative fact (Section 5.2): the
+configurable fabric does not have enough embedded memory to buffer the
+partial bitstream the verifier sends, so the bitstream *must* land in the
+configuration memory, overwriting whatever was there.  This module makes
+that argument a checkable object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import DevicePart
+
+
+@dataclass(frozen=True)
+class BoundedMemoryCheck:
+    """Outcome of the bounded-memory feasibility check."""
+
+    device_name: str
+    bram_capacity_bytes: int
+    payload_bytes: int
+
+    @property
+    def holds(self) -> bool:
+        """True when the payload cannot be hidden in BRAM."""
+        return self.payload_bytes > self.bram_capacity_bytes
+
+    @property
+    def ratio(self) -> float:
+        """payload / capacity; must exceed 1 for the model to hold."""
+        if self.bram_capacity_bytes == 0:
+            return float("inf")
+        return self.payload_bytes / self.bram_capacity_bytes
+
+    def explain(self) -> str:
+        verdict = "holds" if self.holds else "VIOLATED"
+        return (
+            f"bounded-memory model {verdict} on {self.device_name}: "
+            f"payload {self.payload_bytes} B vs BRAM {self.bram_capacity_bytes} B "
+            f"(ratio {self.ratio:.2f})"
+        )
+
+
+class BramInventory:
+    """BRAM accounting for one device."""
+
+    def __init__(self, device: DevicePart) -> None:
+        self._device = device
+
+    @property
+    def total_bytes(self) -> int:
+        return self._device.bram_capacity_bytes()
+
+    def check_bounded_memory(self, payload_bytes: int) -> BoundedMemoryCheck:
+        """Can a payload of this size be buffered in fabric memory?"""
+        return BoundedMemoryCheck(
+            device_name=self._device.name,
+            bram_capacity_bytes=self.total_bytes,
+            payload_bytes=payload_bytes,
+        )
+
+    def check_partial_bitstream(self, dynamic_frame_count: int) -> BoundedMemoryCheck:
+        """The SACHa instantiation: DynMem payload vs fabric BRAM."""
+        payload = dynamic_frame_count * self._device.frame_bytes
+        return self.check_bounded_memory(payload)
+
+    def frames_storable(self) -> int:
+        """How many frames of bitstream the fabric *could* buffer — the
+        attacker's hoarding budget in ``repro.attacks.bram_hoard``."""
+        return self.total_bytes // self._device.frame_bytes

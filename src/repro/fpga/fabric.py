@@ -1,0 +1,129 @@
+"""Fabric view: mapping frame sets to the resources they configure.
+
+The partition layer needs to answer "how many CLBs / BRAMs / IOBs does
+this set of frames configure?" — e.g. to check that a floorplanned static
+region has capacity for the static design, or to find which frames an
+adversary must touch to alter the IOB (pin) configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+from repro.fpga.device import DevicePart, TileType
+
+
+@dataclass(frozen=True)
+class ResourceCount:
+    """Resource tiles of each class."""
+
+    clb: int = 0
+    bram: int = 0
+    iob: int = 0
+    dcm: int = 0
+    icap: int = 0
+
+    def __add__(self, other: "ResourceCount") -> "ResourceCount":
+        return ResourceCount(
+            clb=self.clb + other.clb,
+            bram=self.bram + other.bram,
+            iob=self.iob + other.iob,
+            dcm=self.dcm + other.dcm,
+            icap=self.icap + other.icap,
+        )
+
+    def __sub__(self, other: "ResourceCount") -> "ResourceCount":
+        return ResourceCount(
+            clb=self.clb - other.clb,
+            bram=self.bram - other.bram,
+            iob=self.iob - other.iob,
+            dcm=self.dcm - other.dcm,
+            icap=self.icap - other.icap,
+        )
+
+    def fits_within(self, capacity: "ResourceCount") -> bool:
+        return (
+            self.clb <= capacity.clb
+            and self.bram <= capacity.bram
+            and self.iob <= capacity.iob
+            and self.dcm <= capacity.dcm
+            and self.icap <= capacity.icap
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "CLB": self.clb,
+            "BRAM": self.bram,
+            "IOB": self.iob,
+            "DCM": self.dcm,
+            "ICAP": self.icap,
+        }
+
+
+class Fabric:
+    """Resource geometry of one device."""
+
+    def __init__(self, device: DevicePart) -> None:
+        self._device = device
+
+    @property
+    def device(self) -> DevicePart:
+        return self._device
+
+    def device_capacity(self) -> ResourceCount:
+        return ResourceCount(
+            clb=self._device.clb_count,
+            bram=self._device.bram_count,
+            iob=self._device.iob_count,
+            dcm=self._device.dcm_count,
+            icap=self._device.icap_count,
+        )
+
+    def capacity_of_frames(self, frame_indices: Iterable[int]) -> ResourceCount:
+        """Resources of all columns *fully covered* by the frame set.
+
+        Partial-reconfiguration regions are frame-aligned per column: a
+        column's tiles belong to a region only if every one of its frames
+        does.  Partially covered columns contribute nothing (conservative,
+        and matches how PR floorplans snap to column boundaries).
+        """
+        frames: Set[int] = set(frame_indices)
+        clb = bram = iob = 0
+        device = self._device
+        for row in range(device.rows):
+            for column_index, spec in enumerate(device.columns):
+                column_frames = device.column_frame_range(row, column_index)
+                if all(index in frames for index in column_frames):
+                    if spec.tile_type is TileType.CLB:
+                        clb += spec.tiles
+                    elif spec.tile_type is TileType.BRAM:
+                        bram += spec.tiles
+                    elif spec.tile_type is TileType.IOB:
+                        iob += spec.tiles
+        return ResourceCount(clb=clb, bram=bram, iob=iob)
+
+    def iob_frames(self) -> List[int]:
+        """All frames that configure IOB columns — the pin configuration.
+
+        The proxy-adversary detection (Section 7.2) rests on these frames:
+        "the bitstream reflects which FPGA pins are connected to
+        peripherals".
+        """
+        frames: List[int] = []
+        device = self._device
+        for row in range(device.rows):
+            for column_index, spec in enumerate(device.columns):
+                if spec.tile_type is TileType.IOB:
+                    frames.extend(device.column_frame_range(row, column_index))
+        return frames
+
+    def frames_of_tile_type(self, tile_type: TileType) -> List[int]:
+        """All frames belonging to columns of one tile class."""
+        frames: List[int] = []
+        device = self._device
+        for row in range(device.rows):
+            for column_index, spec in enumerate(device.columns):
+                if spec.tile_type is tile_type:
+                    frames.extend(device.column_frame_range(row, column_index))
+        return frames

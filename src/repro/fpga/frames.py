@@ -1,0 +1,158 @@
+"""Frame Address Register (FAR) codec.
+
+Real Xilinx configuration logic addresses frames with a structured FAR
+— block type / row / major (column) / minor (frame within column) — not
+a flat index.  This codec maps between the two representations for any
+catalogued device:
+
+* ``block type`` 0 carries CLB/IOB/CFG configuration, block type 1 the
+  BRAM *content* frames (matching the family convention);
+* ``row`` and ``major`` follow the device's tile geometry;
+* ``minor`` counts frames within one column.
+
+Packed layout (32 bits): ``[24:22] block type, [21:17] row,
+[16:8] major, [7:0] minor``.  The bitstream writer emits packed FARs and
+the loader decodes them, so generated bitstreams carry realistic
+addressing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FrameAddressError
+from repro.fpga.device import DevicePart, TileType
+
+BLOCK_TYPE_CONFIG = 0  # CLB / IOB / CFG configuration frames
+BLOCK_TYPE_BRAM_CONTENT = 1  # block-RAM content frames
+
+_MINOR_BITS = 8
+_MAJOR_BITS = 9
+_ROW_BITS = 5
+_BLOCK_BITS = 3
+
+_MINOR_SHIFT = 0
+_MAJOR_SHIFT = _MINOR_BITS
+_ROW_SHIFT = _MAJOR_SHIFT + _MAJOR_BITS
+_BLOCK_SHIFT = _ROW_SHIFT + _ROW_BITS
+
+
+@dataclass(frozen=True)
+class FrameAddress:
+    """A structured frame address."""
+
+    block_type: int
+    row: int
+    major: int
+    minor: int
+
+    def __post_init__(self) -> None:
+        for name, value, bits in (
+            ("block_type", self.block_type, _BLOCK_BITS),
+            ("row", self.row, _ROW_BITS),
+            ("major", self.major, _MAJOR_BITS),
+            ("minor", self.minor, _MINOR_BITS),
+        ):
+            if not 0 <= value < (1 << bits):
+                raise FrameAddressError(
+                    f"FAR field {name}={value} does not fit in {bits} bits"
+                )
+
+    def pack(self) -> int:
+        """The 32-bit FAR register value."""
+        return (
+            (self.block_type << _BLOCK_SHIFT)
+            | (self.row << _ROW_SHIFT)
+            | (self.major << _MAJOR_SHIFT)
+            | (self.minor << _MINOR_SHIFT)
+        )
+
+    @classmethod
+    def unpack(cls, value: int) -> "FrameAddress":
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise FrameAddressError(f"FAR value {value:#x} out of range")
+        return cls(
+            block_type=(value >> _BLOCK_SHIFT) & ((1 << _BLOCK_BITS) - 1),
+            row=(value >> _ROW_SHIFT) & ((1 << _ROW_BITS) - 1),
+            major=(value >> _MAJOR_SHIFT) & ((1 << _MAJOR_BITS) - 1),
+            minor=(value >> _MINOR_SHIFT) & ((1 << _MINOR_BITS) - 1),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"FAR(bt={self.block_type}, row={self.row}, "
+            f"major={self.major}, minor={self.minor})"
+        )
+
+
+class FarCodec:
+    """Linear frame index ↔ structured FAR for one device."""
+
+    def __init__(self, device: DevicePart) -> None:
+        self._device = device
+        if device.rows > (1 << _ROW_BITS):
+            raise FrameAddressError(
+                f"{device.name} has too many rows for the FAR layout"
+            )
+        if len(device.columns) > (1 << _MAJOR_BITS):
+            raise FrameAddressError(
+                f"{device.name} has too many columns for the FAR layout"
+            )
+        if max(column.frames for column in device.columns) > (1 << _MINOR_BITS):
+            raise FrameAddressError(
+                f"{device.name} has a column too deep for the FAR layout"
+            )
+
+    @property
+    def device(self) -> DevicePart:
+        return self._device
+
+    def _block_type_of(self, column_index: int) -> int:
+        tile_type = self._device.columns[column_index].tile_type
+        if tile_type is TileType.BRAM:
+            return BLOCK_TYPE_BRAM_CONTENT
+        return BLOCK_TYPE_CONFIG
+
+    def from_linear(self, frame_index: int) -> FrameAddress:
+        """Structured address of a linear frame index."""
+        row, column, minor = self._device.frame_coordinates(frame_index)
+        return FrameAddress(
+            block_type=self._block_type_of(column),
+            row=row,
+            major=column,
+            minor=minor,
+        )
+
+    def to_linear(self, address: FrameAddress) -> int:
+        """Linear index of a structured address (validating every field)."""
+        if address.major >= len(self._device.columns):
+            raise FrameAddressError(
+                f"major {address.major} out of range for {self._device.name}"
+            )
+        expected_block = self._block_type_of(address.major)
+        if address.block_type != expected_block:
+            raise FrameAddressError(
+                f"block type {address.block_type} does not match column "
+                f"{address.major} (expected {expected_block})"
+            )
+        return self._device.frame_index(address.row, address.major, address.minor)
+
+    def pack_linear(self, frame_index: int) -> int:
+        """Linear index → packed FAR register value."""
+        return self.from_linear(frame_index).pack()
+
+    def unpack_to_linear(self, far_value: int) -> int:
+        """Packed FAR register value → linear index."""
+        return self.to_linear(FrameAddress.unpack(far_value))
+
+    def increment(self, address: FrameAddress) -> FrameAddress:
+        """FAR auto-increment: next frame in configuration order.
+
+        Advances minor within the column, then moves to the next column
+        (updating the block type), then to the next row — the order the
+        FDRI write pointer follows.
+        """
+        linear = self.to_linear(address)
+        if linear + 1 >= self._device.total_frames:
+            raise FrameAddressError("FAR increment past the last frame")
+        return self.from_linear(linear + 1)

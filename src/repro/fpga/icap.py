@@ -1,0 +1,127 @@
+"""The Internal Configuration Access Port (ICAP).
+
+The ICAP is the static partition's window into the configuration memory:
+it writes frames during partial reconfiguration and reads the *entire*
+memory back — including the static partition's own frames — which is what
+makes self-attestation possible (Figures 3 and 4 of the paper).
+
+The model is functional plus cycle-accounted: every operation moves real
+frame bytes and tallies the 32-bit-word transactions it would take on the
+100 MHz ICAP clock, so the timing layer can derive A2/A4 durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import IcapError
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.registers import LiveRegisterFile
+
+#: Command/address words surrounding each frame write (sync, FAR, FDRI
+#: header, ...) — the fixed packet overhead of a one-frame configuration.
+WRITE_OVERHEAD_WORDS = 16
+#: Words clocked for a one-frame readback beyond the frame itself: the
+#: readback command sequence plus the pipeline pad frame the silicon
+#: flushes before real data appears.
+READBACK_OVERHEAD_WORDS = 24
+
+
+@dataclass
+class IcapStats:
+    """Transaction counters for the cycle/timing model."""
+
+    frames_written: int = 0
+    frames_read: int = 0
+    words_written: int = 0
+    words_read: int = 0
+    operations: List[str] = field(default_factory=list)
+
+    def record(self, operation: str) -> None:
+        self.operations.append(operation)
+
+
+class Icap:
+    """Functional ICAP bound to one configuration memory.
+
+    ``enabled`` models the (rarely used) option of locking the ICAP out of
+    the static region: when a static-frame write is attempted with
+    ``protect_frames`` set, the write is refused.  SACHa deliberately does
+    *not* protect any frame for readback — the whole memory must be
+    attestable.
+    """
+
+    def __init__(
+        self,
+        memory: ConfigurationMemory,
+        registers: Optional[LiveRegisterFile] = None,
+    ) -> None:
+        self._memory = memory
+        self._registers = registers
+        self._protected_frames: frozenset = frozenset()
+        self.stats = IcapStats()
+
+    @property
+    def memory(self) -> ConfigurationMemory:
+        return self._memory
+
+    @property
+    def registers(self) -> Optional[LiveRegisterFile]:
+        return self._registers
+
+    def protect_frames(self, frame_indices) -> None:
+        """Refuse ICAP writes to these frames (static-region write lock)."""
+        self._protected_frames = frozenset(frame_indices)
+
+    # -- configuration write --------------------------------------------------
+
+    def write_frame(self, frame_index: int, data: bytes) -> None:
+        """Write one frame of configuration data (partial reconfiguration).
+
+        Overwriting a frame replaces the logic configured there, so any
+        live register state declared in that frame is discarded.
+        """
+        if frame_index in self._protected_frames:
+            raise IcapError(f"frame {frame_index} is write-protected")
+        self._memory.write_frame(frame_index, data)
+        if self._registers is not None:
+            self._registers.forget_frame(frame_index)
+        self.stats.frames_written += 1
+        self.stats.words_written += self._memory.device.words_per_frame
+        self.stats.words_written += WRITE_OVERHEAD_WORDS
+        self.stats.record(f"write[{frame_index}]")
+
+    # -- configuration readback -----------------------------------------------
+
+    def readback_frame(self, frame_index: int) -> bytes:
+        """Read one frame back, with live register values substituted.
+
+        This is the raw datum the MAC core consumes and the verifier must
+        mask: configuration bits plus current storage-element state.
+        """
+        data = self._memory.read_frame(frame_index)
+        if self._registers is not None:
+            data = self._registers.overlay_frame(frame_index, data)
+        self.stats.frames_read += 1
+        self.stats.words_read += self._memory.device.words_per_frame
+        self.stats.words_read += READBACK_OVERHEAD_WORDS
+        self.stats.record(f"read[{frame_index}]")
+        return data
+
+    def readback_all(self) -> List[bytes]:
+        """Read every frame in ascending order (Figure 4)."""
+        return [
+            self.readback_frame(frame_index)
+            for frame_index in range(self._memory.total_frames)
+        ]
+
+    # -- cycle accounting -------------------------------------------------------
+
+    def write_cycles_per_frame(self) -> int:
+        """32-bit ICAP transactions for a one-frame configuration write."""
+        return self._memory.device.words_per_frame + WRITE_OVERHEAD_WORDS
+
+    def readback_cycles_per_frame(self) -> int:
+        """32-bit ICAP transactions for a one-frame readback."""
+        return self._memory.device.words_per_frame + READBACK_OVERHEAD_WORDS

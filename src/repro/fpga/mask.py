@@ -1,0 +1,95 @@
+"""Mask (``Msk``) files.
+
+Readback data contains live register values at storage-element positions
+(see ``repro.fpga.registers``); the verifier must ignore those bits when
+comparing readback against the golden bitstream.  The Xilinx tools emit a
+``.msk`` file alongside each bitstream for exactly this purpose; this
+module generates the equivalent from a design's declared register map and
+applies it (Section 6.1: "we apply the Msk on the side of the Vrf").
+
+Convention: a mask bit of **1** means *ignore this bit* (matches the
+Xilinx readback-verify convention).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigMemoryError
+from repro.fpga.device import DevicePart
+from repro.fpga.registers import LiveRegisterFile, RegisterBit
+
+
+class MaskFile:
+    """Per-frame bit mask over the whole configuration memory."""
+
+    def __init__(self, device: DevicePart) -> None:
+        self._device = device
+        self._bits = np.zeros(
+            (device.total_frames, device.words_per_frame), dtype=np.uint32
+        )
+
+    @property
+    def device(self) -> DevicePart:
+        return self._device
+
+    def set_positions(self, positions: Iterable[RegisterBit]) -> None:
+        """Mark the given bit positions as masked."""
+        for position in positions:
+            position.validate(self._device)
+            self._bits[position.frame_index, position.word_index] |= np.uint32(
+                1 << position.bit_index
+            )
+
+    def masked_bit_count(self) -> int:
+        """Total number of masked bits."""
+        return int(sum(int(word).bit_count() for word in self._bits.flat if word))
+
+    def is_masked(self, position: RegisterBit) -> bool:
+        position.validate(self._device)
+        word = int(self._bits[position.frame_index, position.word_index])
+        return bool((word >> position.bit_index) & 1)
+
+    def frame_mask(self, frame_index: int) -> bytes:
+        if not 0 <= frame_index < self._device.total_frames:
+            raise ConfigMemoryError(f"frame {frame_index} out of range")
+        return self._bits[frame_index].astype(">u4").tobytes()
+
+    def apply_to_frame(self, frame_index: int, data: bytes) -> bytes:
+        """Clear every masked bit in one frame's data."""
+        if len(data) != self._device.frame_bytes:
+            raise ConfigMemoryError(
+                f"frame data must be {self._device.frame_bytes} bytes, "
+                f"got {len(data)}"
+            )
+        mask = self._bits[frame_index]
+        words = np.frombuffer(data, dtype=">u4").astype(np.uint32)
+        return (words & ~mask).astype(">u4").tobytes()
+
+    def apply_to_frames(self, frames: List[bytes], frame_indices: List[int]) -> List[bytes]:
+        """Mask a list of frames addressed by their indices."""
+        if len(frames) != len(frame_indices):
+            raise ConfigMemoryError(
+                f"{len(frames)} frames but {len(frame_indices)} indices"
+            )
+        return [
+            self.apply_to_frame(index, data)
+            for index, data in zip(frame_indices, frames)
+        ]
+
+    def union(self, other: "MaskFile") -> "MaskFile":
+        """Combine two masks (bits masked in either)."""
+        if other.device != self._device:
+            raise ConfigMemoryError("cannot combine masks for different devices")
+        combined = MaskFile(self._device)
+        combined._bits = self._bits | other._bits
+        return combined
+
+
+def mask_from_registers(device: DevicePart, registers: LiveRegisterFile) -> MaskFile:
+    """Generate the ``Msk`` for a design's declared storage elements."""
+    mask = MaskFile(device)
+    mask.set_positions(registers.positions())
+    return mask

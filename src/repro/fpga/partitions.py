@@ -1,0 +1,189 @@
+"""Partition layout: StatPart / DynPart / nonce region.
+
+The SACHa floorplan splits the configuration memory into
+
+* **StatMem** — frames configuring the static partition (ETH core, ICAP
+  control, MAC core, key storage); loaded from BootMem at power-on and
+  never reconfigured in the field;
+* **DynMem** — frames of the dynamic partition, fully overwritten by the
+  verifier during every attestation;
+* a small **nonce region** inside DynMem, a separate reconfigurable
+  partition so the verifier can refresh the nonce without resending the
+  application (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro.errors import PartitionError
+from repro.fpga.device import DevicePart, TileType
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """An exhaustive, disjoint split of the device's frames."""
+
+    device: DevicePart
+    static_frames: FrozenSet[int]
+    nonce_frames: FrozenSet[int]
+    dynamic_frames: FrozenSet[int] = field(default=frozenset())
+
+    def __post_init__(self) -> None:
+        total = set(range(self.device.total_frames))
+        static = set(self.static_frames)
+        nonce = set(self.nonce_frames)
+        if not static:
+            raise PartitionError("static partition cannot be empty")
+        if not static <= total:
+            raise PartitionError("static frames out of device range")
+        if not nonce <= total:
+            raise PartitionError("nonce frames out of device range")
+        if static & nonce:
+            raise PartitionError("nonce region must lie outside the static partition")
+        dynamic = total - static
+        if self.dynamic_frames and set(self.dynamic_frames) != dynamic:
+            raise PartitionError(
+                "dynamic partition must be exactly the complement of the "
+                "static partition"
+            )
+        object.__setattr__(self, "dynamic_frames", frozenset(dynamic))
+        if not nonce <= dynamic:
+            raise PartitionError("nonce region must lie inside the dynamic partition")
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def static_frame_count(self) -> int:
+        return len(self.static_frames)
+
+    @property
+    def dynamic_frame_count(self) -> int:
+        return len(self.dynamic_frames)
+
+    def static_bitstream_bytes(self) -> int:
+        return self.static_frame_count * self.device.frame_bytes
+
+    def dynamic_bitstream_bytes(self) -> int:
+        return self.dynamic_frame_count * self.device.frame_bytes
+
+    # -- orderings ---------------------------------------------------------------
+
+    def static_frame_list(self) -> List[int]:
+        return sorted(self.static_frames)
+
+    def dynamic_frame_list(self) -> List[int]:
+        return sorted(self.dynamic_frames)
+
+    def nonce_frame_list(self) -> List[int]:
+        return sorted(self.nonce_frames)
+
+    def application_frame_list(self) -> List[int]:
+        """Dynamic frames that carry the intended application (not nonce)."""
+        return sorted(self.dynamic_frames - self.nonce_frames)
+
+    def classify(self, frame_index: int) -> str:
+        if frame_index in self.static_frames:
+            return "static"
+        if frame_index in self.nonce_frames:
+            return "nonce"
+        if frame_index in self.dynamic_frames:
+            return "dynamic"
+        raise PartitionError(f"frame {frame_index} out of device range")
+
+
+def sacha_floorplan(
+    device: DevicePart,
+    static_frame_count: int,
+    nonce_frame_count: int = 1,
+) -> PartitionMap:
+    """The SACHa layout: static frames first, nonce at the very end.
+
+    On the XC6VLX240T the paper implies 2,088 static frames (28,488 total
+    − 26,400 DynMem frames); ``repro.design.sacha_design`` passes exactly
+    that.  The nonce region sits at the top of the address space so the
+    application occupies one contiguous run.
+    """
+    if not 0 < static_frame_count < device.total_frames:
+        raise PartitionError(
+            f"static frame count {static_frame_count} out of range for "
+            f"{device.name} ({device.total_frames} frames)"
+        )
+    if nonce_frame_count < 1:
+        raise PartitionError("nonce region needs at least one frame")
+    if static_frame_count + nonce_frame_count > device.total_frames:
+        raise PartitionError("static + nonce regions exceed the device")
+    static = frozenset(range(static_frame_count))
+    nonce = frozenset(
+        range(device.total_frames - nonce_frame_count, device.total_frames)
+    )
+    return PartitionMap(device=device, static_frames=static, nonce_frames=nonce)
+
+
+def column_floorplan(
+    device: DevicePart,
+    clb_columns: int,
+    bram_columns: int,
+    iob_columns: int = 0,
+    cfg_columns: int = 0,
+    nonce_frame_count: int = 1,
+) -> PartitionMap:
+    """Column-aligned static floorplan.
+
+    Real partial-reconfiguration regions snap to whole fabric columns;
+    this floorplan assigns the first ``clb_columns`` CLB columns, the
+    first ``bram_columns`` BRAM columns, etc. (scanning rows in order) to
+    the static partition.  The nonce region is the last frame(s) of the
+    device, which by construction lie in the dynamic partition.
+    """
+    wanted = {
+        TileType.CLB: clb_columns,
+        TileType.BRAM: bram_columns,
+        TileType.IOB: iob_columns,
+        TileType.CFG: cfg_columns,
+    }
+    taken = {tile_type: 0 for tile_type in wanted}
+    static: set = set()
+    for row in range(device.rows):
+        for column_index, spec in enumerate(device.columns):
+            if taken[spec.tile_type] < wanted[spec.tile_type]:
+                static.update(device.column_frame_range(row, column_index))
+                taken[spec.tile_type] += 1
+    missing = {
+        tile_type.value: wanted[tile_type] - taken[tile_type]
+        for tile_type in wanted
+        if taken[tile_type] < wanted[tile_type]
+    }
+    if missing:
+        raise PartitionError(f"device {device.name} lacks columns: {missing}")
+    if nonce_frame_count < 1:
+        raise PartitionError("nonce region needs at least one frame")
+    nonce = frozenset(
+        range(device.total_frames - nonce_frame_count, device.total_frames)
+    )
+    if nonce & static:
+        raise PartitionError("nonce frames collide with the static region")
+    return PartitionMap(
+        device=device, static_frames=frozenset(static), nonce_frames=nonce
+    )
+
+
+def sacha_virtex6_floorplan(device: DevicePart) -> PartitionMap:
+    """The paper's floorplan on the XC6VLX240T model.
+
+    94 CLB + 9 BRAM + 1 IOB columns = exactly 2,088 static frames
+    (28,488 − 26,400), with capacity 1,410 CLB / 72 BRAM / 30 IOB — room
+    for the 1,400-CLB / 72-BRAM static design of Table 2.
+    """
+    plan = column_floorplan(device, clb_columns=94, bram_columns=9, iob_columns=1)
+    return plan
+
+
+def partition_ratio(partition_map: PartitionMap) -> Tuple[float, float]:
+    """(static, dynamic) fraction of the device's frames."""
+    total = partition_map.device.total_frames
+    return (
+        partition_map.static_frame_count / total,
+        partition_map.dynamic_frame_count / total,
+    )

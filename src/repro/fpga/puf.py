@@ -1,0 +1,218 @@
+"""Weak PUF model and fuzzy-extractor key generation.
+
+SACHa derives the AES-CMAC key from a *weak* (key-generating) PUF so the
+key exists only inside the legitimate device and never crosses the
+channel (Section 5.2.1).  The paper assumes an ideal key-generating PUF;
+we model the realistic pipeline it stands for:
+
+* an SRAM PUF with a device-unique nominal response and i.i.d. read
+  noise;
+* a code-offset fuzzy extractor with repetition-code error correction;
+* SHA-256-based key derivation from the corrected secret.
+
+Enrollment happens in the same provisioning step that programs BootMem;
+the verifier keeps the (device id → key) database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import derive_mac_key
+from repro.crypto.sha256 import sha256
+from repro.errors import PufError
+from repro.utils.rng import DeterministicRng
+
+
+class SramPuf:
+    """A weak PUF: stable per-device fingerprint plus read noise.
+
+    ``identity_seed`` stands for the silicon; two PUFs built from the same
+    seed are *the same device*.  ``noise_rate`` is the per-bit flip
+    probability on each evaluation (typical SRAM PUFs: 5–15 %).
+    """
+
+    def __init__(
+        self,
+        identity_seed: int,
+        response_bytes: int = 256,
+        noise_rate: float = 0.05,
+    ) -> None:
+        if response_bytes <= 0:
+            raise PufError(f"response size must be positive, got {response_bytes}")
+        if not 0.0 <= noise_rate < 0.5:
+            raise PufError(f"noise rate must be in [0, 0.5), got {noise_rate}")
+        self._response_bytes = response_bytes
+        self._noise_rate = noise_rate
+        self._nominal = DeterministicRng(identity_seed).fork("sram-puf").randbytes(
+            response_bytes
+        )
+
+    @property
+    def response_bytes(self) -> int:
+        return self._response_bytes
+
+    @property
+    def noise_rate(self) -> float:
+        return self._noise_rate
+
+    def nominal_response(self) -> bytes:
+        """The noise-free fingerprint (used only at enrollment time)."""
+        return self._nominal
+
+    def evaluate(self, rng: DeterministicRng) -> bytes:
+        """One noisy read of the PUF."""
+        if self._noise_rate == 0.0:
+            return self._nominal
+        noisy = bytearray(self._nominal)
+        for byte_index in range(len(noisy)):
+            for bit_index in range(8):
+                if rng.chance(self._noise_rate):
+                    noisy[byte_index] ^= 1 << bit_index
+        return bytes(noisy)
+
+
+@dataclass(frozen=True)
+class HelperData:
+    """Public fuzzy-extractor helper data stored with the device.
+
+    ``offset`` is codeword ⊕ response; revealing it leaks nothing about
+    the key beyond the repetition-code redundancy (standard code-offset
+    construction).  ``key_check`` lets reconstruction detect failure.
+    """
+
+    repetition: int
+    key_bits: int
+    offset: bytes
+    key_check: bytes
+
+
+def _bits_of(data: bytes):
+    for byte in data:
+        for bit_index in range(8):
+            yield (byte >> bit_index) & 1
+
+
+def _bits_to_bytes(bits) -> bytes:
+    out = bytearray()
+    current = 0
+    count = 0
+    for bit in bits:
+        current |= bit << count
+        count += 1
+        if count == 8:
+            out.append(current)
+            current = 0
+            count = 0
+    if count:
+        out.append(current)
+    return bytes(out)
+
+
+class FuzzyExtractor:
+    """Code-offset fuzzy extractor with an r-repetition code."""
+
+    def __init__(self, repetition: int = 15, key_bytes: int = 16) -> None:
+        if repetition < 1 or repetition % 2 == 0:
+            raise PufError(f"repetition factor must be odd and >= 1, got {repetition}")
+        if key_bytes <= 0:
+            raise PufError(f"key size must be positive, got {key_bytes}")
+        self._repetition = repetition
+        self._key_bytes = key_bytes
+
+    @property
+    def required_response_bytes(self) -> int:
+        """PUF response size needed for the chosen parameters."""
+        total_bits = self._key_bytes * 8 * self._repetition
+        return (total_bits + 7) // 8
+
+    def enroll(self, puf: SramPuf, rng: DeterministicRng) -> HelperData:
+        """Enrollment: pick a secret, bind it to the nominal response."""
+        if puf.response_bytes < self.required_response_bytes:
+            raise PufError(
+                f"PUF response of {puf.response_bytes} bytes is too small; "
+                f"need {self.required_response_bytes}"
+            )
+        secret = rng.randbytes(self._key_bytes)
+        codeword_bits = []
+        for bit in _bits_of(secret):
+            codeword_bits.extend([bit] * self._repetition)
+        codeword = _bits_to_bytes(codeword_bits)
+        response = puf.nominal_response()[: len(codeword)]
+        offset = bytes(a ^ b for a, b in zip(codeword, response))
+        return HelperData(
+            repetition=self._repetition,
+            key_bits=self._key_bytes * 8,
+            offset=offset,
+            key_check=sha256(secret)[:8],
+        )
+
+    def reconstruct(self, puf: SramPuf, helper: HelperData, rng: DeterministicRng) -> bytes:
+        """Recover the enrolled secret from a fresh noisy PUF read."""
+        if helper.repetition != self._repetition or helper.key_bits != self._key_bytes * 8:
+            raise PufError("helper data does not match extractor parameters")
+        response = puf.evaluate(rng)[: len(helper.offset)]
+        noisy_codeword = bytes(a ^ b for a, b in zip(helper.offset, response))
+        bits = list(_bits_of(noisy_codeword))
+        secret_bits = []
+        for start in range(0, self._key_bytes * 8 * self._repetition, self._repetition):
+            group = bits[start : start + self._repetition]
+            secret_bits.append(1 if sum(group) * 2 > self._repetition else 0)
+        secret = _bits_to_bytes(secret_bits)
+        if sha256(secret)[:8] != helper.key_check:
+            raise PufError(
+                "PUF key reconstruction failed (noise exceeded the "
+                "repetition code's correction capacity)"
+            )
+        return secret
+
+
+@dataclass(frozen=True)
+class PufKeySlot:
+    """What the device stores: helper data for re-deriving the MAC key."""
+
+    helper: HelperData
+    extractor_repetition: int
+
+    def derive_key(
+        self, puf: SramPuf, rng: DeterministicRng, max_attempts: int = 5
+    ) -> bytes:
+        """Re-derive the MAC key, retrying on fresh PUF reads.
+
+        A single noisy read can exceed the repetition code's correction
+        capacity; reads are independent, so the extractor simply reads
+        again (standard practice in PUF key generators).
+        """
+        extractor = FuzzyExtractor(
+            repetition=self.extractor_repetition,
+            key_bytes=self.helper.key_bits // 8,
+        )
+        last_error: PufError = PufError("no attempts made")
+        for _ in range(max_attempts):
+            try:
+                secret = extractor.reconstruct(puf, self.helper, rng)
+            except PufError as error:
+                last_error = error
+                continue
+            return derive_mac_key(secret)
+        raise last_error
+
+
+def enroll_device(
+    puf: SramPuf,
+    rng: DeterministicRng,
+    repetition: int = 15,
+    key_bytes: int = 16,
+) -> tuple:
+    """Full enrollment: returns (device key, key slot for the device).
+
+    The verifier stores the key in its database; the device stores only
+    the helper data and re-derives the key from its PUF at power-on.
+    """
+    extractor = FuzzyExtractor(repetition=repetition, key_bytes=key_bytes)
+    helper = extractor.enroll(puf, rng)
+    slot = PufKeySlot(helper=helper, extractor_repetition=repetition)
+    # Verification reconstruct with fresh-read retries, like the device
+    # does at every power-on (a single noisy read may exceed the code).
+    key = slot.derive_key(puf, rng.fork("enroll-verify"))
+    return key, slot

@@ -1,0 +1,134 @@
+"""Live register state overlaid on configuration readback.
+
+The ICAP does not read the configuration memory verbatim: readback also
+captures the *current values* of the storage elements (flip-flops,
+LUT-RAM) of the running design, which depend on the application state.
+This is exactly the complication Section 6.1 of the paper solves with the
+``Msk`` mask file.
+
+A design declares its state bits as :class:`RegisterBit` positions; the
+running application toggles them; the ICAP readback substitutes the live
+value at each declared position.  The mask generator (``repro.fpga.mask``)
+marks the same positions as "do not compare".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.errors import ConfigMemoryError
+from repro.fpga.device import DevicePart
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True, order=True)
+class RegisterBit:
+    """The configuration-memory position of one storage-element bit."""
+
+    frame_index: int
+    word_index: int
+    bit_index: int
+
+    def validate(self, device: DevicePart) -> None:
+        if not 0 <= self.frame_index < device.total_frames:
+            raise ConfigMemoryError(
+                f"register bit frame {self.frame_index} out of range "
+                f"for {device.name}"
+            )
+        if not 0 <= self.word_index < device.words_per_frame:
+            raise ConfigMemoryError(
+                f"register bit word {self.word_index} out of range"
+            )
+        if not 0 <= self.bit_index < 32:
+            raise ConfigMemoryError(f"register bit {self.bit_index} out of range")
+
+
+class LiveRegisterFile:
+    """Current values of all declared storage elements of a design."""
+
+    def __init__(self, device: DevicePart) -> None:
+        self._device = device
+        self._values: Dict[RegisterBit, int] = {}
+
+    @property
+    def device(self) -> DevicePart:
+        return self._device
+
+    def declare(self, bits: Iterable[RegisterBit], initial: int = 0) -> None:
+        """Register new storage-element positions with an initial value."""
+        if initial not in (0, 1):
+            raise ConfigMemoryError(f"initial value must be 0 or 1, got {initial}")
+        for bit in bits:
+            bit.validate(self._device)
+            if bit in self._values:
+                raise ConfigMemoryError(f"register bit {bit} declared twice")
+            self._values[bit] = initial
+
+    def forget_frame(self, frame_index: int) -> None:
+        """Drop declarations within one frame (partial reconfiguration
+        replaces the logic there, so old state bits vanish)."""
+        self._values = {
+            bit: value
+            for bit, value in self._values.items()
+            if bit.frame_index != frame_index
+        }
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[RegisterBit, int]]:
+        return iter(sorted(self._values.items()))
+
+    def positions(self) -> List[RegisterBit]:
+        return sorted(self._values)
+
+    def get(self, bit: RegisterBit) -> int:
+        try:
+            return self._values[bit]
+        except KeyError:
+            raise ConfigMemoryError(f"register bit {bit} is not declared") from None
+
+    def set(self, bit: RegisterBit, value: int) -> None:
+        if value not in (0, 1):
+            raise ConfigMemoryError(f"register value must be 0 or 1, got {value}")
+        if bit not in self._values:
+            raise ConfigMemoryError(f"register bit {bit} is not declared")
+        self._values[bit] = value
+
+    def scramble(self, rng: DeterministicRng) -> None:
+        """Simulate application activity: randomize every live register.
+
+        Readback taken before and after a ``scramble`` differs exactly in
+        masked positions — the invariant the mask tests check.
+        """
+        for bit in self._values:
+            self._values[bit] = rng.randint(0, 1)
+
+    def bits_in_frame(self, frame_index: int) -> List[Tuple[RegisterBit, int]]:
+        return sorted(
+            (bit, value)
+            for bit, value in self._values.items()
+            if bit.frame_index == frame_index
+        )
+
+    def overlay_frame(self, frame_index: int, frame_data: bytes) -> bytes:
+        """Substitute live values into a frame's configuration bytes.
+
+        This is what ICAP readback returns for the frame: configuration
+        bits everywhere except at declared register positions, which carry
+        the current application state.
+        """
+        bits = self.bits_in_frame(frame_index)
+        if not bits:
+            return frame_data
+        words = bytearray(frame_data)
+        for bit, value in bits:
+            offset = bit.word_index * 4
+            word = int.from_bytes(words[offset : offset + 4], "big")
+            if value:
+                word |= 1 << bit.bit_index
+            else:
+                word &= ~(1 << bit.bit_index)
+            words[offset : offset + 4] = word.to_bytes(4, "big")
+        return bytes(words)

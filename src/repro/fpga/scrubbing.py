@@ -1,0 +1,171 @@
+"""Configuration scrubbing: readback for fault detection and correction.
+
+Section 2.1.3 introduces the readback capability through its *other*
+canonical use: "applications in which (un)intended faults occur in the
+configuration memory ... e.g., space applications, in which Single
+Event Upsets cause bit flips".  SACHa repurposes the mechanism for
+attestation; this module implements the original use so the substrate
+is complete — a scrubber that cycles through the configuration memory
+via the ICAP, compares each (masked) frame against a golden reference,
+and rewrites corrupted frames.
+
+The scrubber and the attestation protocol share everything: the ICAP
+data path, the mask discipline (live register bits are not faults), and
+the golden reference.  What they do not share is trust: a scrubber is a
+*local* integrity mechanism with no adversary — it happily "repairs"
+malicious modifications back, which is precisely why it is not an
+attestation scheme (no key, no freshness, no remote verifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigMemoryError
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.icap import Icap
+from repro.fpga.mask import MaskFile
+from repro.utils.rng import DeterministicRng
+
+#: ICAP clock period (the scrub cycle runs in the ICAP domain).
+ICAP_NS_PER_CYCLE = 10.0
+
+
+@dataclass(frozen=True)
+class SeuEvent:
+    """One injected single-event upset."""
+
+    frame_index: int
+    word_index: int
+    bit_index: int
+
+
+class SeuInjector:
+    """Injects single-event upsets into a configuration memory.
+
+    A masked (register) position is skipped: flipping live state is a
+    functional upset, not a configuration upset, and the scrubber would
+    not (and must not) see it.
+    """
+
+    def __init__(
+        self,
+        memory: ConfigurationMemory,
+        rng: DeterministicRng,
+        mask: Optional[MaskFile] = None,
+    ) -> None:
+        self._memory = memory
+        self._rng = rng
+        self._mask = mask
+        self.injected: List[SeuEvent] = []
+
+    def inject(self, count: int = 1) -> List[SeuEvent]:
+        """Flip ``count`` random configuration bits."""
+        if count < 0:
+            raise ConfigMemoryError(f"cannot inject {count} upsets")
+        device = self._memory.device
+        events: List[SeuEvent] = []
+        attempts = 0
+        while len(events) < count:
+            attempts += 1
+            if attempts > 100 * (count + 1):
+                raise ConfigMemoryError(
+                    "could not find unmasked positions to upset"
+                )
+            frame = self._rng.randint(0, device.total_frames - 1)
+            word = self._rng.randint(0, device.words_per_frame - 1)
+            bit = self._rng.randint(0, 31)
+            if self._mask is not None:
+                from repro.fpga.registers import RegisterBit
+
+                if self._mask.is_masked(RegisterBit(frame, word, bit)):
+                    continue
+            self._memory.flip_bit(frame, word, bit)
+            event = SeuEvent(frame_index=frame, word_index=word, bit_index=bit)
+            events.append(event)
+            self.injected.append(event)
+        return events
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one full scrub cycle."""
+
+    frames_checked: int = 0
+    frames_corrupted: List[int] = field(default_factory=list)
+    frames_corrected: List[int] = field(default_factory=list)
+    icap_cycles: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.frames_corrupted
+
+    @property
+    def duration_ns(self) -> float:
+        """Scrub cycle time on the 100 MHz ICAP clock."""
+        return self.icap_cycles * ICAP_NS_PER_CYCLE
+
+
+class Scrubber:
+    """Golden-reference readback scrubber.
+
+    ``correct=False`` turns it into a pure detector (the paper's "error
+    detection" half); with correction on, corrupted frames are rewritten
+    from the golden image through the ICAP.
+    """
+
+    def __init__(
+        self,
+        icap: Icap,
+        golden: ConfigurationMemory,
+        mask: Optional[MaskFile] = None,
+        correct: bool = True,
+    ) -> None:
+        if golden.device != icap.memory.device:
+            raise ConfigMemoryError(
+                "golden reference targets a different device"
+            )
+        self._icap = icap
+        self._golden = golden
+        self._mask = mask
+        self._correct = correct
+        self.cycles_run = 0
+
+    def scrub_frame(self, frame_index: int, report: ScrubReport) -> None:
+        data = self._icap.readback_frame(frame_index)
+        expected = self._golden.read_frame(frame_index)
+        if self._mask is not None:
+            data = self._mask.apply_to_frame(frame_index, data)
+            expected = self._mask.apply_to_frame(frame_index, expected)
+        report.frames_checked += 1
+        report.icap_cycles += self._icap.readback_cycles_per_frame()
+        if data == expected:
+            return
+        report.frames_corrupted.append(frame_index)
+        if self._correct:
+            self._icap.write_frame(
+                frame_index, self._golden.read_frame(frame_index)
+            )
+            report.frames_corrected.append(frame_index)
+            report.icap_cycles += self._icap.write_cycles_per_frame()
+
+    def scrub_cycle(self) -> ScrubReport:
+        """One full pass over the configuration memory."""
+        report = ScrubReport()
+        for frame_index in range(self._icap.memory.total_frames):
+            self.scrub_frame(frame_index, report)
+        self.cycles_run += 1
+        return report
+
+    def scrub_until_clean(self, max_cycles: int = 4) -> List[ScrubReport]:
+        """Repeat scrub cycles until one reports no corruption."""
+        reports: List[ScrubReport] = []
+        for _ in range(max_cycles):
+            report = self.scrub_cycle()
+            reports.append(report)
+            if report.clean:
+                return reports
+        raise ConfigMemoryError(
+            f"configuration still corrupt after {max_cycles} scrub cycles"
+        )

@@ -1,0 +1,56 @@
+"""Network substrate: Ethernet framing, PHY timing, channels, wire format.
+
+The SACHa verifier and prover talk over Gigabit Ethernet; this package
+models the frames, the serialization cost at 1 Gb/s, a lossy/latent
+channel with eavesdropping taps for the adversary, and the SACHa command
+wire format (``ICAP_config`` / ``ICAP_readback`` / ``MAC_checksum``).
+"""
+
+from repro.net.arq import ArqLink
+from repro.net.channel import Channel, Endpoint, LatencyModel, NetworkTap
+from repro.net.ethernet import (
+    ETHERTYPE_SACHA,
+    MAX_PAYLOAD,
+    MIN_PAYLOAD,
+    EthernetFrame,
+    MacAddress,
+)
+from repro.net.messages import (
+    IcapConfigCommand,
+    IcapReadbackCommand,
+    IcapReadbackMaskedCommand,
+    IcapReadbackRangeCommand,
+    MacChecksumCommand,
+    MacChecksumResponse,
+    MaskedReadbackAck,
+    ReadbackRangeResponse,
+    ReadbackResponse,
+    decode_command,
+    decode_response,
+)
+from repro.net.phy import GigabitPhy
+
+__all__ = [
+    "ArqLink",
+    "Channel",
+    "Endpoint",
+    "LatencyModel",
+    "NetworkTap",
+    "ETHERTYPE_SACHA",
+    "MAX_PAYLOAD",
+    "MIN_PAYLOAD",
+    "EthernetFrame",
+    "MacAddress",
+    "IcapConfigCommand",
+    "IcapReadbackCommand",
+    "IcapReadbackMaskedCommand",
+    "IcapReadbackRangeCommand",
+    "MacChecksumCommand",
+    "MacChecksumResponse",
+    "MaskedReadbackAck",
+    "ReadbackRangeResponse",
+    "ReadbackResponse",
+    "decode_command",
+    "decode_response",
+    "GigabitPhy",
+]

@@ -1,0 +1,175 @@
+"""Stop-and-wait ARQ: reliable, exactly-once delivery over a lossy link.
+
+The SACHa protocol is a strict command/response sequence; a single lost
+Ethernet frame deadlocks a naive run.  ``ArqLink`` wraps a channel
+endpoint with a classic stop-and-wait automatic-repeat-request layer:
+
+* every payload goes out as ``DATA(seq)`` and is retransmitted on a
+  timeout until the matching ``ACK(seq)`` arrives;
+* the receiver delivers each sequence number exactly once (duplicates
+  from lost ACKs are re-acknowledged but not re-delivered);
+* ordering is preserved (stop-and-wait never reorders).
+
+Exactly-once, in-order delivery is precisely what the attestation needs:
+a duplicated ``ICAP_readback`` would desynchronize the incremental MAC
+between prover and verifier.  The layer is protocol-agnostic — it moves
+opaque payloads — so it slots under the unmodified SACHa session.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.errors import NetworkError
+from repro.net.channel import Endpoint
+from repro.net.ethernet import EthernetFrame, MacAddress
+from repro.sim.events import Event, Simulator
+
+#: Ethertype for ARQ-wrapped traffic (local experimental ethertype 2).
+ETHERTYPE_ARQ = 0x88B6
+
+_TYPE_DATA = 0x01
+_TYPE_ACK = 0x02
+
+
+def _encode(frame_type: int, sequence: int, payload: bytes = b"") -> bytes:
+    return bytes([frame_type]) + sequence.to_bytes(4, "big") + payload
+
+
+def _decode(data: bytes):
+    if len(data) < 5:
+        raise NetworkError("truncated ARQ frame")
+    return data[0], int.from_bytes(data[1:5], "big"), data[5:]
+
+
+class ArqLink:
+    """Reliable payload transport over one channel endpoint.
+
+    Presents the same ``send(frame)`` / ``handler`` surface as a raw
+    :class:`Endpoint`, so higher layers (the attestation session) use it
+    unchanged: the inner frame's payload is what travels reliably; its
+    addressing is re-created on delivery.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        endpoint: Endpoint,
+        peer_mac: MacAddress,
+        timeout_ns: float = 2_000_000.0,
+        max_retries: int = 25,
+    ) -> None:
+        if timeout_ns <= 0:
+            raise NetworkError(f"ARQ timeout must be positive, got {timeout_ns}")
+        if max_retries < 1:
+            raise NetworkError(f"ARQ needs at least one retry, got {max_retries}")
+        self._simulator = simulator
+        self._endpoint = endpoint
+        self._peer_mac = peer_mac
+        self._timeout_ns = timeout_ns
+        self._max_retries = max_retries
+        endpoint.handler = self._on_frame
+
+        self.handler: Optional[Callable[[EthernetFrame], None]] = None
+        self._send_queue: Deque[bytes] = deque()
+        self._next_tx_sequence = 0
+        self._in_flight: Optional[bytes] = None
+        self._in_flight_retries = 0
+        self._timeout_event: Optional[Event] = None
+        self._expected_rx_sequence = 0
+
+        self.payloads_sent = 0
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, frame: EthernetFrame) -> None:
+        """Queue one payload for reliable delivery to the peer."""
+        self._send_queue.append(frame.payload)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._in_flight is not None or not self._send_queue:
+            return
+        payload = self._send_queue.popleft()
+        self._in_flight = _encode(_TYPE_DATA, self._next_tx_sequence, payload)
+        self._in_flight_retries = 0
+        self.payloads_sent += 1
+        self._transmit_in_flight()
+
+    def _transmit_in_flight(self) -> None:
+        assert self._in_flight is not None
+        self._endpoint.send(
+            EthernetFrame(
+                destination=self._peer_mac,
+                source=self._endpoint.mac,
+                ethertype=ETHERTYPE_ARQ,
+                payload=self._in_flight,
+            )
+        )
+        self._timeout_event = self._simulator.schedule(
+            self._timeout_ns, self._on_timeout, label="arq-timeout"
+        )
+
+    def _on_timeout(self) -> None:
+        if self._in_flight is None:
+            return
+        self._in_flight_retries += 1
+        if self._in_flight_retries > self._max_retries:
+            raise NetworkError(
+                f"ARQ gave up after {self._max_retries} retransmissions "
+                f"(link from {self._endpoint.name} is down?)"
+            )
+        self.retransmissions += 1
+        self._transmit_in_flight()
+
+    # -- receiving ----------------------------------------------------------------
+
+    def _on_frame(self, frame: EthernetFrame) -> None:
+        frame_type, sequence, payload = _decode(frame.payload)
+        if frame_type == _TYPE_ACK:
+            self._on_ack(sequence)
+            return
+        if frame_type != _TYPE_DATA:
+            raise NetworkError(f"unknown ARQ frame type {frame_type:#04x}")
+        # Always acknowledge — the sender may have missed a previous ACK.
+        self._endpoint.send(
+            EthernetFrame(
+                destination=self._peer_mac,
+                source=self._endpoint.mac,
+                ethertype=ETHERTYPE_ARQ,
+                payload=_encode(_TYPE_ACK, sequence),
+            )
+        )
+        if sequence != self._expected_rx_sequence:
+            self.duplicates_dropped += 1
+            return
+        self._expected_rx_sequence += 1
+        if self.handler is not None:
+            # Strip trailing padding ambiguity by re-wrapping: upper
+            # layers see a frame shaped like the original.
+            self.handler(
+                EthernetFrame(
+                    destination=self._endpoint.mac,
+                    source=self._peer_mac,
+                    ethertype=ETHERTYPE_ARQ,
+                    payload=payload,
+                )
+            )
+
+    def _on_ack(self, sequence: int) -> None:
+        if self._in_flight is None or sequence != self._next_tx_sequence:
+            return  # stale ACK
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        self._in_flight = None
+        self._next_tx_sequence += 1
+        self._pump()
+
+    @property
+    def idle(self) -> bool:
+        """Nothing in flight and nothing queued."""
+        return self._in_flight is None and not self._send_queue

@@ -1,0 +1,139 @@
+"""Simulated network channel between verifier and prover.
+
+A :class:`Channel` connects exactly two :class:`Endpoint` objects through
+the discrete-event simulator.  Delivery time is PHY serialization plus a
+latency sample from a :class:`LatencyModel`; frames can be lost, and
+:class:`NetworkTap` observers (the paper's local adversary "eavesdropping
+and/or controlling the communication") see every frame and may inject
+their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import NetworkError
+from repro.net.ethernet import EthernetFrame, MacAddress
+from repro.net.phy import GigabitPhy
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-frame one-way latency: fixed base plus Gaussian jitter.
+
+    ``base_ns`` models switch store-and-forward plus host network-stack
+    time; the lab network of the paper is calibrated in
+    ``repro.timing.network`` to ≈246 µs one-way (≈493 µs per command
+    round trip), which reproduces the measured 28.5 s protocol duration.
+    """
+
+    base_ns: float = 0.0
+    jitter_sigma_ns: float = 0.0
+
+    def sample_ns(self, rng: Optional[DeterministicRng]) -> float:
+        if self.jitter_sigma_ns <= 0 or rng is None:
+            return self.base_ns
+        return max(0.0, rng.gauss(self.base_ns, self.jitter_sigma_ns))
+
+
+NetworkTap = Callable[[float, str, EthernetFrame], Optional[EthernetFrame]]
+"""Tap signature: (time_ns, direction, frame) -> replacement frame or None.
+
+Returning a frame substitutes it for the original (an in-path adversary);
+returning ``None`` leaves the frame untouched (pure eavesdropping is a tap
+that stores what it sees and returns ``None``).
+"""
+
+
+class Endpoint:
+    """One side of a channel; delivers received frames to a handler."""
+
+    def __init__(self, name: str, mac: MacAddress) -> None:
+        self.name = name
+        self.mac = mac
+        self.handler: Optional[Callable[[EthernetFrame], None]] = None
+        self._channel: Optional["Channel"] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+
+    def attach(self, channel: "Channel") -> None:
+        if self._channel is not None:
+            raise NetworkError(f"endpoint {self.name} is already attached")
+        self._channel = channel
+
+    def send(self, frame: EthernetFrame) -> None:
+        """Transmit a frame to the peer endpoint."""
+        if self._channel is None:
+            raise NetworkError(f"endpoint {self.name} is not attached to a channel")
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_bytes()
+        self._channel.transmit(self, frame)
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        self.frames_received += 1
+        if self.handler is not None:
+            self.handler(frame)
+
+
+class Channel:
+    """A point-to-point full-duplex link with latency, loss and taps."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: LatencyModel = LatencyModel(),
+        phy: GigabitPhy = GigabitPhy(),
+        loss_probability: float = 0.0,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError(f"loss probability {loss_probability} out of range")
+        self._simulator = simulator
+        self._latency = latency
+        self._phy = phy
+        self._loss_probability = loss_probability
+        self._rng = rng
+        self._endpoints: List[Endpoint] = []
+        self._taps: List[NetworkTap] = []
+        self.frames_dropped = 0
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    def connect(self, left: Endpoint, right: Endpoint) -> None:
+        if self._endpoints:
+            raise NetworkError("channel already has endpoints")
+        left.attach(self)
+        right.attach(self)
+        self._endpoints = [left, right]
+
+    def add_tap(self, tap: NetworkTap) -> None:
+        """Register an adversary/observer tap on the channel."""
+        self._taps.append(tap)
+
+    def _peer(self, sender: Endpoint) -> Endpoint:
+        if sender not in self._endpoints:
+            raise NetworkError(f"endpoint {sender.name} is not on this channel")
+        left, right = self._endpoints
+        return right if sender is left else left
+
+    def transmit(self, sender: Endpoint, frame: EthernetFrame) -> None:
+        peer = self._peer(sender)
+        direction = f"{sender.name}->{peer.name}"
+        for tap in self._taps:
+            replacement = tap(self._simulator.now_ns, direction, frame)
+            if replacement is not None:
+                frame = replacement
+        if self._loss_probability and self._rng is not None:
+            if self._rng.chance(self._loss_probability):
+                self.frames_dropped += 1
+                return
+        delay = self._phy.serialization_ns(frame) + self._latency.sample_ns(self._rng)
+        self._simulator.schedule(
+            delay, lambda: peer.deliver(frame), label=f"deliver {direction}"
+        )

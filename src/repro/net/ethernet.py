@@ -1,0 +1,118 @@
+"""Ethernet II framing (802.3 with FCS, preamble and IFG accounting).
+
+The ETH core in the StatPart receives and transmits one byte per 125 MHz
+cycle; frame sizes therefore directly set the A1/A3/A8 action timings of
+Table 3.  Frames carry the SACHa wire format under a local-experimental
+ethertype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+from repro.utils.crc import Crc32
+
+ETHERTYPE_SACHA = 0x88B5  # IEEE 802 local experimental ethertype 1
+MIN_PAYLOAD = 46
+MAX_PAYLOAD = 1500
+HEADER_BYTES = 14  # dst(6) + src(6) + ethertype(2)
+FCS_BYTES = 4
+PREAMBLE_BYTES = 8  # preamble(7) + SFD(1)
+IFG_BYTES = 12  # inter-frame gap, counted in byte times
+
+
+@dataclass(frozen=True)
+class MacAddress:
+    """A 48-bit MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 48):
+            raise NetworkError(f"MAC address {self.value:#x} does not fit in 48 bits")
+
+    @classmethod
+    def from_string(cls, text: str) -> "MacAddress":
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise NetworkError(f"malformed MAC address {text!r}")
+        try:
+            octets = [int(part, 16) for part in parts]
+        except ValueError as exc:
+            raise NetworkError(f"malformed MAC address {text!r}") from exc
+        if any(not 0 <= octet <= 0xFF for octet in octets):
+            raise NetworkError(f"malformed MAC address {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        return ":".join(f"{byte:02x}" for byte in self.to_bytes())
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame with computed FCS.
+
+    ``payload`` is the raw upper-layer payload *before* minimum-size
+    padding; padding is applied on serialization and stripped on parse is
+    not possible (receivers must know their payload length — the SACHa
+    wire format is self-delimiting, so this matches reality).
+    """
+
+    destination: MacAddress
+    source: MacAddress
+    ethertype: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise NetworkError(f"ethertype {self.ethertype:#x} out of range")
+        if len(self.payload) > MAX_PAYLOAD:
+            raise NetworkError(
+                f"payload of {len(self.payload)} bytes exceeds {MAX_PAYLOAD}"
+            )
+
+    def padded_payload(self) -> bytes:
+        if len(self.payload) < MIN_PAYLOAD:
+            return self.payload + bytes(MIN_PAYLOAD - len(self.payload))
+        return self.payload
+
+    def to_bytes(self) -> bytes:
+        """Serialize including FCS (preamble/IFG are timing-only)."""
+        body = (
+            self.destination.to_bytes()
+            + self.source.to_bytes()
+            + self.ethertype.to_bytes(2, "big")
+            + self.padded_payload()
+        )
+        return body + Crc32().update(body).digest_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EthernetFrame":
+        if len(data) < HEADER_BYTES + MIN_PAYLOAD + FCS_BYTES:
+            raise NetworkError(f"runt frame of {len(data)} bytes")
+        body, fcs = data[:-FCS_BYTES], data[-FCS_BYTES:]
+        if Crc32().update(body).digest_bytes() != fcs:
+            raise NetworkError("frame check sequence mismatch")
+        return cls(
+            destination=MacAddress(int.from_bytes(body[0:6], "big")),
+            source=MacAddress(int.from_bytes(body[6:12], "big")),
+            ethertype=int.from_bytes(body[12:14], "big"),
+            payload=body[14:],
+        )
+
+    def wire_bytes(self) -> int:
+        """Total byte times on the wire including preamble and IFG."""
+        return (
+            PREAMBLE_BYTES
+            + HEADER_BYTES
+            + len(self.padded_payload())
+            + FCS_BYTES
+            + IFG_BYTES
+        )

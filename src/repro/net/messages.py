@@ -1,0 +1,284 @@
+"""SACHa wire format.
+
+Three commands travel verifier → prover (Section 6.1 of the paper):
+
+1. ``ICAP_config(frame)`` — frame address + frame content to write;
+2. ``ICAP_readback(frame_nb)`` — address of a frame to read back and fold
+   into the MAC;
+3. ``MAC_checksum`` — finalize the MAC and return the tag.
+
+Two responses travel prover → verifier: the frame content for each
+readback, and the final MAC tag.  An optional ``ConfigAck`` exists for
+transports that want explicit flow control; the paper's protocol (and our
+default transport) fire-and-forgets configuration commands, with the
+per-command network overhead accounted in the timing model either way.
+
+Every message is self-delimiting: 1 opcode byte, fixed-size fields, and a
+2-byte length prefix before variable data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import WireFormatError
+
+OPCODE_ICAP_CONFIG = 0x01
+OPCODE_ICAP_READBACK = 0x02
+OPCODE_MAC_CHECKSUM = 0x03
+OPCODE_ICAP_READBACK_MASKED = 0x04
+OPCODE_ICAP_READBACK_RANGE = 0x05
+OPCODE_CONFIG_ACK = 0x80
+OPCODE_READBACK_RESPONSE = 0x81
+OPCODE_MAC_RESPONSE = 0x82
+OPCODE_MASKED_READBACK_ACK = 0x83
+OPCODE_READBACK_RANGE_RESPONSE = 0x84
+
+
+
+def _encode_blob(data: bytes) -> bytes:
+    if len(data) > 0xFFFF:
+        raise WireFormatError(f"blob of {len(data)} bytes exceeds wire limit")
+    return len(data).to_bytes(2, "big") + data
+
+
+def _decode_blob(data: bytes, offset: int) -> tuple:
+    if offset + 2 > len(data):
+        raise WireFormatError("truncated length prefix")
+    length = int.from_bytes(data[offset : offset + 2], "big")
+    offset += 2
+    if offset + length > len(data):
+        raise WireFormatError(
+            f"truncated blob: need {length} bytes, have {len(data) - offset}"
+        )
+    return data[offset : offset + length], offset + length
+
+
+@dataclass(frozen=True)
+class IcapConfigCommand:
+    """Write ``data`` to configuration-memory frame ``frame_index``."""
+
+    frame_index: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        if self.frame_index < 0 or self.frame_index > 0xFFFFFFFF:
+            raise WireFormatError(f"frame index {self.frame_index} out of range")
+        return (
+            bytes([OPCODE_ICAP_CONFIG])
+            + self.frame_index.to_bytes(4, "big")
+            + _encode_blob(self.data)
+        )
+
+
+@dataclass(frozen=True)
+class IcapReadbackCommand:
+    """Read configuration-memory frame ``frame_index`` back and MAC it."""
+
+    frame_index: int
+
+    def encode(self) -> bytes:
+        if self.frame_index < 0 or self.frame_index > 0xFFFFFFFF:
+            raise WireFormatError(f"frame index {self.frame_index} out of range")
+        return bytes([OPCODE_ICAP_READBACK]) + self.frame_index.to_bytes(4, "big")
+
+
+@dataclass(frozen=True)
+class MacChecksumCommand:
+    """Finalize the MAC and return the tag."""
+
+    def encode(self) -> bytes:
+        return bytes([OPCODE_MAC_CHECKSUM])
+
+
+@dataclass(frozen=True)
+class IcapReadbackMaskedCommand:
+    """The Section-6.1 alternative: readback with the Msk sent along.
+
+    The prover applies the mask *before* the MAC step and does not send
+    the frame content back — the mask travels Vrf → Prv instead of the
+    frame travelling Prv → Vrf ("a similar communication latency").
+    """
+
+    frame_index: int
+    mask: bytes
+
+    def encode(self) -> bytes:
+        if self.frame_index < 0 or self.frame_index > 0xFFFFFFFF:
+            raise WireFormatError(f"frame index {self.frame_index} out of range")
+        return (
+            bytes([OPCODE_ICAP_READBACK_MASKED])
+            + self.frame_index.to_bytes(4, "big")
+            + _encode_blob(self.mask)
+        )
+
+
+@dataclass(frozen=True)
+class IcapReadbackRangeCommand:
+    """Batched readback: ``count`` consecutive frames from ``start_index``.
+
+    A forward-looking optimization the E7 ablation motivates: the
+    28,488 readback round trips dominate the networked duration, and
+    contiguous plans batch naturally.  Responses above the Ethernet MTU
+    are assumed fragmented/jumbo by the transport.
+    """
+
+    start_index: int
+    count: int
+
+    def encode(self) -> bytes:
+        if self.start_index < 0 or self.start_index > 0xFFFFFFFF:
+            raise WireFormatError(f"frame index {self.start_index} out of range")
+        if not 1 <= self.count <= 0xFFFF:
+            raise WireFormatError(f"batch count {self.count} out of range")
+        return (
+            bytes([OPCODE_ICAP_READBACK_RANGE])
+            + self.start_index.to_bytes(4, "big")
+            + self.count.to_bytes(2, "big")
+        )
+
+
+@dataclass(frozen=True)
+class ConfigAck:
+    """Optional acknowledgement of an ``ICAP_config``."""
+
+    frame_index: int
+
+    def encode(self) -> bytes:
+        return bytes([OPCODE_CONFIG_ACK]) + self.frame_index.to_bytes(4, "big")
+
+
+@dataclass(frozen=True)
+class ReadbackResponse:
+    """The content of one frame, streamed back during readback."""
+
+    frame_index: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        return (
+            bytes([OPCODE_READBACK_RESPONSE])
+            + self.frame_index.to_bytes(4, "big")
+            + _encode_blob(self.data)
+        )
+
+
+@dataclass(frozen=True)
+class MaskedReadbackAck:
+    """Acknowledgement of a masked readback (no frame content travels)."""
+
+    frame_index: int
+
+    def encode(self) -> bytes:
+        return bytes([OPCODE_MASKED_READBACK_ACK]) + self.frame_index.to_bytes(
+            4, "big"
+        )
+
+
+@dataclass(frozen=True)
+class ReadbackRangeResponse:
+    """Concatenated content of a batched readback."""
+
+    start_index: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        return (
+            bytes([OPCODE_READBACK_RANGE_RESPONSE])
+            + self.start_index.to_bytes(4, "big")
+            + len(self.data).to_bytes(4, "big")
+            + self.data
+        )
+
+
+@dataclass(frozen=True)
+class MacChecksumResponse:
+    """The finalized MAC tag."""
+
+    tag: bytes
+
+    def encode(self) -> bytes:
+        return bytes([OPCODE_MAC_RESPONSE]) + _encode_blob(self.tag)
+
+
+Command = Union[
+    IcapConfigCommand,
+    IcapReadbackCommand,
+    IcapReadbackMaskedCommand,
+    IcapReadbackRangeCommand,
+    MacChecksumCommand,
+]
+Response = Union[
+    ConfigAck,
+    MaskedReadbackAck,
+    ReadbackRangeResponse,
+    ReadbackResponse,
+    MacChecksumResponse,
+]
+
+
+def decode_command(data: bytes) -> Command:
+    """Decode a verifier → prover message."""
+    if not data:
+        raise WireFormatError("empty command")
+    opcode = data[0]
+    if opcode == OPCODE_ICAP_CONFIG:
+        if len(data) < 5:
+            raise WireFormatError("truncated ICAP_config")
+        frame_index = int.from_bytes(data[1:5], "big")
+        blob, _ = _decode_blob(data, 5)
+        return IcapConfigCommand(frame_index, blob)
+    if opcode == OPCODE_ICAP_READBACK:
+        if len(data) < 5:
+            raise WireFormatError("truncated ICAP_readback")
+        return IcapReadbackCommand(int.from_bytes(data[1:5], "big"))
+    if opcode == OPCODE_MAC_CHECKSUM:
+        return MacChecksumCommand()
+    if opcode == OPCODE_ICAP_READBACK_MASKED:
+        if len(data) < 5:
+            raise WireFormatError("truncated masked ICAP_readback")
+        frame_index = int.from_bytes(data[1:5], "big")
+        blob, _ = _decode_blob(data, 5)
+        return IcapReadbackMaskedCommand(frame_index, blob)
+    if opcode == OPCODE_ICAP_READBACK_RANGE:
+        if len(data) < 7:
+            raise WireFormatError("truncated ranged ICAP_readback")
+        return IcapReadbackRangeCommand(
+            start_index=int.from_bytes(data[1:5], "big"),
+            count=int.from_bytes(data[5:7], "big"),
+        )
+    raise WireFormatError(f"unknown command opcode {opcode:#04x}")
+
+
+def decode_response(data: bytes) -> Response:
+    """Decode a prover → verifier message."""
+    if not data:
+        raise WireFormatError("empty response")
+    opcode = data[0]
+    if opcode == OPCODE_CONFIG_ACK:
+        if len(data) < 5:
+            raise WireFormatError("truncated ConfigAck")
+        return ConfigAck(int.from_bytes(data[1:5], "big"))
+    if opcode == OPCODE_READBACK_RESPONSE:
+        if len(data) < 5:
+            raise WireFormatError("truncated readback response")
+        frame_index = int.from_bytes(data[1:5], "big")
+        blob, _ = _decode_blob(data, 5)
+        return ReadbackResponse(frame_index, blob)
+    if opcode == OPCODE_MASKED_READBACK_ACK:
+        if len(data) < 5:
+            raise WireFormatError("truncated masked-readback ack")
+        return MaskedReadbackAck(int.from_bytes(data[1:5], "big"))
+    if opcode == OPCODE_READBACK_RANGE_RESPONSE:
+        if len(data) < 9:
+            raise WireFormatError("truncated ranged readback response")
+        start_index = int.from_bytes(data[1:5], "big")
+        length = int.from_bytes(data[5:9], "big")
+        if 9 + length > len(data):
+            raise WireFormatError("truncated ranged readback payload")
+        return ReadbackRangeResponse(start_index, data[9 : 9 + length])
+    if opcode == OPCODE_MAC_RESPONSE:
+        blob, _ = _decode_blob(data, 1)
+        return MacChecksumResponse(blob)
+    raise WireFormatError(f"unknown response opcode {opcode:#04x}")

@@ -1,0 +1,28 @@
+"""Gigabit Ethernet PHY timing model.
+
+One byte per cycle of the 125 MHz RX/TX clocks — i.e. 8 ns per byte time,
+1 Gb/s.  The PHY converts frame sizes into serialization durations; the
+channel adds propagation/stack latency on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.ethernet import EthernetFrame
+
+GIGABIT_NS_PER_BYTE = 8.0
+
+
+@dataclass(frozen=True)
+class GigabitPhy:
+    """Serialization timing of a (Gigabit by default) Ethernet PHY."""
+
+    ns_per_byte: float = GIGABIT_NS_PER_BYTE
+
+    def serialization_ns(self, frame: EthernetFrame) -> float:
+        """Time to clock one frame (incl. preamble and IFG) onto the wire."""
+        return frame.wire_bytes() * self.ns_per_byte
+
+    def throughput_bits_per_s(self) -> float:
+        return 8e9 / self.ns_per_byte

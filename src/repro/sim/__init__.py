@@ -1,0 +1,6 @@
+"""Minimal discrete-event simulation kernel with nanosecond resolution."""
+
+from repro.sim.events import Event, Simulator
+from repro.sim.tracing import TraceEvent, TraceRecorder
+
+__all__ = ["Event", "Simulator", "TraceEvent", "TraceRecorder"]

@@ -1,0 +1,104 @@
+"""Discrete-event scheduler.
+
+The SACHa protocol is a long strictly-ordered sequence of actions spread
+over three clock domains and a network; the scheduler advances a single
+nanosecond clock through scheduled callbacks.  It is deliberately small:
+a heap of (time, sequence, callback) entries, deterministic tie-breaking
+by insertion order, and cancellation support for timeouts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, sequence number)."""
+
+    time_ns: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic event-driven simulator.
+
+    Time never flows backwards: scheduling in the past raises.  Events at
+    the same timestamp run in scheduling order, which makes traces fully
+    reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now_ns: float = 0.0
+        self._sequence = 0
+        self._running = False
+
+    @property
+    def now_ns(self) -> float:
+        return self._now_ns
+
+    def schedule(
+        self, delay_ns: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay_ns`` from the current time."""
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule {delay_ns} ns in the past")
+        event = Event(self._now_ns + delay_ns, self._sequence, callback, label)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time_ns: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ns``."""
+        if time_ns < self._now_ns:
+            raise ValueError(
+                f"cannot schedule at {time_ns} ns; clock is at {self._now_ns} ns"
+            )
+        return self.schedule(time_ns - self._now_ns, callback, label)
+
+    def run(self, until_ns: Optional[float] = None) -> float:
+        """Run until the queue drains (or the clock passes ``until_ns``).
+
+        Returns the final simulation time.  Callbacks may schedule further
+        events; a callback that raises stops the run and propagates.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until_ns is not None and event.time_ns > until_ns:
+                    self._now_ns = until_ns
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now_ns = event.time_ns
+                event.callback()
+        finally:
+            self._running = False
+        return self._now_ns
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the queue is empty."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time_ns
+        return None

@@ -1,0 +1,108 @@
+"""Protocol trace recording.
+
+Every message and internal action in an attestation run can be recorded
+as a :class:`TraceEvent`; the Figure-9 reproduction (experiment E6) checks
+the *shape* of this trace — command kinds, directions, counts, ordering —
+against the paper's message sequence chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step in a protocol run.
+
+    ``kind`` is a short identifier such as ``"ICAP_config"``,
+    ``"ICAP_readback"``, ``"MAC_update"``; ``direction`` is one of
+    ``"vrf->prv"``, ``"prv->vrf"`` or ``"prv"`` (internal).
+    """
+
+    time_ns: float
+    kind: str
+    direction: str
+    detail: str = ""
+
+
+class TraceRecorder:
+    """Collects trace events and answers shape queries about them."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def record(
+        self, time_ns: float, kind: str, direction: str, detail: str = ""
+    ) -> None:
+        if self._enabled:
+            self._events.append(TraceEvent(time_ns, kind, direction, detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for event in self._events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def kinds_in_order(self, collapse_repeats: bool = True) -> List[str]:
+        """Sequence of event kinds, optionally with runs collapsed.
+
+        With ``collapse_repeats`` the Figure-9 flow reduces to
+        ``["ICAP_config", "ICAP_readback", "MAC_checksum", ...]`` no matter
+        how many frames the device has — the property the trace tests use.
+        """
+        kinds: List[str] = []
+        for event in self._events:
+            if not (collapse_repeats and kinds and kinds[-1] == event.kind):
+                kinds.append(event.kind)
+        return kinds
+
+    def summarize(self) -> str:
+        """Multi-line human-readable trace summary (collapsed runs)."""
+        lines: List[str] = []
+        run_kind: Optional[str] = None
+        run_count = 0
+        run_start = 0.0
+
+        def flush() -> None:
+            if run_kind is None:
+                return
+            suffix = f" x{run_count}" if run_count > 1 else ""
+            lines.append(f"{run_start:>14.1f} ns  {run_kind}{suffix}")
+
+        for event in self._events:
+            if event.kind == run_kind:
+                run_count += 1
+            else:
+                flush()
+                run_kind, run_count, run_start = event.kind, 1, event.time_ns
+        flush()
+        return "\n".join(lines)

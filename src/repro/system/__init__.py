@@ -1,0 +1,16 @@
+"""Combined hardware/software attestation: the FPGA as the trusted
+module attesting a microprocessor (Figure 1, right-hand side)."""
+
+from repro.system.combined import (
+    CombinedAttestation,
+    CombinedReport,
+    FpgaTrustModule,
+)
+from repro.system.processor import Microprocessor
+
+__all__ = [
+    "CombinedAttestation",
+    "CombinedReport",
+    "FpgaTrustModule",
+    "Microprocessor",
+]

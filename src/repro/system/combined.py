@@ -1,0 +1,153 @@
+"""Combined hardware/software attestation (the point of the paper).
+
+SACHa exists so that an FPGA can serve as the trusted hardware module of
+a hardware-based attestation scheme *without* being assumed
+tamper-resistant.  The combined flow:
+
+1. **FPGA self-attestation** — the SACHa protocol proves the FPGA holds
+   exactly the intended configuration (including the attestation logic
+   that will perform step 2);
+2. **software attestation** — the now-trusted FPGA module reads the µP's
+   program memory over the local bus and returns
+   ``MAC_K(nonce ‖ software memory)``, which the verifier compares
+   against the expected image.
+
+The model also shows the failure the paper motivates with: skipping step
+1 lets a compromised FPGA forge step 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.cmac import AesCmac
+from repro.core.protocol import SessionOptions, run_attestation
+from repro.core.prover import SachaProver
+from repro.core.report import AttestationReport
+from repro.core.verifier import SachaVerifier
+from repro.system.processor import Microprocessor
+from repro.utils.rng import DeterministicRng
+
+
+class FpgaTrustModule:
+    """The software-attestation function configured into the FPGA.
+
+    ``honest`` models the intended configuration; a tampered FPGA
+    (``honest=False``) answers with a forged MAC for whatever image the
+    adversary wants the verifier to believe is loaded.
+    """
+
+    def __init__(
+        self,
+        prover: SachaProver,
+        processor: Microprocessor,
+        key: bytes,
+        honest: bool = True,
+        forged_image: Optional[bytes] = None,
+    ) -> None:
+        self._prover = prover
+        self._processor = processor
+        self._key = bytes(key)
+        self._honest = honest
+        self._forged_image = forged_image
+
+    def attest_software(self, nonce: bytes) -> bytes:
+        """MAC_K(nonce ‖ program memory), read over the local bus."""
+        mac = AesCmac(self._key)
+        mac.update(nonce)
+        if self._honest or self._forged_image is None:
+            memory = self._processor.full_memory()
+        else:
+            padding = bytes(
+                self._processor.memory_bytes - len(self._forged_image)
+            )
+            memory = self._forged_image + padding
+        mac.update(memory)
+        return mac.finalize()
+
+
+@dataclass
+class CombinedReport:
+    """Verdict over the whole hardware/software system."""
+
+    fpga_report: Optional[AttestationReport]
+    fpga_attested: bool
+    software_attested: bool
+    skipped_self_attestation: bool = False
+
+    @property
+    def system_trusted(self) -> bool:
+        return self.fpga_attested and self.software_attested
+
+    def explain(self) -> str:
+        parts = []
+        if self.skipped_self_attestation:
+            parts.append("FPGA self-attestation SKIPPED (unsound!)")
+        else:
+            parts.append(
+                "FPGA self-attestation "
+                + ("passed" if self.fpga_attested else "FAILED")
+            )
+        parts.append(
+            "software attestation "
+            + ("passed" if self.software_attested else "FAILED")
+        )
+        verdict = "SYSTEM TRUSTED" if self.system_trusted else "SYSTEM REJECTED"
+        return f"{verdict}: " + "; ".join(parts)
+
+
+class CombinedAttestation:
+    """The verifier-side driver of the two-step flow."""
+
+    def __init__(
+        self,
+        prover: SachaProver,
+        verifier: SachaVerifier,
+        trust_module: FpgaTrustModule,
+        software_key: bytes,
+        expected_image: bytes,
+        processor_memory_bytes: int,
+    ) -> None:
+        self._prover = prover
+        self._verifier = verifier
+        self._trust_module = trust_module
+        self._software_key = bytes(software_key)
+        self._expected_image = bytes(expected_image)
+        self._processor_memory_bytes = processor_memory_bytes
+
+    def expected_software_mac(self, nonce: bytes) -> bytes:
+        mac = AesCmac(self._software_key)
+        mac.update(nonce)
+        padding = bytes(self._processor_memory_bytes - len(self._expected_image))
+        mac.update(self._expected_image + padding)
+        return mac.finalize()
+
+    def run(
+        self,
+        rng: DeterministicRng,
+        skip_self_attestation: bool = False,
+        options: SessionOptions = SessionOptions(),
+    ) -> CombinedReport:
+        """Step 1 (SACHa), then step 2 (software MAC)."""
+        fpga_report: Optional[AttestationReport] = None
+        if skip_self_attestation:
+            fpga_attested = True  # blind trust — the unsound shortcut
+        else:
+            fpga_report = run_attestation(
+                self._prover, self._verifier, rng, options
+            ).report
+            fpga_attested = fpga_report.accepted
+
+        software_attested = False
+        if fpga_attested:
+            nonce = rng.fork("software-nonce").randbytes(16)
+            received = self._trust_module.attest_software(nonce)
+            software_attested = received == self.expected_software_mac(nonce)
+
+        return CombinedReport(
+            fpga_report=fpga_report,
+            fpga_attested=fpga_attested,
+            software_attested=software_attested,
+            skipped_self_attestation=skip_self_attestation,
+        )

@@ -1,0 +1,52 @@
+"""The microprocessor of the combined embedded system (Figure 1).
+
+A typical FPGA-based embedded system pairs a general-purpose µP with the
+configurable hardware; the adversary of the traditional model tampers
+with the software code in the processor.  The model is a bounded program
+memory plus a local bus the FPGA-based trusted module can read — which is
+all hardware-based attestation of the software needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+
+class Microprocessor:
+    """A µP with bounded program memory, readable over a local bus."""
+
+    def __init__(self, memory_bytes: int) -> None:
+        if memory_bytes <= 0:
+            raise ProtocolError(f"memory size must be positive, got {memory_bytes}")
+        self.memory_bytes = memory_bytes
+        self._memory = bytearray(memory_bytes)
+        self.loaded_image: Optional[bytes] = None
+
+    def load_software(self, image: bytes) -> None:
+        """Flash a software image (zero-padded to the memory size)."""
+        if len(image) > self.memory_bytes:
+            raise ProtocolError(
+                f"image of {len(image)} bytes exceeds memory of "
+                f"{self.memory_bytes}"
+            )
+        self._memory[:] = image + bytes(self.memory_bytes - len(image))
+        self.loaded_image = bytes(image)
+
+    def tamper(self, offset: int, payload: bytes) -> None:
+        """Adversarial code modification (Figure 1: software tampering)."""
+        if offset < 0 or offset + len(payload) > self.memory_bytes:
+            raise ProtocolError("tamper outside the program memory")
+        self._memory[offset : offset + len(payload)] = payload
+
+    def bus_read(self, offset: int, length: int) -> bytes:
+        """Local-bus read, as performed by the trusted hardware module."""
+        if offset < 0 or length < 0 or offset + length > self.memory_bytes:
+            raise ProtocolError(
+                f"bus read [{offset}, {offset + length}) outside memory"
+            )
+        return bytes(self._memory[offset : offset + length])
+
+    def full_memory(self) -> bytes:
+        return bytes(self._memory)

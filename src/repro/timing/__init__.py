@@ -1,0 +1,54 @@
+"""Timing layer: per-action model (Table 3), protocol totals (Table 4),
+network-overhead models (the 1.443 s → 28.5 s gap)."""
+
+from repro.timing.model import (
+    ActionCounts,
+    ActionTimingModel,
+    ProtocolAction,
+    action_totals_ns,
+    sacha_action_counts,
+    theoretical_duration_ns,
+)
+from repro.timing.network import (
+    IDEAL_NETWORK,
+    LAB_NETWORK,
+    LAB_PER_COMMAND_OVERHEAD_NS,
+    WAN_NETWORK,
+    NetworkModel,
+    measured_duration_ns,
+)
+from repro.timing.report import (
+    PAPER_MEASURED_S,
+    PAPER_TABLE3_NS,
+    PAPER_TABLE4_COUNTS,
+    PAPER_THEORETICAL_S,
+    Table3Row,
+    Table4Report,
+    Table4Row,
+    table3_rows,
+    table4_report,
+)
+
+__all__ = [
+    "ActionCounts",
+    "ActionTimingModel",
+    "ProtocolAction",
+    "action_totals_ns",
+    "sacha_action_counts",
+    "theoretical_duration_ns",
+    "IDEAL_NETWORK",
+    "LAB_NETWORK",
+    "LAB_PER_COMMAND_OVERHEAD_NS",
+    "WAN_NETWORK",
+    "NetworkModel",
+    "measured_duration_ns",
+    "PAPER_MEASURED_S",
+    "PAPER_TABLE3_NS",
+    "PAPER_TABLE4_COUNTS",
+    "PAPER_THEORETICAL_S",
+    "Table3Row",
+    "Table4Report",
+    "Table4Row",
+    "table3_rows",
+    "table4_report",
+]

@@ -1,0 +1,138 @@
+"""Table 3 and Table 4 report generation.
+
+These builders return structured rows (and render ASCII tables via
+``repro.analysis.tables``) matching the layout of the paper's tables, so
+the benchmark harness can print paper-vs-reproduced side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fpga.device import DevicePart, XC6VLX240T
+from repro.timing.model import (
+    ActionCounts,
+    ActionTimingModel,
+    ProtocolAction,
+    action_totals_ns,
+    sacha_action_counts,
+    theoretical_duration_ns,
+)
+from repro.timing.network import LAB_NETWORK, NetworkModel, measured_duration_ns
+from repro.utils.units import format_time_ns
+
+#: Table 3 of the paper, verbatim (ns), for paper-vs-model comparison.
+PAPER_TABLE3_NS: Dict[ProtocolAction, float] = {
+    ProtocolAction.A1: 8_856.0,
+    ProtocolAction.A2: 1_834.0,
+    ProtocolAction.A3: 13_616.0,
+    ProtocolAction.A4: 24_044.0,
+    ProtocolAction.A5: 120.0,
+    ProtocolAction.A6: 128.0,
+    ProtocolAction.A7: 136.0,
+    ProtocolAction.A8: 2_928.0,
+    ProtocolAction.A9: 344.0,
+    ProtocolAction.A10: 472.0,
+}
+
+#: Table 4 of the paper: counts and per-action totals (s), plus the two
+#: bottom-line durations.
+PAPER_TABLE4_COUNTS: Dict[ProtocolAction, int] = {
+    ProtocolAction.A1: 26_400,
+    ProtocolAction.A2: 26_400,
+    ProtocolAction.A3: 28_488,
+    ProtocolAction.A4: 28_488,
+    ProtocolAction.A5: 1,
+    ProtocolAction.A6: 28_488,
+    ProtocolAction.A7: 1,
+    ProtocolAction.A8: 28_488,
+    ProtocolAction.A9: 1,
+    ProtocolAction.A10: 1,
+}
+PAPER_THEORETICAL_S = 1.443
+PAPER_MEASURED_S = 28.5
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    action: ProtocolAction
+    model_ns: float
+    paper_ns: Optional[float]
+
+    @property
+    def matches_paper(self) -> bool:
+        if self.paper_ns is None:
+            return True
+        return abs(self.model_ns - self.paper_ns) < 0.5
+
+
+def table3_rows(device: DevicePart = XC6VLX240T) -> List[Table3Row]:
+    """Reproduced Table 3, with the paper's column when applicable."""
+    model = ActionTimingModel(device)
+    include_paper = device.name == XC6VLX240T.name
+    return [
+        Table3Row(
+            action=action,
+            model_ns=model.action_ns(action),
+            paper_ns=PAPER_TABLE3_NS[action] if include_paper else None,
+        )
+        for action in ProtocolAction
+    ]
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    action: ProtocolAction
+    count: int
+    total_ns: float
+
+
+@dataclass(frozen=True)
+class Table4Report:
+    rows: List[Table4Row]
+    theoretical_ns: float
+    measured_ns: float
+    network_name: str
+
+    @property
+    def theoretical_s(self) -> float:
+        return self.theoretical_ns / 1e9
+
+    @property
+    def measured_s(self) -> float:
+        return self.measured_ns / 1e9
+
+    def summary(self) -> str:
+        return (
+            f"theoretical {format_time_ns(self.theoretical_ns)}; "
+            f"measured ({self.network_name} network) "
+            f"{format_time_ns(self.measured_ns)}"
+        )
+
+
+def table4_report(
+    device: DevicePart = XC6VLX240T,
+    counts: Optional[ActionCounts] = None,
+    network: NetworkModel = LAB_NETWORK,
+) -> Table4Report:
+    """Reproduced Table 4 for a device (defaults: the paper's setup)."""
+    model = ActionTimingModel(device)
+    if counts is None:
+        if device.name != XC6VLX240T.name:
+            raise ValueError(
+                f"no default action counts for {device.name}; pass counts"
+            )
+        counts = sacha_action_counts(dynamic_frames=26_400, total_frames=28_488)
+    rows = [
+        Table4Row(action=action, count=count, total_ns=total)
+        for action, count, total in action_totals_ns(model, counts)
+    ]
+    theoretical = theoretical_duration_ns(model, counts)
+    measured = measured_duration_ns(theoretical, network, counts)
+    return Table4Report(
+        rows=rows,
+        theoretical_ns=theoretical,
+        measured_ns=measured,
+        network_name=network.name,
+    )

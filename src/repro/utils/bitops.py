@@ -1,0 +1,85 @@
+"""Bit- and word-level helpers used across the FPGA and crypto substrates.
+
+Configuration frames are streams of 32-bit big-endian words; the crypto
+cores work on byte strings.  These helpers convert between the two views
+and provide the small bit-twiddling vocabulary the rest of the library
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+WORD_BITS = 32
+WORD_BYTES = 4
+WORD_MASK = 0xFFFFFFFF
+
+
+def get_bit(value: int, index: int) -> int:
+    """Return bit ``index`` (0 = LSB) of ``value`` as 0 or 1."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def set_bit(value: int, index: int, bit: int) -> int:
+    """Return ``value`` with bit ``index`` forced to ``bit`` (0 or 1)."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    if bit:
+        return value | (1 << index)
+    return value & ~(1 << index)
+
+
+def rotl32(value: int, amount: int) -> int:
+    """Rotate a 32-bit word left by ``amount`` bits."""
+    amount %= WORD_BITS
+    value &= WORD_MASK
+    return ((value << amount) | (value >> (WORD_BITS - amount))) & WORD_MASK
+
+
+def bit_count(data: bytes) -> int:
+    """Number of set bits in a byte string."""
+    return sum(byte.bit_count() for byte in data)
+
+
+def hamming_distance(left: bytes, right: bytes) -> int:
+    """Number of differing bits between two equal-length byte strings."""
+    if len(left) != len(right):
+        raise ValueError(
+            f"hamming distance needs equal lengths, got {len(left)} and {len(right)}"
+        )
+    return sum((a ^ b).bit_count() for a, b in zip(left, right))
+
+
+def xor_bytes(left: bytes, right: bytes) -> bytes:
+    """Byte-wise XOR of two equal-length byte strings."""
+    if len(left) != len(right):
+        raise ValueError(f"xor needs equal lengths, got {len(left)} and {len(right)}")
+    return bytes(a ^ b for a, b in zip(left, right))
+
+
+def bytes_to_words(data: bytes) -> List[int]:
+    """Split a byte string into big-endian 32-bit words.
+
+    The length must be a multiple of four: configuration frames are always
+    whole numbers of words.
+    """
+    if len(data) % WORD_BYTES:
+        raise ValueError(f"length {len(data)} is not a multiple of {WORD_BYTES}")
+    return [
+        int.from_bytes(data[i : i + WORD_BYTES], "big")
+        for i in range(0, len(data), WORD_BYTES)
+    ]
+
+
+def words_to_bytes(words: Iterable[int]) -> bytes:
+    """Concatenate 32-bit words into a big-endian byte string."""
+    out = bytearray()
+    for word in words:
+        if not 0 <= word <= WORD_MASK:
+            raise ValueError(f"word {word:#x} does not fit in 32 bits")
+        out += word.to_bytes(WORD_BYTES, "big")
+    return bytes(out)

@@ -1,0 +1,125 @@
+"""CRC implementations used by the network and bitstream substrates.
+
+Three variants are needed:
+
+* ``Crc32`` — IEEE 802.3 CRC-32, the Ethernet frame check sequence;
+* ``Crc16Ccitt`` — CRC-16/CCITT-FALSE, used by the JTAG reference port;
+* ``XilinxBitstreamCrc`` — the 32-bit CRC Xilinx configuration logic keeps
+  over (register address, data word) pairs during bitstream loading.  The
+  real polynomial is undocumented for most families; we use the standard
+  CRC-32C (Castagnoli) polynomial over the 37-bit (address ‖ word) records,
+  which preserves the structure of the check: it covers both payload and
+  target register of every packet write.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def _make_table(poly: int, width: int) -> List[int]:
+    """Build a byte-at-a-time lookup table for a reflected CRC."""
+    mask = (1 << width) - 1
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+        table.append(crc & mask)
+    return table
+
+
+class Crc32:
+    """IEEE 802.3 CRC-32 (reflected, init ``0xFFFFFFFF``, final XOR)."""
+
+    _TABLE = _make_table(0xEDB88320, 32)
+
+    def __init__(self) -> None:
+        self._state = 0xFFFFFFFF
+
+    def update(self, data: bytes) -> "Crc32":
+        state = self._state
+        table = self._TABLE
+        for byte in data:
+            state = (state >> 8) ^ table[(state ^ byte) & 0xFF]
+        self._state = state
+        return self
+
+    def digest(self) -> int:
+        return self._state ^ 0xFFFFFFFF
+
+    def digest_bytes(self) -> bytes:
+        """FCS as transmitted on the wire (little-endian)."""
+        return self.digest().to_bytes(4, "little")
+
+
+def crc32(data: bytes) -> int:
+    """One-shot IEEE CRC-32 of ``data``."""
+    return Crc32().update(data).digest()
+
+
+class Crc16Ccitt:
+    """CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, not reflected)."""
+
+    def __init__(self) -> None:
+        self._state = 0xFFFF
+
+    def update(self, data: bytes) -> "Crc16Ccitt":
+        state = self._state
+        for byte in data:
+            state ^= byte << 8
+            for _ in range(8):
+                if state & 0x8000:
+                    state = ((state << 1) ^ 0x1021) & 0xFFFF
+                else:
+                    state = (state << 1) & 0xFFFF
+        self._state = state
+        return self
+
+    def digest(self) -> int:
+        return self._state
+
+
+class XilinxBitstreamCrc:
+    """Configuration-logic CRC over (register, word) records.
+
+    Every word written through a configuration packet is folded into the
+    CRC together with the 5-bit address of the register it targets, the
+    same coverage the silicon implements.  Writing the expected value to
+    the CRC register checks and resets the accumulator.
+    """
+
+    _TABLE = _make_table(0x82F63B78, 32)  # CRC-32C (Castagnoli), reflected
+
+    def __init__(self) -> None:
+        self._state = 0
+
+    def reset(self) -> None:
+        self._state = 0
+
+    def feed(self, register: int, word: int) -> None:
+        """Fold one 32-bit ``word`` written to config ``register`` (5 bit)."""
+        if not 0 <= register < 32:
+            raise ValueError(f"register address {register} does not fit in 5 bits")
+        record = word.to_bytes(4, "big") + bytes([register])
+        state = self._state
+        table = self._TABLE
+        for byte in record:
+            state = (state >> 8) ^ table[(state ^ byte) & 0xFF]
+        self._state = state
+
+    def feed_words(self, register: int, words: Iterable[int]) -> None:
+        for word in words:
+            self.feed(register, word)
+
+    def digest(self) -> int:
+        return self._state
+
+    def check(self, expected: int) -> bool:
+        """Compare against ``expected`` and reset, as the CRC register does."""
+        ok = self._state == expected
+        self.reset()
+        return ok

@@ -1,0 +1,45 @@
+"""Time, frequency and size units.
+
+The whole timing model works in integer-friendly nanoseconds (floats are
+allowed because the paper reports fractional-cycle durations such as
+1 834 ns at 100 MHz).
+"""
+
+from __future__ import annotations
+
+MHZ = 1_000_000
+NS_PER_S = 1_000_000_000
+NS_PER_MS = 1_000_000
+NS_PER_US = 1_000
+
+
+def period_ns(frequency_hz: float) -> float:
+    """Clock period in nanoseconds for a frequency in Hz."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return NS_PER_S / frequency_hz
+
+
+def format_time_ns(duration_ns: float) -> str:
+    """Render a nanosecond duration with the unit the paper would use."""
+    if duration_ns >= NS_PER_S:
+        return f"{duration_ns / NS_PER_S:.3f} s"
+    if duration_ns >= NS_PER_MS:
+        return f"{duration_ns / NS_PER_MS:.3f} ms"
+    if duration_ns >= NS_PER_US:
+        return f"{duration_ns / NS_PER_US:.3f} us"
+    return f"{duration_ns:.0f} ns"
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count (binary units)."""
+    if count < 0:
+        raise ValueError(f"byte count must be non-negative, got {count}")
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

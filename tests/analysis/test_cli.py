@@ -1,0 +1,61 @@
+"""CLI tests: every command runs, exits correctly, prints what it says."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attest", "--device", "XC7Z020"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99-nothing"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "XC6VLX240T" in out
+        assert "E1-table2" in out
+
+    def test_attest_honest(self, capsys):
+        assert main(["attest", "--device", "SIM-SMALL", "--seed", "7"]) == 0
+        assert "ATTESTED" in capsys.readouterr().out
+
+    def test_attest_tampered(self, capsys):
+        assert main(
+            ["attest", "--device", "SIM-SMALL", "--seed", "7", "--tamper"]
+        ) == 0  # exit 0: detection behaved as expected
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--device", "SIM-SMALL"]) == 0
+        out = capsys.readouterr().out
+        assert "ICAP_config" in out
+        assert "MAC_checksum" in out
+
+    def test_security(self, capsys):
+        assert main(["security", "--device", "SIM-SMALL"]) == 0
+        out = capsys.readouterr().out
+        assert "defense holds" in out
+
+    def test_experiment_runner(self, capsys):
+        assert main(["experiment", "E2-table3"]) == 0
+        assert "8,856" in capsys.readouterr().out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "Table 4" in out
+        assert "28.500 s" in out

@@ -1,0 +1,198 @@
+"""Experiment-registry tests: every E* regenerates its paper artifact."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    PAPER_TABLE2,
+    e1_table2,
+    e2_table3,
+    e3_table4,
+    e4_jtag_reference,
+    e6_protocol_trace,
+    e7_buffer_ablation,
+    e8_order_ablation,
+    e9_baseline_matrix,
+    e11_state_attestation,
+)
+from repro.fpga.device import SIM_SMALL
+
+
+class TestE1Table2:
+    def test_matches_paper(self):
+        result = e1_table2()
+        assert result.matches_paper
+        assert dict(result.rows) == PAPER_TABLE2
+
+    def test_rendered_contains_rows(self):
+        rendered = e1_table2().rendered
+        assert "StatPart" in rendered
+        assert "18840" in rendered
+
+
+class TestE2E3Timing:
+    def test_table3_matches(self):
+        assert e2_table3().matches_paper
+
+    def test_table4_matches(self):
+        result = e3_table4()
+        assert result.theoretical_matches
+        assert result.measured_matches
+
+    def test_rendered_mentions_both_durations(self):
+        rendered = e3_table4().rendered
+        assert "1.442" in rendered or "1.443" in rendered
+        assert "28.5" in rendered
+
+
+class TestE4Jtag:
+    def test_reference_point(self):
+        result = e4_jtag_reference()
+        assert 27.0 < result.jtag_s < 29.0
+        assert abs(result.sacha_measured_s - 28.5) < 0.05
+
+
+class TestE6Trace:
+    def test_trace_shape(self):
+        result = e6_protocol_trace(SIM_SMALL)
+        assert result.accepted
+        assert result.kinds_in_order[0] == "ICAP_config"
+        assert result.kinds_in_order[-1] == "MAC_response"
+        assert result.counts["MAC_init"] == 1
+        assert result.counts["ICAP_readback"] == SIM_SMALL.total_frames
+
+
+class TestE7Buffer:
+    def test_single_frame_buffer_is_paper_configuration(self):
+        result = e7_buffer_ablation()
+        first = result.rows[0]
+        assert first.buffer_frames == 1
+        assert first.config_commands == 26_400
+        assert abs(first.duration_s - 28.5) < 0.2
+
+    def test_bigger_buffers_cut_config_phase(self):
+        """Batching eliminates the config-phase round trips (28.5 s →
+        ~15.5 s) but the readback commands floor the duration — the
+        shape statement behind the trade-off discussion."""
+        rows = e7_buffer_ablation().rows
+        feasible = [row for row in rows if row.feasible]
+        assert feasible[-1].duration_s < feasible[0].duration_s * 0.6
+        readback_floor = 28_488 * 0.000493  # readback round trips alone
+        assert all(row.duration_s > readback_floor for row in feasible)
+
+    def test_whole_bitstream_buffer_flagged_infeasible(self):
+        rows = e7_buffer_ablation().rows
+        assert not rows[-1].feasible
+        assert all(row.feasible for row in rows[:-1])
+
+
+class TestE8Orders:
+    def test_every_order_detects_tamper(self):
+        result = e8_order_ablation()
+        assert all(row.tamper_detected for row in result.rows)
+
+    def test_repeats_cost_more_steps(self):
+        rows = {row.order_name: row for row in e8_order_ablation().rows}
+        assert rows["repeated"].steps > rows["sequential"].steps
+
+
+class TestE9Baselines:
+    def test_matrix_shape(self):
+        result = e9_baseline_matrix()
+        detected = {o.attack_name: o.detected for o in result.outcomes}
+        # SACHa detects the config-memory tamper the FPGA baselines miss.
+        assert detected["StatPart configuration substitution"]
+        assert not detected["Attestation-core tamper vs Chaves et al."]
+        assert not detected["Config-memory tamper vs Drimer-Kuhn secure update"]
+
+
+class TestE11State:
+    def test_mask_mode_always_passes(self):
+        rows = e11_state_attestation().rows
+        masked = [row for row in rows if row.mode == "masked"]
+        assert all(row.accepted for row in masked)
+
+    def test_live_state_fails_only_when_running(self):
+        rows = {(row.mode, row.app_running): row for row in e11_state_attestation().rows}
+        assert rows[("live-state", False)].accepted
+        assert not rows[("live-state", True)].accepted
+
+
+class TestE12Signature:
+    def test_both_modes_work(self):
+        from repro.analysis.experiments import e12_signature_extension
+
+        rows = {row.mode: row for row in e12_signature_extension().rows}
+        assert rows["mac"].authenticator_bytes == 16
+        assert rows["signature"].authenticator_bytes == 288
+        for row in rows.values():
+            assert row.honest_accepted
+            assert row.tamper_detected
+
+
+class TestE13Swarm:
+    def test_scaling_shape(self):
+        from repro.analysis.experiments import e13_swarm_scaling
+
+        rows = {row.fleet_size: row for row in e13_swarm_scaling().rows}
+        assert all(row.all_healthy for row in rows.values())
+        assert rows[8].sequential_ms == pytest.approx(
+            8 * rows[1].sequential_ms, rel=0.1
+        )
+        assert rows[8].parallel_ms == pytest.approx(rows[1].parallel_ms, rel=0.1)
+
+
+class TestE15MaskPlacement:
+    def test_variants(self):
+        from repro.analysis.experiments import e15_mask_placement
+
+        result = e15_mask_placement()
+        paper, alternative = result.rows
+        assert not paper.accepted and not alternative.accepted
+        assert paper.localizes_tamper and not alternative.localizes_tamper
+        assert 0.95 < result.latency_ratio < 1.05
+
+
+class TestE14Compression:
+    def test_full_utilization_is_incompressible_on_real_part(self):
+        from repro.analysis.experiments import e14_compression_margin
+        from repro.fpga.device import XC6VLX240T
+
+        result = e14_compression_margin(XC6VLX240T, utilizations=(1.00,))
+        full = result.rows[0]
+        assert full.ratio < 1.05
+        assert not full.fits_in_bram
+        # BRAM / DynPart-payload: the 22 % break-even of EXPERIMENTS.md.
+        assert 0.20 < result.break_even_utilization < 0.25
+
+    def test_toy_devices_violate_the_assumption(self):
+        """The scaled test parts deliberately have oversized BRAM; the
+        bounded-memory argument only holds on the real part — which is
+        why the invariant checks run against the XC6VLX240T."""
+        from repro.analysis.experiments import e14_compression_margin
+        from repro.fpga.device import SIM_MEDIUM
+
+        result = e14_compression_margin(SIM_MEDIUM, utilizations=(1.00,))
+        assert result.break_even_utilization > 1.0
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "E1-table2",
+            "E2-table3",
+            "E3-table4",
+            "E4-jtag",
+            "E5-security",
+            "E6-trace",
+            "E7-buffer",
+            "E8-orders",
+            "E9-baselines",
+            "E11-state",
+            "E12-signature",
+            "E13-swarm",
+            "E14-compression",
+            "E15-mask-placement",
+            "E17-monitoring",
+            "E18-batching",
+        }

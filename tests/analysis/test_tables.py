@@ -1,0 +1,41 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.analysis.tables import render_comparison, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_present(self):
+        text = render_table(["A", "B"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "22" in text
+        assert "yy" in text
+
+    def test_title(self):
+        text = render_table(["A"], [[1]], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_column_width_adapts(self):
+        text = render_table(["X"], [["very-long-cell"]])
+        separator = text.splitlines()[1]
+        assert len(separator) >= len("very-long-cell")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestRenderComparison:
+    def test_both_sections_present(self):
+        text = render_comparison(
+            ["A"], [[1]], [[2]], title="Table 3"
+        )
+        assert "paper" in text
+        assert "reproduced" in text
+        assert "Table 3" in text

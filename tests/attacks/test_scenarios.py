@@ -1,0 +1,98 @@
+"""The Section-7.2 security evaluation as tests: every defense must hold."""
+
+import pytest
+
+from repro.attacks.scenarios import (
+    bram_hoarding_attack,
+    dynpart_malware_attack,
+    impersonation_attack,
+    nonce_suppression_attack,
+    proxy_attack,
+    replay_attack,
+    run_all_scenarios,
+    statpart_insertion_attack,
+    statpart_substitution_attack,
+)
+from repro.core.provisioning import provision_device
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import SIM_MEDIUM
+
+
+@pytest.fixture
+def fresh():
+    counter = [0]
+
+    def make():
+        counter[0] += 1
+        return provision_device(
+            build_sacha_system(SIM_MEDIUM), f"prv-{counter[0]}", seed=900 + counter[0]
+        )
+
+    return make
+
+
+class TestIndividualScenarios:
+    def test_dynpart_malware_is_overwritten(self, fresh):
+        outcome = dynpart_malware_attack(*fresh(), resist_overwrite=False)
+        assert outcome.mounted
+        assert outcome.defense_holds
+        assert "overwritten" in outcome.notes
+
+    def test_dynpart_malware_resisting_is_detected(self, fresh):
+        outcome = dynpart_malware_attack(*fresh(), resist_overwrite=True)
+        assert outcome.mounted
+        assert outcome.detected
+
+    def test_statpart_insertion_is_infeasible(self, fresh):
+        outcome = statpart_insertion_attack(*fresh())
+        assert not outcome.mounted
+        assert outcome.defense_holds
+        assert "no room" in outcome.notes
+
+    def test_statpart_substitution_is_detected(self, fresh):
+        outcome = statpart_substitution_attack(*fresh())
+        assert outcome.mounted
+        assert outcome.detected
+
+    def test_impersonation_fails_on_mac(self, fresh):
+        outcome = impersonation_attack(*fresh())
+        assert outcome.detected
+
+    def test_proxy_pin_tamper_is_detected(self, fresh):
+        outcome = proxy_attack(*fresh())
+        assert outcome.mounted
+        assert outcome.detected
+
+    def test_replay_is_detected(self, fresh):
+        outcome = replay_attack(*fresh())
+        assert outcome.mounted
+        assert outcome.detected
+
+    def test_nonce_suppression_is_detected(self, fresh):
+        outcome = nonce_suppression_attack(*fresh())
+        assert outcome.mounted
+        assert outcome.detected
+
+    def test_bram_hoarding_is_detected(self, fresh):
+        outcome = bram_hoarding_attack(*fresh())
+        assert outcome.mounted
+        assert outcome.detected
+
+
+class TestFullSweep:
+    def test_all_defenses_hold(self, fresh):
+        outcomes = run_all_scenarios(fresh)
+        assert len(outcomes) == 9
+        failing = [o.attack_name for o in outcomes if not o.defense_holds]
+        assert not failing, f"defenses failed: {failing}"
+
+    def test_adversary_classes_cover_taxonomy(self, fresh):
+        outcomes = run_all_scenarios(fresh)
+        classes = {outcome.adversary_class for outcome in outcomes}
+        assert classes == {"remote", "local"}
+
+    def test_outcomes_explain(self, fresh):
+        outcome = impersonation_attack(*fresh())
+        text = outcome.explain()
+        assert "DETECTED" in text
+        assert outcome.attack_name in text

@@ -1,0 +1,49 @@
+"""Baseline-scheme attacks: the Section-4 critiques must reproduce."""
+
+from repro.attacks.software import (
+    chaves_core_tamper,
+    drimer_kuhn_memory_tamper,
+    pose_resident_malware,
+    swatt_redirection,
+)
+from repro.fpga.device import SIM_SMALL
+
+
+class TestPoseAttack:
+    def test_resident_malware_detected(self):
+        outcome = pose_resident_malware()
+        assert outcome.mounted
+        assert outcome.detected
+
+    def test_detection_scales_down_to_tiny_malware(self):
+        outcome = pose_resident_malware(malware_bytes=4)
+        assert outcome.detected
+
+
+class TestSwattAttacks:
+    def test_strict_timing_detects(self):
+        outcome = swatt_redirection(networked=False)
+        assert outcome.detected
+
+    def test_networked_misses(self):
+        """The known gap: over a network the timing channel is unusable
+        and the redirecting malware passes — SACHa needs no timing."""
+        outcome = swatt_redirection(networked=True)
+        assert outcome.mounted
+        assert not outcome.detected
+
+
+class TestFpgaBaselineGaps:
+    def test_chaves_core_tamper_undetected(self):
+        outcome = chaves_core_tamper(SIM_SMALL)
+        assert outcome.mounted
+        assert not outcome.detected
+
+    def test_drimer_kuhn_memory_tamper_undetected(self):
+        outcome = drimer_kuhn_memory_tamper(SIM_SMALL)
+        assert outcome.mounted
+        assert not outcome.detected
+
+    def test_notes_name_the_broken_assumption(self):
+        assert "tamper-proof" in chaves_core_tamper(SIM_SMALL).notes
+        assert "tamper-proof" in drimer_kuhn_memory_tamper(SIM_SMALL).notes

@@ -1,0 +1,116 @@
+"""Tests for the prior FPGA-attestation baselines (Chaves, Drimer–Kuhn)."""
+
+import pytest
+
+from repro.baselines.chaves import ChavesAttestor, ChavesVerifier
+from repro.baselines.drimer_kuhn import (
+    DrimerKuhnDevice,
+    DrimerKuhnVerifier,
+    make_update,
+)
+from repro.crypto.sha256 import sha256
+from repro.errors import ProtocolError
+from repro.fpga.bitstream import build_partial_bitstream
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.device import SIM_SMALL
+from repro.utils.rng import DeterministicRng
+
+KEY = bytes(range(16))
+
+
+def _bitstream(seed, frames):
+    memory = ConfigurationMemory(SIM_SMALL)
+    memory.randomize(DeterministicRng(seed))
+    return build_partial_bitstream(memory, frames, f"bs-{seed}")
+
+
+class TestChaves:
+    FRAMES = [0, 1, 2, 3]
+
+    def test_honest_load_verifies(self):
+        bitstream = _bitstream(1, self.FRAMES)
+        attestor = ChavesAttestor(restricted_frames=set(self.FRAMES))
+        attestor.observe_load(bitstream, self.FRAMES)
+        assert ChavesVerifier([bitstream]).verify(attestor.report())
+
+    def test_wrong_bitstream_detected_when_core_intact(self):
+        golden = _bitstream(1, self.FRAMES)
+        evil = _bitstream(2, self.FRAMES)
+        attestor = ChavesAttestor(restricted_frames=set(self.FRAMES))
+        attestor.observe_load(evil, self.FRAMES)
+        assert not ChavesVerifier([golden]).verify(attestor.report())
+
+    def test_restricted_region_enforced_when_core_intact(self):
+        bitstream = _bitstream(1, self.FRAMES + [10])
+        attestor = ChavesAttestor(restricted_frames=set(self.FRAMES))
+        with pytest.raises(ProtocolError):
+            attestor.observe_load(bitstream, self.FRAMES + [10])
+
+    def test_compromised_core_forges_hashes(self):
+        """The assumption gap SACHa closes: tamper the core, pass checks."""
+        golden = _bitstream(1, self.FRAMES)
+        evil = _bitstream(2, self.FRAMES)
+        attestor = ChavesAttestor(restricted_frames=set(self.FRAMES))
+        attestor.compromise(sha256(golden.to_bytes()))
+        attestor.observe_load(evil, self.FRAMES)
+        assert ChavesVerifier([golden]).verify(attestor.report())
+        assert not attestor.core_intact
+
+    def test_compromised_core_ignores_region_restriction(self):
+        evil = _bitstream(2, self.FRAMES + [10])
+        attestor = ChavesAttestor(restricted_frames=set(self.FRAMES))
+        attestor.compromise(bytes(32))
+        attestor.observe_load(evil, self.FRAMES + [10])  # no exception
+
+    def test_forged_digest_length_checked(self):
+        with pytest.raises(ProtocolError):
+            ChavesAttestor().compromise(b"short")
+
+
+class TestDrimerKuhn:
+    def _pair(self):
+        return DrimerKuhnDevice(SIM_SMALL, KEY), DrimerKuhnVerifier(KEY)
+
+    def _image(self, seed):
+        return DeterministicRng(seed).randbytes(SIM_SMALL.configuration_bytes())
+
+    def test_authentic_update_applies(self):
+        device, verifier = self._pair()
+        assert verifier.push_update(device, 1, self._image(1))
+        assert device.version == 1
+        assert device.nvm == self._image(1)
+
+    def test_forged_update_rejected(self):
+        device, _ = self._pair()
+        update = make_update(b"\x00" * 16, 1, self._image(1))
+        assert not device.apply_update(update)
+
+    def test_rollback_rejected(self):
+        device, verifier = self._pair()
+        verifier.push_update(device, 2, self._image(1))
+        assert not device.apply_update(make_update(KEY, 1, self._image(2)))
+        assert not device.apply_update(make_update(KEY, 2, self._image(2)))
+
+    def test_status_attestation_of_honest_device(self):
+        device, verifier = self._pair()
+        verifier.push_update(device, 1, self._image(1))
+        assert verifier.attest(device, b"nonce-1")
+
+    def test_version_mismatch_detected(self):
+        device, verifier = self._pair()
+        verifier.push_update(device, 1, self._image(1))
+        device.version = 99  # device lies about its version
+        assert not verifier.attest(device, b"nonce-2")
+
+    def test_memory_tamper_not_detected(self):
+        """The tamper-proof-memory assumption: direct config-memory bit
+        flips are invisible to the status attestation."""
+        device, verifier = self._pair()
+        verifier.push_update(device, 1, self._image(1))
+        device.memory.flip_bit(3, 0, 5)
+        assert verifier.attest(device, b"nonce-3")
+
+    def test_partial_image_rejected(self):
+        device, _ = self._pair()
+        with pytest.raises(ProtocolError):
+            device.apply_update(make_update(KEY, 1, b"short"))

@@ -1,0 +1,109 @@
+"""Tests for the bounded-memory MCU and the Perito–Tsudik protocols."""
+
+import pytest
+
+from repro.baselines.mcu import BoundedMemoryMcu, ResidentMalware
+from repro.baselines.pose import (
+    CHUNK_BYTES,
+    proof_of_secure_erasure,
+    secure_code_update,
+)
+from repro.errors import ProtocolError
+from repro.utils.rng import DeterministicRng
+
+KEY = bytes(range(16))
+
+
+class TestMcu:
+    def test_rom_write_and_read(self):
+        mcu = BoundedMemoryMcu(256, KEY)
+        mcu.rom_write(10, b"hello")
+        assert mcu.read_ram()[10:15] == b"hello"
+
+    def test_write_outside_ram_rejected(self):
+        mcu = BoundedMemoryMcu(256, KEY)
+        with pytest.raises(ProtocolError):
+            mcu.rom_write(250, b"too long")
+
+    def test_checksum_depends_on_nonce_and_memory(self):
+        mcu = BoundedMemoryMcu(256, KEY)
+        tag_a = mcu.rom_checksum(b"nonce-a")
+        tag_b = mcu.rom_checksum(b"nonce-b")
+        assert tag_a != tag_b
+        mcu.rom_write(0, b"\x01")
+        assert mcu.rom_checksum(b"nonce-a") != tag_a
+
+    def test_malware_survives_overwrites(self):
+        malware = ResidentMalware(offset=100, body=b"EVIL" * 4)
+        mcu = BoundedMemoryMcu(256, KEY, malware=malware)
+        mcu.rom_write(0, bytes(256))
+        assert mcu.read_ram()[100:116] == b"EVIL" * 4
+
+    def test_malware_must_fit(self):
+        with pytest.raises(ValueError):
+            BoundedMemoryMcu(64, KEY, malware=ResidentMalware(60, b"12345678"))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BoundedMemoryMcu(0, KEY)
+        with pytest.raises(ValueError):
+            BoundedMemoryMcu(64, b"short")
+        with pytest.raises(ValueError):
+            ResidentMalware(-1, b"x")
+        with pytest.raises(ValueError):
+            ResidentMalware(0, b"")
+
+
+class TestProofOfSecureErasure:
+    def test_clean_device_accepted(self):
+        mcu = BoundedMemoryMcu(2048, KEY)
+        result = proof_of_secure_erasure(mcu, KEY, DeterministicRng(1))
+        assert result.accepted
+        assert result.memory_bytes == 2048
+        assert result.chunks_sent == 2048 // CHUNK_BYTES
+
+    def test_infected_device_detected(self):
+        """The core bounded-memory result: resident malware cannot both
+        survive and produce the right checksum."""
+        malware = ResidentMalware(offset=512, body=b"\xee" * 64)
+        mcu = BoundedMemoryMcu(2048, KEY, malware=malware)
+        result = proof_of_secure_erasure(mcu, KEY, DeterministicRng(1))
+        assert not result.accepted
+
+    def test_single_byte_malware_detected(self):
+        malware = ResidentMalware(offset=0, body=b"\xff")
+        mcu = BoundedMemoryMcu(2048, KEY, malware=malware)
+        # The fill is random; a fixed byte collides with probability 1/256.
+        result = proof_of_secure_erasure(mcu, KEY, DeterministicRng(2))
+        assert not result.accepted
+
+    def test_explain(self):
+        mcu = BoundedMemoryMcu(1024, KEY)
+        result = proof_of_secure_erasure(mcu, KEY, DeterministicRng(3))
+        assert "erased" in result.explain()
+
+
+class TestSecureCodeUpdate:
+    def test_clean_update_accepted(self):
+        mcu = BoundedMemoryMcu(2048, KEY)
+        result = secure_code_update(mcu, KEY, DeterministicRng(4), b"\x90" * 300)
+        assert result.accepted
+        assert mcu.read_ram()[:300] == b"\x90" * 300
+
+    def test_update_on_infected_device_detected(self):
+        malware = ResidentMalware(offset=1000, body=b"\xbd" * 32)
+        mcu = BoundedMemoryMcu(2048, KEY, malware=malware)
+        result = secure_code_update(mcu, KEY, DeterministicRng(5), b"\x90" * 300)
+        assert not result.accepted
+
+    def test_oversized_code_rejected(self):
+        mcu = BoundedMemoryMcu(128, KEY)
+        with pytest.raises(ValueError):
+            secure_code_update(mcu, KEY, DeterministicRng(6), bytes(129))
+
+    def test_padding_fills_whole_memory(self):
+        """No free region remains after the update — the erasure part."""
+        mcu = BoundedMemoryMcu(1024, KEY)
+        secure_code_update(mcu, KEY, DeterministicRng(7), b"\x90" * 10)
+        ram = mcu.read_ram()
+        assert ram[10:] != bytes(1014)  # padding is pseudorandom, not zero

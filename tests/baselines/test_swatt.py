@@ -1,0 +1,96 @@
+"""Tests for the SWATT baseline: checksum correctness and timing defense."""
+
+import pytest
+
+from repro.baselines.swatt import (
+    CYCLES_PER_ACCESS,
+    CYCLES_REDIRECTION_CHECK,
+    SwattProver,
+    SwattVerifier,
+)
+from repro.errors import ProtocolError
+from repro.utils.rng import DeterministicRng
+
+MEMORY = DeterministicRng(1).randbytes(2048)
+CHALLENGE = b"challenge-000001"
+ITERATIONS = 4096
+
+
+class TestHonestProver:
+    def test_honest_checksum_verifies(self):
+        prover = SwattProver(MEMORY)
+        verifier = SwattVerifier(MEMORY)
+        result = prover.respond(CHALLENGE, ITERATIONS)
+        assert verifier.verify(CHALLENGE, ITERATIONS, result)
+
+    def test_honest_cycles_are_baseline(self):
+        result = SwattProver(MEMORY).respond(CHALLENGE, ITERATIONS)
+        assert result.cycles == ITERATIONS * CYCLES_PER_ACCESS
+
+    def test_checksum_depends_on_challenge(self):
+        prover = SwattProver(MEMORY)
+        a = prover.respond(b"challenge-a", ITERATIONS)
+        b = prover.respond(b"challenge-b", ITERATIONS)
+        assert a.checksum != b.checksum
+
+    def test_checksum_depends_on_memory(self):
+        modified = bytearray(MEMORY)
+        modified[100] ^= 0xFF
+        a = SwattProver(MEMORY).respond(CHALLENGE, ITERATIONS)
+        b = SwattProver(bytes(modified)).respond(CHALLENGE, ITERATIONS)
+        assert a.checksum != b.checksum
+
+
+class TestCompromisedProver:
+    def _compromised(self):
+        return SwattProver(MEMORY, malware_range=(512, 640))
+
+    def test_redirection_preserves_checksum(self):
+        """The malware answers correctly — that is the whole problem."""
+        result = self._compromised().respond(CHALLENGE, ITERATIONS)
+        verifier = SwattVerifier(MEMORY)
+        assert verifier.verify_without_timing(CHALLENGE, ITERATIONS, result)
+
+    def test_redirection_costs_cycles(self):
+        honest = SwattProver(MEMORY).respond(CHALLENGE, ITERATIONS)
+        compromised = self._compromised().respond(CHALLENGE, ITERATIONS)
+        assert compromised.cycles == honest.cycles + (
+            ITERATIONS * CYCLES_REDIRECTION_CHECK
+        )
+
+    def test_strict_timing_detects(self):
+        result = self._compromised().respond(CHALLENGE, ITERATIONS)
+        assert not SwattVerifier(MEMORY).verify(CHALLENGE, ITERATIONS, result)
+
+    def test_networked_deployment_misses(self):
+        """Without usable timing the compromise is invisible — the
+        critique of Section 4.1."""
+        result = self._compromised().respond(CHALLENGE, ITERATIONS)
+        assert SwattVerifier(MEMORY).verify_without_timing(
+            CHALLENGE, ITERATIONS, result
+        )
+
+    def test_generous_slack_also_misses(self):
+        result = self._compromised().respond(CHALLENGE, ITERATIONS)
+        lenient = SwattVerifier(MEMORY, timing_slack=2.0)
+        assert lenient.verify(CHALLENGE, ITERATIONS, result)
+
+
+class TestValidation:
+    def test_empty_memory_rejected(self):
+        with pytest.raises(ProtocolError):
+            SwattProver(b"")
+
+    def test_bad_malware_range(self):
+        with pytest.raises(ProtocolError):
+            SwattProver(MEMORY, malware_range=(100, 50))
+        with pytest.raises(ProtocolError):
+            SwattProver(MEMORY, malware_range=(0, len(MEMORY) + 1))
+
+    def test_bad_iterations(self):
+        with pytest.raises(ProtocolError):
+            SwattProver(MEMORY).respond(CHALLENGE, 0)
+
+    def test_bad_slack(self):
+        with pytest.raises(ProtocolError):
+            SwattVerifier(MEMORY, timing_slack=0.5)

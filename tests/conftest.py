@@ -1,0 +1,52 @@
+"""Shared fixtures: provisioned SACHa systems at the two test scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import SIM_MEDIUM, SIM_SMALL
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def small_system():
+    """A fresh SACHa system design on the small test part."""
+    return build_sacha_system(SIM_SMALL)
+
+
+@pytest.fixture
+def medium_system():
+    """A fresh SACHa system design on the medium test part."""
+    return build_sacha_system(SIM_MEDIUM)
+
+
+@pytest.fixture
+def provisioned_small(small_system):
+    """(ProvisionedDevice, VerifierRecord) on the small part."""
+    return provision_device(small_system, "prv-small", seed=4242)
+
+
+@pytest.fixture
+def provisioned_medium(medium_system):
+    """(ProvisionedDevice, VerifierRecord) on the medium part."""
+    return provision_device(medium_system, "prv-medium", seed=4243)
+
+
+@pytest.fixture
+def verifier_small(provisioned_small):
+    _, record = provisioned_small
+    return SachaVerifier(record.system, record.mac_key, DeterministicRng(77))
+
+
+@pytest.fixture
+def verifier_medium(provisioned_medium):
+    _, record = provisioned_medium
+    return SachaVerifier(record.system, record.mac_key, DeterministicRng(78))
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRng(123456)

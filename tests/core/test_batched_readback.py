@@ -1,0 +1,162 @@
+"""Tests for the ranged (batched) readback extension."""
+
+import pytest
+
+from repro.core.orders import PermutationOrder, SequentialOrder
+from repro.core.protocol import SessionOptions, _contiguous_batches, run_attestation
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.errors import ProtocolError
+from repro.fpga.device import SIM_MEDIUM
+from repro.net.messages import IcapReadbackRangeCommand
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def stack(medium_system):
+    provisioned, record = provision_device(medium_system, "prv-batch", seed=6500)
+    verifier = SachaVerifier(
+        record.system,
+        record.mac_key,
+        DeterministicRng(6501),
+        order=SequentialOrder(),
+    )
+    return provisioned, verifier
+
+
+class TestContiguousBatches:
+    def test_fully_contiguous_plan(self):
+        batches = _contiguous_batches(list(range(10)), batch_frames=4)
+        assert batches == [(0, 4), (4, 4), (8, 2)]
+
+    def test_offset_plan_has_two_runs(self):
+        plan = [7, 8, 9, 0, 1, 2]
+        assert _contiguous_batches(plan, batch_frames=10) == [(7, 3), (0, 3)]
+
+    def test_non_contiguous_degenerates_to_singles(self):
+        assert _contiguous_batches([5, 3, 9], batch_frames=8) == [
+            (5, 1),
+            (3, 1),
+            (9, 1),
+        ]
+
+    def test_batch_of_one(self):
+        assert _contiguous_batches([0, 1, 2], batch_frames=1) == [
+            (0, 1),
+            (1, 1),
+            (2, 1),
+        ]
+
+
+class TestBatchedRuns:
+    @pytest.mark.parametrize("batch", [2, 16, 64])
+    def test_honest_run_accepted(self, stack, batch):
+        provisioned, verifier = stack
+        result = run_attestation(
+            provisioned.prover,
+            verifier,
+            DeterministicRng(batch),
+            SessionOptions(readback_batch_frames=batch),
+        )
+        assert result.report.accepted
+        assert len(result.responses) == SIM_MEDIUM.total_frames
+
+    def test_same_tag_as_unbatched_for_same_nonce(self, medium_system):
+        """Batching changes transport, not the MAC input stream."""
+        provisioned, record = provision_device(medium_system, "prv-tag", seed=6700)
+
+        def fresh_verifier():
+            return SachaVerifier(
+                record.system,
+                record.mac_key,
+                DeterministicRng(6701),
+                order=SequentialOrder(),
+            )
+
+        plain = run_attestation(
+            provisioned.prover, fresh_verifier(), DeterministicRng(1)
+        )
+        batched = run_attestation(
+            provisioned.prover,
+            fresh_verifier(),
+            DeterministicRng(1),
+            SessionOptions(readback_batch_frames=32),
+        )
+        # Identical verifier state => same nonce => same stream => same tag.
+        assert plain.nonce == batched.nonce
+        assert plain.tag == batched.tag
+
+    def test_tamper_detected_and_localized(self, stack):
+        provisioned, verifier = stack
+        frame = verifier.system.partition.static_frame_list()[2]
+        provisioned.board.fpga.memory.flip_bit(frame, 1, 5)
+        result = run_attestation(
+            provisioned.prover,
+            verifier,
+            DeterministicRng(2),
+            SessionOptions(readback_batch_frames=16),
+        )
+        assert not result.report.accepted
+        assert result.report.mismatched_frames == [frame]
+
+    def test_batching_cuts_networked_duration(self, stack):
+        from repro.timing.network import LAB_NETWORK
+
+        provisioned, verifier = stack
+        plain = run_attestation(
+            provisioned.prover,
+            verifier,
+            DeterministicRng(3),
+            SessionOptions(network=LAB_NETWORK),
+        )
+        batched = run_attestation(
+            provisioned.prover,
+            verifier,
+            DeterministicRng(4),
+            SessionOptions(network=LAB_NETWORK, readback_batch_frames=64),
+        )
+        assert batched.report.timing.total_ns < plain.report.timing.total_ns / 2
+
+    def test_permutation_order_degrades_gracefully(self, medium_system):
+        """A non-contiguous plan still works — batches collapse to ones."""
+        provisioned, record = provision_device(medium_system, "prv-perm", seed=6600)
+        verifier = SachaVerifier(
+            record.system,
+            record.mac_key,
+            DeterministicRng(6601),
+            order=PermutationOrder(DeterministicRng(6602)),
+        )
+        result = run_attestation(
+            provisioned.prover,
+            verifier,
+            DeterministicRng(5),
+            SessionOptions(readback_batch_frames=32),
+        )
+        assert result.report.accepted
+
+    def test_incompatible_with_prover_side_mask(self, stack):
+        provisioned, verifier = stack
+        with pytest.raises(ProtocolError, match="incompatible"):
+            run_attestation(
+                provisioned.prover,
+                verifier,
+                DeterministicRng(6),
+                SessionOptions(mask_at_prover=True, readback_batch_frames=4),
+            )
+
+
+class TestProverRangeHandling:
+    def test_range_equals_individual_readbacks(self, stack):
+        provisioned, _ = stack
+        prover = provisioned.prover
+        ranged = prover.handle_command(IcapReadbackRangeCommand(0, 3))
+        prover.abort_run()
+        singles = b"".join(prover.handle_readback(i) for i in range(3))
+        prover.abort_run()
+        assert ranged.data == singles
+
+    def test_bad_count_rejected(self, stack):
+        provisioned, _ = stack
+        with pytest.raises(ProtocolError):
+            provisioned.prover.handle_readback_range(0, 0)

@@ -1,0 +1,143 @@
+"""Tests for the periodic attestation monitor."""
+
+import pytest
+
+from repro.core.monitor import AttestationMonitor
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.errors import ProtocolError
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+PERIOD_NS = 60e6  # 60 ms — comfortably above a SIM-MEDIUM run (~11 ms)
+
+
+@pytest.fixture
+def stack():
+    from repro.fpga.device import SIM_MEDIUM
+
+    system = build_sacha_system(SIM_MEDIUM)
+    provisioned, record = provision_device(system, "prv-mon", seed=6400)
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(6401))
+    simulator = Simulator()
+    monitor = AttestationMonitor(
+        simulator,
+        provisioned.prover,
+        verifier,
+        period_ns=PERIOD_NS,
+        rng=DeterministicRng(6402),
+    )
+    return system, provisioned, simulator, monitor
+
+
+class TestHealthyMonitoring:
+    def test_all_runs_accepted(self, stack):
+        _, _, simulator, monitor = stack
+        monitor.start(runs=5)
+        simulator.run()
+        assert monitor.history.runs == 5
+        assert monitor.history.rejections == 0
+        assert monitor.history.detection_latency_ns is None
+
+    def test_runs_are_periodic(self, stack):
+        _, _, simulator, monitor = stack
+        monitor.start(runs=4)
+        simulator.run()
+        starts = [sample.started_ns for sample in monitor.history.samples]
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert all(gap == pytest.approx(PERIOD_NS) for gap in gaps)
+
+    def test_each_run_charges_protocol_time(self, stack):
+        _, _, simulator, monitor = stack
+        monitor.start(runs=2)
+        simulator.run()
+        for sample in monitor.history.samples:
+            assert sample.duration_ns > 0
+
+
+class TestDetection:
+    def test_mid_stream_tamper_detected(self, stack):
+        system, provisioned, simulator, monitor = stack
+        target = system.partition.static_frame_list()[1]
+
+        def tamper():
+            provisioned.board.fpga.memory.flip_bit(target, 0, 12)
+            monitor.record_tamper()
+
+        # Land the tamper between runs 2 and 3.
+        simulator.schedule(2.5 * PERIOD_NS, tamper)
+        monitor.start(runs=10)
+        simulator.run()
+        assert monitor.history.rejections == 1
+        assert monitor.history.samples[-1].mismatched_frames == (target,)
+        # Stopped on detection: fewer than the scheduled 10 runs.
+        assert monitor.history.runs < 10
+
+    def test_detection_latency_bounded_by_period(self, stack):
+        system, provisioned, simulator, monitor = stack
+        target = system.partition.static_frame_list()[1]
+
+        def tamper():
+            provisioned.board.fpga.memory.flip_bit(target, 0, 12)
+            monitor.record_tamper()
+
+        simulator.schedule(1.25 * PERIOD_NS, tamper)
+        monitor.start(runs=10)
+        simulator.run()
+        latency = monitor.history.detection_latency_ns
+        assert latency is not None
+        # Detected by the next run: within one period plus one run time.
+        assert latency < PERIOD_NS + 20e6
+
+    def test_rejection_callback_fires(self, stack):
+        system, provisioned, simulator, monitor = stack
+        fired = []
+        monitor._on_rejection = fired.append
+        target = system.partition.static_frame_list()[0]
+        simulator.schedule(
+            0.5 * PERIOD_NS,
+            lambda: provisioned.board.fpga.memory.flip_bit(target, 0, 1),
+        )
+        monitor.start(runs=5)
+        simulator.run()
+        assert len(fired) == 1
+        assert not fired[0].accepted
+
+    def test_continue_after_detection_keeps_rejecting(self, stack):
+        system, provisioned, simulator, monitor = stack
+        monitor._stop_on_detection = False
+        target = system.partition.static_frame_list()[0]
+        simulator.schedule(
+            0.5 * PERIOD_NS,
+            lambda: provisioned.board.fpga.memory.flip_bit(target, 0, 1),
+        )
+        monitor.start(runs=4)
+        simulator.run()
+        assert monitor.history.runs == 4
+        assert monitor.history.rejections == 3  # every run after the tamper
+
+
+class TestValidation:
+    def test_bad_period(self, stack):
+        _, provisioned, simulator, _ = stack
+        with pytest.raises(ProtocolError):
+            AttestationMonitor(
+                simulator,
+                provisioned.prover,
+                None,
+                period_ns=0,
+                rng=DeterministicRng(1),
+            )
+
+    def test_bad_run_count(self, stack):
+        _, _, _, monitor = stack
+        with pytest.raises(ProtocolError):
+            monitor.start(runs=0)
+
+    def test_period_shorter_than_protocol_rejected(self, stack):
+        _, provisioned, simulator, monitor = stack
+        monitor._period_ns = 1.0  # absurdly short
+        monitor.start(runs=2)
+        with pytest.raises(ProtocolError, match="shorter than"):
+            simulator.run()

@@ -1,0 +1,148 @@
+"""Integration tests: the protocol as real traffic on the simulated wire."""
+
+import pytest
+
+from repro.core.net_session import NetworkAttestationSession
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.errors import ProtocolError
+from repro.fpga.device import SIM_SMALL
+from repro.net.channel import Channel, LatencyModel
+from repro.net.ethernet import EthernetFrame
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+
+def _session(latency_ns=1_000.0, seed=50, tamper=None):
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, record = provision_device(system, "prv-net", seed=seed)
+    if tamper is not None:
+        tamper(provisioned, system)
+    simulator = Simulator()
+    channel = Channel(simulator, LatencyModel(base_ns=latency_ns))
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(seed + 1))
+    session = NetworkAttestationSession(
+        simulator, channel, provisioned.prover, verifier, DeterministicRng(seed + 2)
+    )
+    return session, channel
+
+
+class TestHonestNetworkRun:
+    def test_accepted_over_the_wire(self):
+        session, _ = _session()
+        result = session.run()
+        assert result.report.accepted
+
+    def test_message_counts(self):
+        session, _ = _session()
+        result = session.run()
+        total_frames = SIM_SMALL.total_frames
+        dynamic = session._verifier.system.partition.dynamic_frame_count
+        # verifier: configs + readbacks + checksum command
+        assert result.frames_sent_by_verifier == dynamic + total_frames + 1
+        # prover: one response per readback + the final tag
+        assert result.frames_sent_by_prover == total_frames + 1
+
+    def test_duration_grows_with_latency(self):
+        fast, _ = _session(latency_ns=100.0)
+        slow, _ = _session(latency_ns=100_000.0)
+        assert slow.run().duration_ns > fast.run().duration_ns
+
+    def test_session_cannot_run_twice(self):
+        session, _ = _session()
+        session.run()
+        with pytest.raises(ProtocolError):
+            session.run()
+
+
+class TestReliableSession:
+    def test_attestation_survives_frame_loss(self):
+        """With the ARQ layer, a 10 %-lossy channel still completes and
+        accepts; without it the run would deadlock."""
+        system = build_sacha_system(SIM_SMALL)
+        provisioned, record = provision_device(system, "prv-lossy", seed=88)
+        simulator = Simulator()
+        rng = DeterministicRng(89)
+        channel = Channel(
+            simulator,
+            LatencyModel(base_ns=5_000.0),
+            loss_probability=0.10,
+            rng=rng,
+        )
+        verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(90))
+        session = NetworkAttestationSession(
+            simulator,
+            channel,
+            provisioned.prover,
+            verifier,
+            DeterministicRng(91),
+            reliable=True,
+        )
+        result = session.run()
+        assert result.report.accepted
+        assert channel.frames_dropped > 0
+        assert session._verifier_port.retransmissions > 0
+
+    def test_lossless_reliable_mode_adds_acks_only(self):
+        session, _ = _session()
+        baseline = session.run()
+
+        system = build_sacha_system(SIM_SMALL)
+        provisioned, record = provision_device(system, "prv-rel", seed=50)
+        simulator = Simulator()
+        channel = Channel(simulator, LatencyModel(base_ns=1_000.0))
+        verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(51))
+        reliable = NetworkAttestationSession(
+            simulator, channel, provisioned.prover, verifier,
+            DeterministicRng(52), reliable=True,
+        ).run()
+        assert reliable.report.accepted == baseline.report.accepted is True
+        # Reliable mode roughly doubles frame counts (one ACK per DATA).
+        assert reliable.frames_sent_by_verifier > baseline.frames_sent_by_verifier
+
+
+class TestNetworkAdversaries:
+    def test_static_tamper_detected_over_the_wire(self):
+        def tamper(provisioned, system):
+            frame = system.partition.static_frame_list()[1]
+            provisioned.board.fpga.memory.flip_bit(frame, 0, 9)
+
+        session, _ = _session(tamper=tamper)
+        result = session.run()
+        assert not result.report.accepted
+
+    def test_mitm_frame_rewrite_detected(self):
+        """A tap that rewrites one readback response corrupts the MAC
+        stream — the verifier rejects."""
+        session, channel = _session()
+        rewritten = [0]
+
+        def mitm(time_ns, direction, frame):
+            if direction == "prv->vrf" and not rewritten[0]:
+                payload = bytearray(frame.payload)
+                if payload and payload[0] == 0x81 and len(payload) > 10:
+                    payload[8] ^= 0xFF
+                    rewritten[0] = 1
+                    return EthernetFrame(
+                        frame.destination,
+                        frame.source,
+                        frame.ethertype,
+                        bytes(payload),
+                    )
+            return None
+
+        channel.add_tap(mitm)
+        result = session.run()
+        assert rewritten[0] == 1
+        assert not result.report.accepted
+
+    def test_eavesdropper_learns_no_key_material(self):
+        """Everything on the wire is configuration data and the MAC; the
+        16-byte key never appears in any frame."""
+        session, channel = _session()
+        observed = []
+        channel.add_tap(lambda t, d, f: observed.append(f.payload) or None)
+        session.run()
+        key = session._prover._key_provider.mac_key()
+        assert all(key not in payload for payload in observed)

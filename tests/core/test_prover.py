@@ -1,0 +1,117 @@
+"""Unit tests for the prover command engine."""
+
+import pytest
+
+from repro.core.prover import PufDerivedKey, RegisterKey, SachaProver
+from repro.core.provisioning import KEY_MODE_REGISTER, provision_device
+from repro.crypto.cmac import AesCmac
+from repro.design.sacha_design import build_sacha_system
+from repro.errors import ProtocolError
+from repro.fpga.device import SIM_SMALL
+from repro.fpga.puf import SramPuf, enroll_device
+from repro.net.messages import (
+    IcapConfigCommand,
+    IcapReadbackCommand,
+    MacChecksumCommand,
+    MacChecksumResponse,
+    ReadbackResponse,
+)
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def prover():
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, _ = provision_device(
+        system, "prv-t", seed=1, key_mode=KEY_MODE_REGISTER
+    )
+    return provisioned.prover
+
+
+class TestKeyProviders:
+    def test_register_key(self):
+        key = bytes(range(16))
+        assert RegisterKey(key).mac_key() == key
+
+    def test_register_key_length_checked(self):
+        with pytest.raises(ProtocolError):
+            RegisterKey(b"short")
+
+    def test_puf_key_is_stable_across_derivations(self):
+        puf = SramPuf(5, noise_rate=0.05)
+        key, slot = enroll_device(puf, DeterministicRng(2))
+        provider = PufDerivedKey(puf, slot, DeterministicRng(3))
+        assert provider.mac_key() == key
+        assert provider.mac_key() == key  # fresh noisy read each time
+
+
+class TestCommandHandling:
+    def test_config_writes_memory(self, prover, rng):
+        data = rng.randbytes(SIM_SMALL.frame_bytes)
+        response = prover.handle_command(IcapConfigCommand(frame_index=12, data=data))
+        assert response is None
+        assert prover.board.fpga.memory.read_frame(12) == data
+        assert prover.configs_handled == 1
+
+    def test_readback_returns_frame(self, prover):
+        response = prover.handle_command(IcapReadbackCommand(frame_index=0))
+        assert isinstance(response, ReadbackResponse)
+        assert response.frame_index == 0
+        assert len(response.data) == SIM_SMALL.frame_bytes
+
+    def test_checksum_returns_tag(self, prover):
+        prover.handle_command(IcapReadbackCommand(0))
+        response = prover.handle_command(MacChecksumCommand())
+        assert isinstance(response, MacChecksumResponse)
+        assert len(response.tag) == 16
+
+    def test_checksum_without_readback_rejected(self, prover):
+        with pytest.raises(ProtocolError):
+            prover.handle_command(MacChecksumCommand())
+
+    def test_powered_off_board_rejects_commands(self, prover):
+        prover.board.power_off()
+        with pytest.raises(ProtocolError):
+            prover.handle_command(IcapReadbackCommand(0))
+
+    def test_unknown_command_rejected(self, prover):
+        with pytest.raises(ProtocolError):
+            prover.handle_command("bogus")
+
+
+class TestMacLifecycle:
+    def test_mac_matches_manual_computation(self, prover):
+        """The prover's incremental MAC equals CMAC over the readback
+        stream in order."""
+        key = prover._key_provider.mac_key()
+        expected = AesCmac(key)
+        for frame_index in (3, 1, 2):
+            response = prover.handle_command(IcapReadbackCommand(frame_index))
+            expected.update(response.data)
+        tag = prover.handle_command(MacChecksumCommand()).tag
+        assert tag == expected.finalize()
+
+    def test_mac_state_resets_between_runs(self, prover):
+        prover.handle_command(IcapReadbackCommand(0))
+        first = prover.handle_command(MacChecksumCommand()).tag
+        prover.handle_command(IcapReadbackCommand(0))
+        second = prover.handle_command(MacChecksumCommand()).tag
+        assert first == second  # same data, fresh MAC both times
+        assert not prover.mac_in_progress
+
+    def test_abort_run_clears_mac(self, prover):
+        prover.handle_command(IcapReadbackCommand(0))
+        assert prover.mac_in_progress
+        prover.abort_run()
+        assert not prover.mac_in_progress
+        with pytest.raises(ProtocolError):
+            prover.handle_command(MacChecksumCommand())
+
+    def test_counters(self, prover, rng):
+        prover.handle_command(
+            IcapConfigCommand(0, rng.randbytes(SIM_SMALL.frame_bytes))
+        )
+        prover.handle_command(IcapReadbackCommand(0))
+        prover.handle_command(MacChecksumCommand())
+        assert (prover.configs_handled, prover.readbacks_handled,
+                prover.checksums_handled) == (1, 1, 1)

@@ -1,0 +1,101 @@
+"""Unit tests for pre-deployment provisioning."""
+
+import pytest
+
+from repro.core.provisioning import (
+    KEY_MODE_PUF,
+    KEY_MODE_REGISTER,
+    VerifierDatabase,
+    VerifierRecord,
+    provision_device,
+)
+from repro.design.sacha_design import build_sacha_system
+from repro.errors import FlashError, ProvisioningError
+from repro.fpga.device import SIM_SMALL
+
+
+class TestProvisioning:
+    def test_puf_mode_artifacts(self, small_system):
+        provisioned, record = provision_device(small_system, "prv-a", seed=1)
+        assert provisioned.puf is not None
+        assert provisioned.key_slot is not None
+        assert len(record.mac_key) == 16
+        assert record.device_id == "prv-a"
+
+    def test_register_mode_has_no_puf(self, small_system):
+        provisioned, record = provision_device(
+            small_system, "prv-b", seed=2, key_mode=KEY_MODE_REGISTER
+        )
+        assert provisioned.puf is None
+        assert provisioned.key_provider.mac_key() == record.mac_key
+
+    def test_unknown_key_mode(self, small_system):
+        with pytest.raises(ProvisioningError):
+            provision_device(small_system, "prv-c", seed=3, key_mode="magic")
+
+    def test_device_key_matches_verifier_record(self, small_system):
+        provisioned, record = provision_device(small_system, "prv-d", seed=4)
+        assert provisioned.key_provider.mac_key() == record.mac_key
+
+    def test_board_is_booted_and_static_configured(self, small_system):
+        provisioned, _ = provision_device(small_system, "prv-e", seed=5)
+        assert provisioned.board.powered_on
+        static_frames = small_system.partition.static_frame_list()
+        blank = bytes(SIM_SMALL.frame_bytes)
+        configured = [
+            provisioned.board.fpga.memory.read_frame(index) != blank
+            for index in static_frames
+        ]
+        assert any(configured)
+
+    def test_flash_is_deployed_read_only(self, small_system):
+        provisioned, _ = provision_device(small_system, "prv-f", seed=6)
+        with pytest.raises(FlashError):
+            provisioned.board.boot_mem.program(b"new image")
+
+    def test_bootmem_cannot_store_partial_bitstream(self, small_system):
+        """The sizing rule of Section 5.2.1."""
+        provisioned, _ = provision_device(small_system, "prv-g", seed=7)
+        dynamic_payload = small_system.partition.dynamic_bitstream_bytes()
+        assert not provisioned.board.boot_mem.can_store(dynamic_payload)
+
+    def test_static_registers_declared(self, small_system):
+        provisioned, _ = provision_device(small_system, "prv-h", seed=8)
+        expected = len(small_system.static_impl.register_positions())
+        assert len(provisioned.board.fpga.registers) == expected
+
+    def test_different_seeds_different_keys(self, small_system):
+        _, record_a = provision_device(small_system, "prv-i", seed=9)
+        _, record_b = provision_device(small_system, "prv-j", seed=10)
+        assert record_a.mac_key != record_b.mac_key
+
+
+class TestVerifierDatabase:
+    def test_register_and_lookup(self, small_system):
+        _, record = provision_device(small_system, "prv-k", seed=11)
+        database = VerifierDatabase()
+        database.register(record)
+        assert database.lookup("prv-k") is record
+        assert len(database) == 1
+
+    def test_duplicate_enrollment_rejected(self, small_system):
+        _, record = provision_device(small_system, "prv-l", seed=12)
+        database = VerifierDatabase()
+        database.register(record)
+        with pytest.raises(ProvisioningError):
+            database.register(record)
+
+    def test_unknown_device(self):
+        with pytest.raises(ProvisioningError):
+            VerifierDatabase().lookup("ghost")
+
+    def test_multiple_devices(self, small_system):
+        database = VerifierDatabase()
+        for index in range(3):
+            _, record = provision_device(
+                small_system, f"prv-m{index}", seed=20 + index
+            )
+            database.register(record)
+        assert len(database) == 3
+        keys = {database.lookup(f"prv-m{i}").mac_key for i in range(3)}
+        assert len(keys) == 3

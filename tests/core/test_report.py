@@ -1,0 +1,83 @@
+"""Unit tests for the attestation report and timing breakdown."""
+
+import pytest
+
+from repro.core.report import AttestationReport, TimingBreakdown
+
+
+class TestTimingBreakdown:
+    BREAKDOWN = TimingBreakdown(
+        config_ns=100.0,
+        readback_ns=500.0,
+        checksum_ns=10.0,
+        network_overhead_ns=1_000.0,
+    )
+
+    def test_theoretical_is_sum_of_phases(self):
+        assert self.BREAKDOWN.theoretical_ns == pytest.approx(610.0)
+
+    def test_total_adds_network(self):
+        assert self.BREAKDOWN.total_ns == pytest.approx(1_610.0)
+
+    def test_summary_mentions_phases(self):
+        summary = self.BREAKDOWN.summary()
+        for word in ("config", "readback", "checksum", "network", "total"):
+            assert word in summary
+
+
+class TestAttestationReport:
+    def test_accepted_requires_both_checks(self):
+        assert AttestationReport(mac_valid=True, config_match=True).accepted
+        assert not AttestationReport(mac_valid=False, config_match=True).accepted
+        assert not AttestationReport(mac_valid=True, config_match=False).accepted
+
+    def test_explain_accepted(self):
+        report = AttestationReport(mac_valid=True, config_match=True)
+        assert "ATTESTED" in report.explain()
+
+    def test_explain_mac_failure(self):
+        report = AttestationReport(mac_valid=False, config_match=True)
+        text = report.explain()
+        assert "REJECTED" in text
+        assert "MAC mismatch" in text
+
+    def test_explain_config_failure_lists_frames(self):
+        report = AttestationReport(
+            mac_valid=True,
+            config_match=False,
+            mismatched_frames=list(range(10)),
+        )
+        text = report.explain()
+        assert "10 frame(s)" in text
+        assert "..." in text  # long lists are truncated
+
+    def test_explain_short_frame_list_not_truncated(self):
+        report = AttestationReport(
+            mac_valid=True, config_match=False, mismatched_frames=[3]
+        )
+        assert "..." not in report.explain()
+
+    def test_explain_includes_failure_reason(self):
+        report = AttestationReport(
+            mac_valid=False,
+            config_match=False,
+            failure_reason="prover answered frame 9 when frame 2 was requested",
+        )
+        assert "frame 9" in report.explain()
+
+    def test_explain_includes_timing_when_present(self):
+        report = AttestationReport(
+            mac_valid=True,
+            config_match=True,
+            timing=TimingBreakdown(1.0, 2.0, 3.0, 4.0),
+        )
+        assert "timing:" in report.explain()
+
+    def test_step_counts_in_explanation(self):
+        report = AttestationReport(
+            mac_valid=True, config_match=True, config_steps=26_400,
+            readback_steps=28_488,
+        )
+        text = report.explain()
+        assert "26400 config" in text
+        assert "28488 readback" in text

@@ -1,0 +1,84 @@
+"""AES tests against the FIPS-197 vectors plus structural checks."""
+
+import pytest
+
+from repro.crypto.aes import BLOCK_SIZE, Aes, INV_SBOX, SBOX
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestFips197Vectors:
+    def test_aes128(self):
+        aes = Aes(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        assert aes.encrypt_block(PLAINTEXT).hex() == (
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+        )
+
+    def test_aes192(self):
+        aes = Aes(bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617"))
+        assert aes.encrypt_block(PLAINTEXT).hex() == (
+            "dda97ca4864cdfe06eaf70a0ec0d7191"
+        )
+
+    def test_aes256(self):
+        aes = Aes(
+            bytes.fromhex(
+                "000102030405060708090a0b0c0d0e0f"
+                "101112131415161718191a1b1c1d1e1f"
+            )
+        )
+        assert aes.encrypt_block(PLAINTEXT).hex() == (
+            "8ea2b7ca516745bfeafc49904b496089"
+        )
+
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_decrypt_inverts_encrypt(self, key_len):
+        aes = Aes(bytes(range(key_len)))
+        ciphertext = aes.encrypt_block(PLAINTEXT)
+        assert aes.decrypt_block(ciphertext) == PLAINTEXT
+
+    def test_rounds_by_key_size(self):
+        assert Aes(bytes(16)).rounds == 10
+        assert Aes(bytes(24)).rounds == 12
+        assert Aes(bytes(32)).rounds == 14
+
+
+class TestSbox:
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        assert all(INV_SBOX[SBOX[b]] == b for b in range(256))
+
+    def test_known_sbox_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+
+
+class TestInputValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            Aes(bytes(15))
+
+    def test_bad_block_length(self):
+        aes = Aes(bytes(16))
+        with pytest.raises(ValueError):
+            aes.encrypt_block(bytes(BLOCK_SIZE - 1))
+        with pytest.raises(ValueError):
+            aes.decrypt_block(bytes(BLOCK_SIZE + 1))
+
+
+class TestDiffusion:
+    def test_single_bit_flip_changes_half_the_output(self):
+        aes = Aes(bytes(16))
+        base = aes.encrypt_block(bytes(16))
+        flipped = aes.encrypt_block(b"\x01" + bytes(15))
+        differing = sum(
+            (a ^ b).bit_count() for a, b in zip(base, flipped)
+        )
+        assert 30 <= differing <= 98  # ~64 expected for a good cipher
+
+    def test_key_avalanche(self):
+        base = Aes(bytes(16)).encrypt_block(bytes(16))
+        other = Aes(b"\x01" + bytes(15)).encrypt_block(bytes(16))
+        assert base != other

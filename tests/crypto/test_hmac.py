@@ -1,0 +1,49 @@
+"""HMAC-SHA256 tests against RFC 4231 vectors and the standard library."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+
+from repro.crypto.hmac import HmacSha256, hmac_sha256
+
+
+class TestRfc4231Vectors:
+    def test_case_1(self):
+        key = b"\x0b" * 20
+        assert hmac_sha256(key, b"Hi There").hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_case_2_jefe(self):
+        assert hmac_sha256(b"Jefe", b"what do ya want for nothing?").hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_case_long_key(self):
+        # Keys longer than the block size are hashed first.
+        key = b"\xaa" * 131
+        message = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        assert hmac_sha256(key, message).hex() == (
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        )
+
+
+class TestAgainstStdlib:
+    @pytest.mark.parametrize("key_len", [0, 1, 32, 64, 65, 200])
+    def test_key_lengths(self, key_len):
+        key = bytes(range(256))[:key_len]
+        message = b"attestation payload"
+        assert hmac_sha256(key, message) == stdlib_hmac.new(
+            key, message, hashlib.sha256
+        ).digest()
+
+
+class TestIncremental:
+    def test_chunked_equals_oneshot(self):
+        mac = HmacSha256(b"key")
+        mac.update(b"hello ").update(b"world")
+        assert mac.finalize() == hmac_sha256(b"key", b"hello world")
+
+    def test_different_keys_differ(self):
+        assert hmac_sha256(b"k1", b"m") != hmac_sha256(b"k2", b"m")

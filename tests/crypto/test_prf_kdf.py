@@ -1,0 +1,65 @@
+"""Tests for the AES-CTR keystream and the PUF key derivation."""
+
+import pytest
+
+from repro.crypto.kdf import derive_key, derive_mac_key
+from repro.crypto.prf import AesCtrKeystream, prf_bytes
+
+KEY = bytes(range(16))
+
+
+class TestKeystream:
+    def test_deterministic(self):
+        assert AesCtrKeystream(KEY, b"n").read(64) == AesCtrKeystream(
+            KEY, b"n"
+        ).read(64)
+
+    def test_chunking_invariant(self):
+        whole = AesCtrKeystream(KEY).read(100)
+        stream = AesCtrKeystream(KEY)
+        assert stream.read(33) + stream.read(33) + stream.read(34) == whole
+
+    def test_nonce_separates_streams(self):
+        assert AesCtrKeystream(KEY, b"a").read(32) != AesCtrKeystream(
+            KEY, b"b"
+        ).read(32)
+
+    def test_zero_read(self):
+        assert AesCtrKeystream(KEY).read(0) == b""
+
+    def test_negative_read_raises(self):
+        with pytest.raises(ValueError):
+            AesCtrKeystream(KEY).read(-1)
+
+    def test_long_nonce_raises(self):
+        with pytest.raises(ValueError):
+            AesCtrKeystream(KEY, b"123456789")
+
+    def test_prf_bytes_binding(self):
+        assert prf_bytes(KEY, b"label-a", 48) != prf_bytes(KEY, b"label-b", 48)
+        assert len(prf_bytes(KEY, b"x", 48)) == 48
+
+
+class TestKdf:
+    def test_length(self):
+        assert len(derive_key(b"secret", "test", 16)) == 16
+        assert len(derive_key(b"secret", "test", 100)) == 100
+
+    def test_label_separation(self):
+        assert derive_key(b"s", "mac") != derive_key(b"s", "sig")
+
+    def test_secret_separation(self):
+        assert derive_key(b"s1", "mac") != derive_key(b"s2", "mac")
+
+    def test_deterministic(self):
+        assert derive_key(b"s", "mac") == derive_key(b"s", "mac")
+
+    def test_prefix_consistency(self):
+        assert derive_key(b"s", "mac", 16) == derive_key(b"s", "mac", 32)[:16]
+
+    def test_mac_key_is_aes128_sized(self):
+        assert len(derive_mac_key(b"puf-response")) == 16
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            derive_key(b"s", "mac", 0)

@@ -1,0 +1,105 @@
+"""Unit tests for the from-scratch Schnorr signature scheme."""
+
+import pytest
+
+from repro.crypto.schnorr import (
+    GROUP_G,
+    GROUP_P,
+    GROUP_Q,
+    SchnorrPublicKey,
+    SchnorrSignature,
+    keypair_from_seed,
+    sign,
+    verify,
+)
+
+KEYPAIR = keypair_from_seed(b"test-device-secret")
+
+
+class TestGroup:
+    def test_safe_prime_relation(self):
+        assert GROUP_P == 2 * GROUP_Q + 1
+
+    def test_generator_has_order_q(self):
+        assert pow(GROUP_G, GROUP_Q, GROUP_P) == 1
+        assert GROUP_G != 1
+
+
+class TestKeypair:
+    def test_deterministic_from_seed(self):
+        assert keypair_from_seed(b"seed").private == keypair_from_seed(b"seed").private
+
+    def test_different_seeds_different_keys(self):
+        assert keypair_from_seed(b"a").public != keypair_from_seed(b"b").public
+
+    def test_public_matches_private(self):
+        assert KEYPAIR.public.y == pow(GROUP_G, KEYPAIR.private, GROUP_P)
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ValueError):
+            keypair_from_seed(b"")
+
+    def test_private_in_range(self):
+        assert 1 <= KEYPAIR.private < GROUP_Q
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        signature = sign(KEYPAIR, b"attestation digest")
+        assert verify(KEYPAIR.public, b"attestation digest", signature)
+
+    def test_wrong_message_rejected(self):
+        signature = sign(KEYPAIR, b"message")
+        assert not verify(KEYPAIR.public, b"other message", signature)
+
+    def test_wrong_key_rejected(self):
+        signature = sign(KEYPAIR, b"message")
+        other = keypair_from_seed(b"other-device")
+        assert not verify(other.public, b"message", signature)
+
+    def test_signing_is_deterministic(self):
+        assert sign(KEYPAIR, b"m") == sign(KEYPAIR, b"m")
+
+    def test_different_messages_different_nonces(self):
+        """Deterministic nonces must still differ per message (nonce
+        reuse across messages would leak the private key)."""
+        sig_a = sign(KEYPAIR, b"m1")
+        sig_b = sign(KEYPAIR, b"m2")
+        # Same nonce k would give recoverable x from (s1, s2, c1, c2).
+        assert (sig_a.s + sig_a.c * KEYPAIR.private) % GROUP_Q != (
+            sig_b.s + sig_b.c * KEYPAIR.private
+        ) % GROUP_Q
+
+    def test_tampered_signature_rejected(self):
+        signature = sign(KEYPAIR, b"m")
+        assert not verify(
+            KEYPAIR.public, b"m", SchnorrSignature(signature.c ^ 1, signature.s)
+        )
+        assert not verify(
+            KEYPAIR.public,
+            b"m",
+            SchnorrSignature(signature.c, (signature.s + 1) % GROUP_Q),
+        )
+
+    def test_out_of_range_components_rejected(self):
+        signature = sign(KEYPAIR, b"m")
+        assert not verify(
+            KEYPAIR.public, b"m", SchnorrSignature(signature.c, GROUP_Q)
+        )
+        assert not verify(
+            SchnorrPublicKey(1), b"m", signature
+        )
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        signature = sign(KEYPAIR, b"m")
+        assert SchnorrSignature.decode(signature.encode()) == signature
+
+    def test_fixed_size(self):
+        assert len(sign(KEYPAIR, b"m").encode()) == 288
+        assert len(KEYPAIR.public.encode()) == 256
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            SchnorrSignature.decode(bytes(100))

@@ -1,0 +1,119 @@
+"""Unit tests for the core library and netlists, incl. Table 2 budgets."""
+
+import pytest
+
+from repro.design.cores import (
+    AES_CMAC_CORE,
+    APP_BLINKER,
+    CORE_LIBRARY,
+    STATIC_CORES,
+    CoreSpec,
+    get_core,
+    static_resources,
+)
+from repro.design.netlist import Design, design_from_cores
+from repro.errors import PlacementError
+
+
+class TestTable2Budgets:
+    def test_static_clb_total_is_1400(self):
+        assert static_resources().clb == 1_400
+
+    def test_static_bram_total_is_72(self):
+        assert static_resources().bram == 72
+
+    def test_static_has_icap_and_dcm(self):
+        totals = static_resources()
+        assert totals.icap == 1
+        assert totals.dcm == 1
+
+    def test_mac_core_matches_table2_row(self):
+        assert AES_CMAC_CORE.clb == 283
+        assert AES_CMAC_CORE.bram == 8
+
+    def test_every_figure10_block_present(self):
+        names = {core.name for core in STATIC_CORES}
+        assert {
+            "eth_core",
+            "rx_fsm",
+            "tx_fsm",
+            "cmd_bram",
+            "header_fifo",
+            "aes_cmac",
+            "icap_ctrl",
+            "key_store",
+            "clock_infra",
+        } <= names
+
+    def test_clock_domains_valid(self):
+        assert {core.clock_domain for core in STATIC_CORES} <= {"RX", "TX", "ICAP"}
+
+
+class TestCoreLibrary:
+    def test_lookup(self):
+        assert get_core("aes_cmac") is AES_CMAC_CORE
+
+    def test_unknown_core(self):
+        with pytest.raises(KeyError):
+            get_core("warp_drive")
+
+    def test_library_names_consistent(self):
+        assert all(name == core.name for name, core in CORE_LIBRARY.items())
+
+
+class TestDesign:
+    def test_add_and_resources(self):
+        design = Design("d").add(APP_BLINKER).add(AES_CMAC_CORE)
+        assert design.resources().clb == APP_BLINKER.clb + AES_CMAC_CORE.clb
+        assert len(design) == 2
+
+    def test_duplicate_instance_name_rejected(self):
+        design = Design("d").add(APP_BLINKER)
+        with pytest.raises(PlacementError):
+            design.add(APP_BLINKER)
+
+    def test_distinct_instance_names_allowed(self):
+        design = Design("d").add(APP_BLINKER, "blink0").add(APP_BLINKER, "blink1")
+        assert len(design) == 2
+
+    def test_remove(self):
+        design = Design("d").add(APP_BLINKER)
+        design.remove("app_blinker")
+        assert len(design) == 0
+        with pytest.raises(PlacementError):
+            design.remove("app_blinker")
+
+    def test_register_bit_count(self):
+        design = design_from_cores("d", [APP_BLINKER, AES_CMAC_CORE])
+        assert design.register_bit_count() == (
+            APP_BLINKER.register_bits + AES_CMAC_CORE.register_bits
+        )
+
+    def test_resource_table_rows(self):
+        design = design_from_cores("d", [APP_BLINKER])
+        rows = design.resource_table()
+        assert rows[0][0] == "app_blinker"
+        assert rows[0][1]["CLB"] == APP_BLINKER.clb
+
+
+class TestContentSignature:
+    def test_same_design_same_signature(self):
+        a = design_from_cores("d", list(STATIC_CORES))
+        b = design_from_cores("d", list(STATIC_CORES))
+        assert a.content_signature() == b.content_signature()
+
+    def test_netlist_change_changes_signature(self):
+        a = design_from_cores("d", list(STATIC_CORES))
+        b = design_from_cores("d", list(STATIC_CORES) + [APP_BLINKER])
+        assert a.content_signature() != b.content_signature()
+
+    def test_core_parameter_change_changes_signature(self):
+        trojan = CoreSpec(name="aes_cmac", clb=283, bram=8, register_bits=999)
+        a = design_from_cores("d", [AES_CMAC_CORE])
+        b = design_from_cores("d", [trojan])
+        assert a.content_signature() != b.content_signature()
+
+    def test_signature_is_order_independent(self):
+        a = Design("d").add(APP_BLINKER).add(AES_CMAC_CORE)
+        b = Design("d").add(AES_CMAC_CORE).add(APP_BLINKER)
+        assert a.content_signature() == b.content_signature()

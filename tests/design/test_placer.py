@@ -1,0 +1,126 @@
+"""Unit tests for the placer: capacity checks, determinism, register maps."""
+
+import pytest
+
+from repro.design.cores import APP_BLINKER, CoreSpec, MALICIOUS_TAP
+from repro.design.netlist import Design, design_from_cores
+from repro.design.placer import place
+from repro.design.sacha_design import scaled_static_design
+from repro.errors import PlacementError
+from repro.fpga.device import SIM_MEDIUM, SIM_SMALL
+from repro.fpga.partitions import column_floorplan
+
+
+@pytest.fixture
+def region():
+    plan = column_floorplan(SIM_MEDIUM, clb_columns=8, bram_columns=1, iob_columns=1)
+    return plan.static_frame_list()
+
+
+class TestCapacity:
+    def test_fitting_design_places(self, region):
+        design = scaled_static_design(SIM_MEDIUM)
+        placement = place(design, SIM_MEDIUM, region)
+        assert set(placement.frame_assignment) == {
+            instance.name for instance in design
+        }
+
+    def test_oversized_design_rejected(self, region):
+        huge = design_from_cores(
+            "huge", [CoreSpec(name="blob", clb=10_000)]
+        )
+        with pytest.raises(PlacementError, match="CLB"):
+            place(huge, SIM_MEDIUM, region)
+
+    def test_statpart_has_no_room_for_malware(self, region):
+        """The security-critical property: static design + one more core
+        does not fit (Section 7.2, threat 2)."""
+        design = scaled_static_design(SIM_MEDIUM)
+        cores = [instance.core for instance in design] + [MALICIOUS_TAP]
+        with pytest.raises(PlacementError):
+            place(design_from_cores("evil", cores), SIM_MEDIUM, region)
+
+    def test_too_many_instances_for_frames(self):
+        design = Design("many")
+        for index in range(5):
+            design.add(APP_BLINKER, f"blink{index}")
+        with pytest.raises(PlacementError):
+            place(design, SIM_SMALL, [0, 1, 2])
+
+    def test_empty_design_rejected(self, region):
+        with pytest.raises(PlacementError):
+            place(Design("empty"), SIM_MEDIUM, region)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(PlacementError):
+            place(design_from_cores("d", [APP_BLINKER]), SIM_MEDIUM, [])
+
+
+class TestAssignments:
+    def test_frames_are_disjoint(self, region):
+        design = scaled_static_design(SIM_MEDIUM)
+        placement = place(design, SIM_MEDIUM, region)
+        used = placement.used_frames()
+        assert len(used) == len(set(used))
+        assert set(used) <= set(region)
+
+    def test_every_instance_gets_a_frame(self, region):
+        design = scaled_static_design(SIM_MEDIUM)
+        placement = place(design, SIM_MEDIUM, region)
+        assert all(frames for frames in placement.frame_assignment.values())
+
+    def test_bigger_cores_get_more_frames(self, region):
+        big = CoreSpec(name="big", clb=40)
+        small = CoreSpec(name="small", clb=1)
+        placement = place(
+            design_from_cores("d", [big, small]), SIM_MEDIUM, region
+        )
+        assert len(placement.frames_of("big")) > len(placement.frames_of("small"))
+
+    def test_unknown_instance_raises(self, region):
+        placement = place(
+            design_from_cores("d", [APP_BLINKER]), SIM_MEDIUM, region
+        )
+        with pytest.raises(PlacementError):
+            placement.frames_of("ghost")
+
+
+class TestDeterminism:
+    def test_same_design_same_placement(self, region):
+        design_a = scaled_static_design(SIM_MEDIUM)
+        design_b = scaled_static_design(SIM_MEDIUM)
+        place_a = place(design_a, SIM_MEDIUM, region)
+        place_b = place(design_b, SIM_MEDIUM, region)
+        assert place_a.frame_assignment == place_b.frame_assignment
+        assert place_a.all_register_positions() == place_b.all_register_positions()
+
+
+class TestRegisterPositions:
+    def test_counts_match_core_declarations(self, region):
+        design = scaled_static_design(SIM_MEDIUM)
+        placement = place(design, SIM_MEDIUM, region)
+        for instance in design:
+            assert (
+                len(placement.register_positions[instance.name])
+                == instance.core.register_bits
+            )
+
+    def test_positions_inside_instance_frames(self, region):
+        design = scaled_static_design(SIM_MEDIUM)
+        placement = place(design, SIM_MEDIUM, region)
+        for instance in design:
+            frames = set(placement.frames_of(instance.name))
+            for bit in placement.register_positions[instance.name]:
+                assert bit.frame_index in frames
+
+    def test_positions_unique_within_design(self, region):
+        design = scaled_static_design(SIM_MEDIUM)
+        placement = place(design, SIM_MEDIUM, region)
+        positions = placement.all_register_positions()
+        assert len(positions) == len(set(positions))
+
+    def test_register_overflow_rejected(self):
+        dense = CoreSpec(name="dense", clb=1, register_bits=10_000)
+        clb_column = list(SIM_SMALL.column_frame_range(0, 1))
+        with pytest.raises(PlacementError, match="register bits"):
+            place(design_from_cores("d", [dense]), SIM_SMALL, clb_column)

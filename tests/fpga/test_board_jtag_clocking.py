@@ -1,0 +1,131 @@
+"""Unit tests for the board power-on flow, JTAG reference and clocking."""
+
+import pytest
+
+from repro.errors import FlashError
+from repro.fpga.board import Board, Fpga
+from repro.fpga.bitstream import build_partial_bitstream
+from repro.fpga.clocking import ClockDomain, Dcm, sacha_clocking
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.device import SIM_SMALL, XC6VLX240T
+from repro.fpga.flash import BootMem
+from repro.fpga.jtag import JtagPort
+from repro.fpga.partitions import sacha_floorplan
+from repro.utils.rng import DeterministicRng
+
+
+def _static_image(rng):
+    plan = sacha_floorplan(SIM_SMALL, static_frame_count=10)
+    memory = ConfigurationMemory(SIM_SMALL)
+    memory.randomize(rng, plan.static_frame_list())
+    bitstream = build_partial_bitstream(memory, plan.static_frame_list(), "boot")
+    return plan, memory, bitstream.to_bytes()
+
+
+class TestBoard:
+    def test_power_on_loads_static_frames(self, rng):
+        plan, golden, image = _static_image(rng)
+        flash = BootMem(len(image) + 16)
+        flash.program(image)
+        flash.deploy()
+        board = Board(Fpga(SIM_SMALL), flash)
+        report = board.power_on()
+        assert sorted(report.frames_written) == plan.static_frame_list()
+        for index in plan.static_frame_list():
+            assert board.fpga.memory.read_frame(index) == golden.read_frame(index)
+        assert board.powered_on
+
+    def test_dynamic_frames_blank_after_boot(self, rng):
+        plan, _, image = _static_image(rng)
+        flash = BootMem(len(image) + 16)
+        flash.program(image)
+        board = Board(Fpga(SIM_SMALL), flash)
+        board.power_on()
+        for index in plan.dynamic_frame_list():
+            assert board.fpga.memory.read_frame(index) == bytes(
+                SIM_SMALL.frame_bytes
+            )
+
+    def test_power_off_clears_volatile_memory(self, rng):
+        _, _, image = _static_image(rng)
+        flash = BootMem(len(image) + 16)
+        flash.program(image)
+        board = Board(Fpga(SIM_SMALL), flash)
+        board.power_on()
+        board.power_off()
+        assert not board.powered_on
+        assert board.fpga.memory == ConfigurationMemory(SIM_SMALL)
+
+    def test_boot_without_image_fails(self):
+        board = Board(Fpga(SIM_SMALL), BootMem(64))
+        with pytest.raises(FlashError):
+            board.power_on()
+
+    def test_reboot_is_reproducible(self, rng):
+        _, _, image = _static_image(rng)
+        flash = BootMem(len(image) + 16)
+        flash.program(image)
+        board = Board(Fpga(SIM_SMALL), flash)
+        board.power_on()
+        first = board.fpga.memory.snapshot()
+        board.power_off()
+        board.power_on()
+        assert board.fpga.memory.snapshot() == first
+
+
+class TestJtag:
+    def test_paper_reference_28_seconds(self):
+        """§7.1: a full JTAG configuration takes around 28 s."""
+        jtag = JtagPort()
+        duration_s = (
+            jtag.configuration_time_ns(XC6VLX240T.configuration_bytes()) / 1e9
+        )
+        assert 27.0 < duration_s < 29.0
+
+    def test_scales_linearly(self):
+        jtag = JtagPort()
+        assert jtag.configuration_time_ns(2000) == pytest.approx(
+            2 * jtag.configuration_time_ns(1000)
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            JtagPort(tck_hz=0)
+        with pytest.raises(ValueError):
+            JtagPort(efficiency=1.5)
+        with pytest.raises(ValueError):
+            JtagPort().configuration_time_ns(-1)
+
+
+class TestClocking:
+    def test_sacha_domains(self):
+        domains = sacha_clocking()
+        assert domains["RX"].frequency_hz == pytest.approx(125e6)
+        assert domains["TX"].frequency_hz == pytest.approx(125e6)
+        assert domains["ICAP"].frequency_hz == pytest.approx(100e6)
+
+    def test_periods(self):
+        domains = sacha_clocking()
+        assert domains["TX"].period_ns == pytest.approx(8.0)
+        assert domains["ICAP"].period_ns == pytest.approx(10.0)
+
+    def test_cycle_conversions(self):
+        icap = ClockDomain("ICAP", 100e6)
+        assert icap.cycles_to_ns(81) == pytest.approx(810.0)
+        assert icap.ns_to_cycles(810.0) == pytest.approx(81.0)
+
+    def test_dcm_ratios(self):
+        dcm = Dcm(input_hz=200e6, outputs=(("half", 1, 2), ("double", 2, 1)))
+        derived = dcm.derive()
+        assert derived["half"].frequency_hz == pytest.approx(100e6)
+        assert derived["double"].frequency_hz == pytest.approx(400e6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0)
+        with pytest.raises(ValueError):
+            Dcm(input_hz=200e6, outputs=(("bad", 0, 1),)).derive()
+
+    def test_fpga_exposes_clocks(self):
+        fpga = Fpga(SIM_SMALL)
+        assert fpga.clock("ICAP").frequency_hz == pytest.approx(100e6)

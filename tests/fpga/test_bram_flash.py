@@ -1,0 +1,90 @@
+"""Unit tests for BRAM inventory (bounded memory) and BootMem."""
+
+import pytest
+
+from repro.errors import FlashError
+from repro.fpga.bram import BramInventory
+from repro.fpga.device import SIM_SMALL, XC6VLX240T
+from repro.fpga.flash import BootMem
+
+
+class TestBoundedMemory:
+    def test_paper_ratio(self):
+        """DynMem payload (8.55 MB) vs BRAM (1.83 MB): ratio > 4."""
+        inventory = BramInventory(XC6VLX240T)
+        check = inventory.check_partial_bitstream(26_400)
+        assert check.holds
+        assert check.ratio > 4.0
+
+    def test_small_payload_violates_model(self):
+        inventory = BramInventory(XC6VLX240T)
+        check = inventory.check_bounded_memory(1024)
+        assert not check.holds
+
+    def test_frames_storable_is_fraction_of_device(self):
+        inventory = BramInventory(XC6VLX240T)
+        storable = inventory.frames_storable()
+        assert 0 < storable < XC6VLX240T.total_frames
+        assert storable == XC6VLX240T.bram_capacity_bytes() // 324
+
+    def test_explain_mentions_verdict(self):
+        check = BramInventory(XC6VLX240T).check_partial_bitstream(26_400)
+        assert "holds" in check.explain()
+        bad = BramInventory(XC6VLX240T).check_bounded_memory(1)
+        assert "VIOLATED" in bad.explain()
+
+    def test_total_bytes(self):
+        assert BramInventory(XC6VLX240T).total_bytes == 832 * 18 * 1024 // 8
+
+
+class TestBootMem:
+    def test_program_and_read(self):
+        flash = BootMem(1024)
+        flash.program(b"image")
+        assert flash.read() == b"image"
+        assert flash.is_programmed
+
+    def test_capacity_enforced(self):
+        flash = BootMem(16)
+        with pytest.raises(FlashError):
+            flash.program(bytes(17))
+
+    def test_deployed_flash_is_read_only(self):
+        flash = BootMem(64)
+        flash.program(b"v1")
+        flash.deploy()
+        with pytest.raises(FlashError):
+            flash.program(b"v2")
+        assert flash.read() == b"v1"
+
+    def test_cannot_deploy_unprogrammed(self):
+        with pytest.raises(FlashError):
+            BootMem(64).deploy()
+
+    def test_read_unprogrammed_raises(self):
+        with pytest.raises(FlashError):
+            BootMem(64).read()
+
+    def test_reprogram_before_deploy_allowed(self):
+        flash = BootMem(64)
+        flash.program(b"v1")
+        flash.program(b"v2")
+        assert flash.read() == b"v2"
+        assert flash.program_cycles == 2
+
+    def test_can_store(self):
+        flash = BootMem(100)
+        assert flash.can_store(100)
+        assert not flash.can_store(101)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(FlashError):
+            BootMem(0)
+
+    def test_sizing_rule_on_real_part(self):
+        """A correctly sized BootMem cannot hold the partial bitstream."""
+        dynamic_payload = 26_400 * XC6VLX240T.frame_bytes
+        static_payload = 2_088 * XC6VLX240T.frame_bytes
+        flash = BootMem(static_payload + 65_536)
+        assert flash.can_store(static_payload)
+        assert not flash.can_store(dynamic_payload)

@@ -1,0 +1,91 @@
+"""Unit tests for the bitstream compressor (reference [24] support)."""
+
+import pytest
+
+from repro.errors import BitstreamError
+from repro.fpga.compression import (
+    CompressionReport,
+    compress_frames,
+    compress_words,
+    decompress_words,
+)
+from repro.utils.rng import DeterministicRng
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "words",
+        [
+            [],
+            [0],
+            [1],
+            [0] * 1000,
+            [0xDEADBEEF] * 100,
+            [0, 1, 0, 0, 2, 0, 0, 0, 3],
+            list(range(1, 300)),
+        ],
+        ids=["empty", "zero", "one", "long-zero-run", "literal-run",
+             "mixed", "ascending"],
+    )
+    def test_known_shapes(self, words):
+        assert decompress_words(compress_words(words)) == words
+
+    def test_random_roundtrip(self, rng):
+        words = [
+            int.from_bytes(rng.randbytes(4), "big") for _ in range(500)
+        ]
+        assert decompress_words(compress_words(words)) == words
+
+    def test_very_long_run_crosses_token_limit(self):
+        words = [0] * 70_000 + [7] + [0] * 70_000
+        assert decompress_words(compress_words(words)) == words
+
+
+class TestEfficiency:
+    def test_zero_frames_collapse(self):
+        words = [0] * 10_000
+        compressed = compress_words(words)
+        assert len(compressed) < 40_000 * 0.01
+
+    def test_random_data_incompressible(self, rng):
+        words = [
+            max(1, int.from_bytes(rng.randbytes(4), "big"))
+            for _ in range(2_000)
+        ]
+        compressed = compress_words(words)
+        assert len(compressed) >= 4 * len(words)  # tokens add overhead
+
+    def test_frame_report(self, rng):
+        used = [rng.randbytes(32) for _ in range(4)]
+        blank = [bytes(32)] * 12
+        report = compress_frames(used + blank)
+        assert report.raw_bytes == 16 * 32
+        assert report.compressed_bytes < report.raw_bytes
+        assert report.ratio > 1.0
+        assert 0 < report.savings < 1.0
+
+
+class TestValidation:
+    def test_unaligned_frame_rejected(self):
+        with pytest.raises(BitstreamError):
+            compress_frames([b"abc"])
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(BitstreamError):
+            compress_words([1 << 32])
+
+    def test_truncated_stream_rejected(self):
+        compressed = compress_words([1, 2, 3])
+        with pytest.raises(BitstreamError):
+            decompress_words(compressed[:-2])
+        with pytest.raises(BitstreamError):
+            decompress_words(b"\x01")
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(BitstreamError):
+            decompress_words(b"\x07\x00\x01")
+
+    def test_report_edge_cases(self):
+        empty = CompressionReport(raw_bytes=0, compressed_bytes=0)
+        assert empty.ratio == float("inf")
+        assert empty.savings == 0.0

@@ -1,0 +1,122 @@
+"""Device-catalog tests: the XC6VLX240T quantities are the paper's."""
+
+import pytest
+
+from repro.errors import FrameAddressError
+from repro.fpga.device import (
+    SIM_MEDIUM,
+    SIM_SMALL,
+    XC6VLX240T,
+    ColumnSpec,
+    DevicePart,
+    TileType,
+    catalog,
+    get_part,
+)
+
+ALL_PARTS = [XC6VLX240T, SIM_SMALL, SIM_MEDIUM]
+
+
+class TestPaperQuantities:
+    """Every number the protocol touches must match Section 6/Table 2."""
+
+    def test_frame_count(self):
+        assert XC6VLX240T.total_frames == 28_488
+
+    def test_frame_shape(self):
+        assert XC6VLX240T.words_per_frame == 81
+        assert XC6VLX240T.frame_bytes == 324
+
+    def test_clb_count(self):
+        assert XC6VLX240T.clb_count == 18_840
+
+    def test_bram_count(self):
+        assert XC6VLX240T.bram_count == 832
+
+    def test_icap_and_dcm(self):
+        assert XC6VLX240T.icap_count == 1
+        assert XC6VLX240T.dcm_count == 12
+
+    def test_configuration_size(self):
+        assert XC6VLX240T.configuration_bytes() == 28_488 * 324
+
+    def test_bram_cannot_hold_configuration(self):
+        """The bounded-memory premise at device level."""
+        assert XC6VLX240T.bram_capacity_bytes() < XC6VLX240T.configuration_bytes()
+
+    def test_resource_totals_dict(self):
+        totals = XC6VLX240T.resource_totals()
+        assert totals["CLB"] == 18_840
+        assert totals["BRAM"] == 832
+
+
+class TestFrameAddressing:
+    @pytest.mark.parametrize("part", ALL_PARTS, ids=lambda p: p.name)
+    def test_coordinates_roundtrip(self, part):
+        probes = [0, 1, part.frames_per_row - 1, part.frames_per_row,
+                  part.total_frames // 2, part.total_frames - 1]
+        for index in probes:
+            row, column, minor = part.frame_coordinates(index)
+            assert part.frame_index(row, column, minor) == index
+
+    @pytest.mark.parametrize("part", ALL_PARTS, ids=lambda p: p.name)
+    def test_every_frame_has_unique_coordinates(self, part):
+        if part.total_frames > 1000:
+            pytest.skip("exhaustive check only on small parts")
+        seen = set()
+        for index in range(part.total_frames):
+            seen.add(part.frame_coordinates(index))
+        assert len(seen) == part.total_frames
+
+    def test_out_of_range_frame(self):
+        with pytest.raises(FrameAddressError):
+            XC6VLX240T.frame_coordinates(28_488)
+        with pytest.raises(FrameAddressError):
+            XC6VLX240T.frame_coordinates(-1)
+
+    def test_out_of_range_coordinates(self):
+        with pytest.raises(FrameAddressError):
+            SIM_SMALL.frame_index(99, 0, 0)
+        with pytest.raises(FrameAddressError):
+            SIM_SMALL.frame_index(0, 99, 0)
+        with pytest.raises(FrameAddressError):
+            SIM_SMALL.frame_index(0, 0, 99)
+
+    def test_column_frame_range(self):
+        rng = SIM_SMALL.column_frame_range(0, 1)
+        assert len(rng) == SIM_SMALL.columns[1].frames
+        for index in rng:
+            _, column, _ = SIM_SMALL.frame_coordinates(index)
+            assert column == 1
+
+    def test_column_of_frame(self):
+        spec = SIM_SMALL.column_of_frame(0)
+        assert spec.tile_type is TileType.IOB
+
+
+class TestCatalog:
+    def test_lookup(self):
+        assert get_part("XC6VLX240T") is XC6VLX240T
+
+    def test_unknown_part(self):
+        with pytest.raises(FrameAddressError):
+            get_part("XC7Z020")
+
+    def test_catalog_lists_all(self):
+        assert set(catalog()) == {"XC6VLX240T", "SIM-SMALL", "SIM-MEDIUM"}
+
+
+class TestValidation:
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePart(
+                name="bad",
+                rows=0,
+                columns=(ColumnSpec(TileType.CLB, 1, 1),),
+                words_per_frame=4,
+                dcm_count=1,
+            )
+
+    def test_zero_frame_column_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSpec(TileType.CLB, tiles=1, frames=0)

@@ -1,0 +1,144 @@
+"""Unit tests for fabric resource accounting and partition layouts."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.fpga.device import SIM_MEDIUM, SIM_SMALL, XC6VLX240T, TileType
+from repro.fpga.fabric import Fabric, ResourceCount
+from repro.fpga.partitions import (
+    PartitionMap,
+    column_floorplan,
+    partition_ratio,
+    sacha_floorplan,
+    sacha_virtex6_floorplan,
+)
+
+
+class TestResourceCount:
+    def test_addition_and_subtraction(self):
+        a = ResourceCount(clb=10, bram=2)
+        b = ResourceCount(clb=3, bram=1, iob=4)
+        assert (a + b).clb == 13
+        assert (a - b).bram == 1
+        assert (a + b).iob == 4
+
+    def test_fits_within(self):
+        small = ResourceCount(clb=5)
+        big = ResourceCount(clb=10, bram=1)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_as_dict(self):
+        assert ResourceCount(clb=1).as_dict()["CLB"] == 1
+
+
+class TestFabric:
+    def test_device_capacity_matches_part(self):
+        capacity = Fabric(XC6VLX240T).device_capacity()
+        assert capacity.clb == 18_840
+        assert capacity.bram == 832
+
+    def test_full_column_coverage_counts_tiles(self):
+        fabric = Fabric(SIM_SMALL)
+        column_frames = list(SIM_SMALL.column_frame_range(0, 1))
+        capacity = fabric.capacity_of_frames(column_frames)
+        assert capacity.clb == SIM_SMALL.columns[1].tiles
+
+    def test_partial_column_contributes_nothing(self):
+        fabric = Fabric(SIM_SMALL)
+        column_frames = list(SIM_SMALL.column_frame_range(0, 1))
+        capacity = fabric.capacity_of_frames(column_frames[:-1])
+        assert capacity.clb == 0
+
+    def test_whole_device_capacity(self):
+        fabric = Fabric(SIM_SMALL)
+        capacity = fabric.capacity_of_frames(range(SIM_SMALL.total_frames))
+        assert capacity.clb == SIM_SMALL.clb_count
+        assert capacity.bram == SIM_SMALL.bram_count
+
+    def test_iob_frames_nonempty(self):
+        frames = Fabric(SIM_SMALL).iob_frames()
+        assert frames
+        for index in frames:
+            assert SIM_SMALL.column_of_frame(index).tile_type is TileType.IOB
+
+    def test_frames_of_tile_type_partition_device(self):
+        fabric = Fabric(SIM_SMALL)
+        total = sum(
+            len(fabric.frames_of_tile_type(tile_type)) for tile_type in TileType
+        )
+        assert total == SIM_SMALL.total_frames
+
+
+class TestPartitionMap:
+    def test_dynamic_is_complement(self):
+        plan = sacha_floorplan(SIM_SMALL, static_frame_count=10)
+        assert plan.static_frame_count + plan.dynamic_frame_count == (
+            SIM_SMALL.total_frames
+        )
+        assert not (plan.static_frames & plan.dynamic_frames)
+
+    def test_nonce_inside_dynamic(self):
+        plan = sacha_floorplan(SIM_SMALL, static_frame_count=10)
+        assert plan.nonce_frames <= plan.dynamic_frames
+        assert plan.application_frame_list() == sorted(
+            plan.dynamic_frames - plan.nonce_frames
+        )
+
+    def test_classify(self):
+        plan = sacha_floorplan(SIM_SMALL, static_frame_count=10)
+        assert plan.classify(0) == "static"
+        assert plan.classify(SIM_SMALL.total_frames - 1) == "nonce"
+        assert plan.classify(15) == "dynamic"
+        with pytest.raises(PartitionError):
+            plan.classify(10_000)
+
+    def test_bitstream_sizes(self):
+        plan = sacha_floorplan(SIM_SMALL, static_frame_count=10)
+        assert plan.static_bitstream_bytes() == 10 * SIM_SMALL.frame_bytes
+
+    def test_empty_static_rejected(self):
+        with pytest.raises(PartitionError):
+            sacha_floorplan(SIM_SMALL, static_frame_count=0)
+
+    def test_oversized_static_rejected(self):
+        with pytest.raises(PartitionError):
+            sacha_floorplan(SIM_SMALL, static_frame_count=SIM_SMALL.total_frames)
+
+    def test_overlapping_nonce_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionMap(
+                device=SIM_SMALL,
+                static_frames=frozenset(range(SIM_SMALL.total_frames - 1)),
+                nonce_frames=frozenset({0}),
+            )
+
+    def test_ratio(self):
+        plan = sacha_floorplan(SIM_SMALL, static_frame_count=17)
+        static, dynamic = partition_ratio(plan)
+        assert static == pytest.approx(0.5)
+        assert dynamic == pytest.approx(0.5)
+
+
+class TestVirtex6Floorplan:
+    def test_paper_split(self):
+        plan = sacha_virtex6_floorplan(XC6VLX240T)
+        assert plan.static_frame_count == 2_088
+        assert plan.dynamic_frame_count == 26_400
+
+    def test_static_capacity_fits_table2_design(self):
+        plan = sacha_virtex6_floorplan(XC6VLX240T)
+        capacity = Fabric(XC6VLX240T).capacity_of_frames(plan.static_frames)
+        assert capacity.clb >= 1_400
+        assert capacity.bram >= 72
+        assert capacity.iob > 0  # the ETH core needs pins
+
+    def test_column_floorplan_missing_columns(self):
+        with pytest.raises(PartitionError):
+            column_floorplan(SIM_SMALL, clb_columns=1000, bram_columns=0)
+
+    def test_column_floorplan_on_medium(self):
+        plan = column_floorplan(SIM_MEDIUM, clb_columns=4, bram_columns=1, iob_columns=1)
+        capacity = Fabric(SIM_MEDIUM).capacity_of_frames(plan.static_frames)
+        assert capacity.clb == 4 * 8
+        assert capacity.bram == 4

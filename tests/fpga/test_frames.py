@@ -1,0 +1,136 @@
+"""Tests for the structured Frame Address Register codec."""
+
+import pytest
+
+from repro.errors import FrameAddressError
+from repro.fpga.device import SIM_MEDIUM, SIM_SMALL, XC6VLX240T, TileType
+from repro.fpga.frames import (
+    BLOCK_TYPE_BRAM_CONTENT,
+    BLOCK_TYPE_CONFIG,
+    FarCodec,
+    FrameAddress,
+)
+
+ALL_PARTS = [XC6VLX240T, SIM_SMALL, SIM_MEDIUM]
+
+
+class TestFrameAddress:
+    def test_pack_unpack_roundtrip(self):
+        address = FrameAddress(block_type=1, row=3, major=170, minor=41)
+        assert FrameAddress.unpack(address.pack()) == address
+
+    def test_field_limits(self):
+        with pytest.raises(FrameAddressError):
+            FrameAddress(block_type=8, row=0, major=0, minor=0)
+        with pytest.raises(FrameAddressError):
+            FrameAddress(block_type=0, row=32, major=0, minor=0)
+        with pytest.raises(FrameAddressError):
+            FrameAddress(block_type=0, row=0, major=512, minor=0)
+        with pytest.raises(FrameAddressError):
+            FrameAddress(block_type=0, row=0, major=0, minor=256)
+
+    def test_unpack_out_of_range(self):
+        with pytest.raises(FrameAddressError):
+            FrameAddress.unpack(1 << 32)
+
+    def test_str(self):
+        assert "major=5" in str(FrameAddress(0, 1, 5, 2))
+
+
+class TestFarCodec:
+    @pytest.mark.parametrize("part", ALL_PARTS, ids=lambda p: p.name)
+    def test_linear_roundtrip(self, part):
+        codec = FarCodec(part)
+        probes = [0, 1, part.frames_per_row - 1, part.frames_per_row,
+                  part.total_frames // 2, part.total_frames - 1]
+        for index in probes:
+            assert codec.to_linear(codec.from_linear(index)) == index
+            assert codec.unpack_to_linear(codec.pack_linear(index)) == index
+
+    def test_exhaustive_roundtrip_small(self):
+        codec = FarCodec(SIM_SMALL)
+        for index in range(SIM_SMALL.total_frames):
+            assert codec.unpack_to_linear(codec.pack_linear(index)) == index
+
+    def test_block_types_follow_columns(self):
+        codec = FarCodec(SIM_SMALL)
+        for index in range(SIM_SMALL.total_frames):
+            address = codec.from_linear(index)
+            tile = SIM_SMALL.columns[address.major].tile_type
+            if tile is TileType.BRAM:
+                assert address.block_type == BLOCK_TYPE_BRAM_CONTENT
+            else:
+                assert address.block_type == BLOCK_TYPE_CONFIG
+
+    def test_block_type_mismatch_rejected(self):
+        codec = FarCodec(SIM_SMALL)
+        clb_address = codec.from_linear(
+            SIM_SMALL.frame_index(0, 1, 0)  # a CLB column
+        )
+        wrong = FrameAddress(
+            block_type=BLOCK_TYPE_BRAM_CONTENT,
+            row=clb_address.row,
+            major=clb_address.major,
+            minor=clb_address.minor,
+        )
+        with pytest.raises(FrameAddressError):
+            codec.to_linear(wrong)
+
+    def test_major_out_of_range_rejected(self):
+        codec = FarCodec(SIM_SMALL)
+        with pytest.raises(FrameAddressError):
+            codec.to_linear(FrameAddress(0, 0, 500, 0))
+
+    def test_increment_walks_configuration_order(self):
+        codec = FarCodec(SIM_SMALL)
+        address = codec.from_linear(0)
+        for expected_linear in range(1, SIM_SMALL.total_frames):
+            address = codec.increment(address)
+            assert codec.to_linear(address) == expected_linear
+
+    def test_increment_crosses_column_and_block_type(self):
+        codec = FarCodec(SIM_SMALL)
+        # Last frame of the last CLB column before the BRAM column.
+        last_clb = SIM_SMALL.frame_index(0, 4, SIM_SMALL.columns[4].frames - 1)
+        address = codec.increment(codec.from_linear(last_clb))
+        assert address.block_type == BLOCK_TYPE_BRAM_CONTENT
+        assert address.minor == 0
+
+    def test_increment_past_end_rejected(self):
+        codec = FarCodec(SIM_SMALL)
+        last = codec.from_linear(SIM_SMALL.total_frames - 1)
+        with pytest.raises(FrameAddressError):
+            codec.increment(last)
+
+    def test_distinct_frames_distinct_fars(self):
+        codec = FarCodec(SIM_MEDIUM)
+        packed = {codec.pack_linear(i) for i in range(SIM_MEDIUM.total_frames)}
+        assert len(packed) == SIM_MEDIUM.total_frames
+
+
+class TestBitstreamIntegration:
+    def test_generated_far_values_are_structured(self, rng):
+        """A generated bitstream's FAR writes decode to the right frames."""
+        from repro.fpga.bitstream import (
+            ConfigRegister,
+            PacketOp,
+            build_partial_bitstream,
+        )
+        from repro.fpga.config_memory import ConfigurationMemory
+
+        memory = ConfigurationMemory(SIM_SMALL)
+        memory.randomize(rng)
+        targets = [5, 6, 7]
+        bitstream = build_partial_bitstream(memory, targets, "far-check")
+        codec = FarCodec(SIM_SMALL)
+        far_values = []
+        words = bitstream.words
+        for position, word in enumerate(words):
+            if (
+                word >> 29 == 0b001
+                and (word >> 27) & 0b11 == PacketOp.WRITE
+                and (word >> 13) & 0b11111 == ConfigRegister.FAR
+                and word & 0x7FF == 1
+            ):
+                far_values.append(words[position + 1])
+        assert [codec.unpack_to_linear(v) for v in far_values] == [5]

@@ -1,0 +1,110 @@
+"""Unit tests for the live-register overlay."""
+
+import pytest
+
+from repro.errors import ConfigMemoryError
+from repro.fpga.device import SIM_SMALL
+from repro.fpga.registers import LiveRegisterFile, RegisterBit
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def registers():
+    return LiveRegisterFile(SIM_SMALL)
+
+
+BITS = [RegisterBit(0, 0, 3), RegisterBit(0, 2, 31), RegisterBit(4, 1, 0)]
+
+
+class TestDeclaration:
+    def test_declare_and_count(self, registers):
+        registers.declare(BITS)
+        assert len(registers) == 3
+
+    def test_double_declaration_rejected(self, registers):
+        registers.declare(BITS)
+        with pytest.raises(ConfigMemoryError):
+            registers.declare([BITS[0]])
+
+    def test_out_of_range_position_rejected(self, registers):
+        with pytest.raises(ConfigMemoryError):
+            registers.declare([RegisterBit(SIM_SMALL.total_frames, 0, 0)])
+        with pytest.raises(ConfigMemoryError):
+            registers.declare([RegisterBit(0, SIM_SMALL.words_per_frame, 0)])
+        with pytest.raises(ConfigMemoryError):
+            registers.declare([RegisterBit(0, 0, 32)])
+
+    def test_initial_value(self, registers):
+        registers.declare(BITS, initial=1)
+        assert all(value == 1 for _, value in registers)
+
+    def test_bad_initial_value(self, registers):
+        with pytest.raises(ConfigMemoryError):
+            registers.declare(BITS, initial=2)
+
+
+class TestValues:
+    def test_set_get(self, registers):
+        registers.declare(BITS)
+        registers.set(BITS[0], 1)
+        assert registers.get(BITS[0]) == 1
+        assert registers.get(BITS[1]) == 0
+
+    def test_undeclared_access_rejected(self, registers):
+        with pytest.raises(ConfigMemoryError):
+            registers.get(BITS[0])
+        with pytest.raises(ConfigMemoryError):
+            registers.set(BITS[0], 1)
+
+    def test_scramble_only_touches_declared(self, registers, rng):
+        registers.declare(BITS)
+        registers.scramble(rng)
+        assert len(registers) == 3
+
+    def test_bits_in_frame(self, registers):
+        registers.declare(BITS)
+        assert len(registers.bits_in_frame(0)) == 2
+        assert len(registers.bits_in_frame(4)) == 1
+        assert registers.bits_in_frame(1) == []
+
+
+class TestOverlay:
+    def test_overlay_substitutes_live_values(self, registers):
+        registers.declare(BITS, initial=1)
+        blank = bytes(SIM_SMALL.frame_bytes)
+        overlaid = registers.overlay_frame(0, blank)
+        # word 0 bit 3 and word 2 bit 31 must now be set.
+        word0 = int.from_bytes(overlaid[0:4], "big")
+        word2 = int.from_bytes(overlaid[8:12], "big")
+        assert word0 == 1 << 3
+        assert word2 == 1 << 31
+
+    def test_overlay_clears_when_value_zero(self, registers):
+        registers.declare(BITS, initial=0)
+        ones = b"\xff" * SIM_SMALL.frame_bytes
+        overlaid = registers.overlay_frame(0, ones)
+        word0 = int.from_bytes(overlaid[0:4], "big")
+        assert (word0 >> 3) & 1 == 0
+
+    def test_overlay_without_declarations_is_identity(self, registers):
+        data = bytes(range(SIM_SMALL.frame_bytes))
+        assert registers.overlay_frame(0, data) == data
+
+    def test_overlay_untouched_frame_is_identity(self, registers):
+        registers.declare(BITS)
+        data = bytes(range(SIM_SMALL.frame_bytes))
+        assert registers.overlay_frame(2, data) == data
+
+
+class TestForgetFrame:
+    def test_partial_reconfiguration_drops_frame_state(self, registers):
+        registers.declare(BITS)
+        registers.forget_frame(0)
+        assert len(registers) == 1
+        assert registers.bits_in_frame(0) == []
+
+    def test_redeclaration_after_forget(self, registers):
+        registers.declare(BITS)
+        registers.forget_frame(0)
+        registers.declare([BITS[0]])  # no longer a duplicate
+        assert len(registers) == 2

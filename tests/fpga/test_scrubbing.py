@@ -1,0 +1,150 @@
+"""Tests for SEU injection and configuration scrubbing (Section 2.1.3)."""
+
+import pytest
+
+from repro.errors import ConfigMemoryError
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.device import SIM_MEDIUM, SIM_SMALL
+from repro.fpga.icap import Icap
+from repro.fpga.mask import MaskFile
+from repro.fpga.registers import LiveRegisterFile, RegisterBit
+from repro.fpga.scrubbing import Scrubber, ScrubReport, SeuInjector
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def configured():
+    """A configured device plus its golden image."""
+    golden = ConfigurationMemory(SIM_SMALL)
+    golden.randomize(DeterministicRng(77))
+    live = ConfigurationMemory(SIM_SMALL)
+    live.load_snapshot(golden.snapshot())
+    icap = Icap(live)
+    return golden, live, icap
+
+
+class TestSeuInjector:
+    def test_injects_exact_count(self, configured):
+        golden, live, _ = configured
+        injector = SeuInjector(live, DeterministicRng(1))
+        events = injector.inject(5)
+        assert len(events) == 5
+        assert live.differing_frames(golden)
+
+    def test_each_event_flips_one_bit(self, configured):
+        golden, live, _ = configured
+        injector = SeuInjector(live, DeterministicRng(2))
+        event = injector.inject(1)[0]
+        assert live.get_bit(
+            event.frame_index, event.word_index, event.bit_index
+        ) != golden.get_bit(event.frame_index, event.word_index, event.bit_index)
+
+    def test_masked_positions_skipped(self):
+        memory = ConfigurationMemory(SIM_SMALL)
+        mask = MaskFile(SIM_SMALL)
+        positions = [
+            RegisterBit(0, 0, bit) for bit in range(32)
+        ]
+        mask.set_positions(positions)
+        injector = SeuInjector(memory, DeterministicRng(3), mask=mask)
+        events = injector.inject(20)
+        for event in events:
+            assert not mask.is_masked(
+                RegisterBit(event.frame_index, event.word_index, event.bit_index)
+            )
+
+    def test_negative_count_rejected(self, configured):
+        _, live, _ = configured
+        with pytest.raises(ConfigMemoryError):
+            SeuInjector(live, DeterministicRng(4)).inject(-1)
+
+
+class TestScrubber:
+    def test_clean_memory_reports_clean(self, configured):
+        golden, _, icap = configured
+        report = Scrubber(icap, golden).scrub_cycle()
+        assert report.clean
+        assert report.frames_checked == SIM_SMALL.total_frames
+        assert report.frames_corrected == []
+
+    def test_detects_and_corrects_upsets(self, configured):
+        golden, live, icap = configured
+        injector = SeuInjector(live, DeterministicRng(5))
+        events = injector.inject(3)
+        corrupted_frames = sorted({event.frame_index for event in events})
+
+        report = Scrubber(icap, golden).scrub_cycle()
+        assert sorted(report.frames_corrupted) == corrupted_frames
+        assert sorted(report.frames_corrected) == corrupted_frames
+        # Memory is now golden again.
+        assert live.differing_frames(golden) == []
+
+    def test_detector_only_mode(self, configured):
+        golden, live, icap = configured
+        SeuInjector(live, DeterministicRng(6)).inject(2)
+        report = Scrubber(icap, golden, correct=False).scrub_cycle()
+        assert report.frames_corrupted
+        assert report.frames_corrected == []
+        assert live.differing_frames(golden)  # still corrupt
+
+    def test_scrub_until_clean(self, configured):
+        golden, live, icap = configured
+        SeuInjector(live, DeterministicRng(7)).inject(4)
+        reports = Scrubber(icap, golden).scrub_until_clean()
+        assert reports[-1].clean
+        assert len(reports) == 2  # one correcting pass + one clean pass
+
+    def test_mask_absorbs_register_activity(self):
+        """Live register state must not look like corruption."""
+        golden = ConfigurationMemory(SIM_SMALL)
+        golden.randomize(DeterministicRng(8))
+        live = ConfigurationMemory(SIM_SMALL)
+        live.load_snapshot(golden.snapshot())
+        registers = LiveRegisterFile(SIM_SMALL)
+        positions = [RegisterBit(1, 0, 4), RegisterBit(2, 1, 30)]
+        registers.declare(positions)
+        registers.scramble(DeterministicRng(9))
+        icap = Icap(live, registers)
+        mask = MaskFile(SIM_SMALL)
+        mask.set_positions(positions)
+        report = Scrubber(icap, golden, mask=mask).scrub_cycle()
+        assert report.clean
+
+    def test_cycle_time_accounting(self, configured):
+        golden, _, icap = configured
+        report = Scrubber(icap, golden).scrub_cycle()
+        expected_cycles = SIM_SMALL.total_frames * icap.readback_cycles_per_frame()
+        assert report.icap_cycles == expected_cycles
+        assert report.duration_ns == pytest.approx(expected_cycles * 10.0)
+
+    def test_wrong_device_golden_rejected(self, configured):
+        _, _, icap = configured
+        with pytest.raises(ConfigMemoryError):
+            Scrubber(icap, ConfigurationMemory(SIM_MEDIUM))
+
+    def test_gives_up_when_memory_keeps_corrupting(self, configured):
+        """A detector-only scrubber can never converge on a corrupt
+        memory — scrub_until_clean must fail loudly, not loop."""
+        golden, live, icap = configured
+        SeuInjector(live, DeterministicRng(10)).inject(1)
+        detector = Scrubber(icap, golden, correct=False)
+        with pytest.raises(ConfigMemoryError, match="still corrupt"):
+            detector.scrub_until_clean(max_cycles=2)
+
+
+class TestScrubberVsAttestation:
+    def test_scrubber_repairs_malice_but_cannot_attest(self):
+        """The conceptual boundary: a scrubber restores the golden image
+        (even a malicious change) but provides no proof to anyone — no
+        key, no nonce, no freshness."""
+        golden = ConfigurationMemory(SIM_SMALL)
+        golden.randomize(DeterministicRng(11))
+        live = ConfigurationMemory(SIM_SMALL)
+        live.load_snapshot(golden.snapshot())
+        icap = Icap(live)
+        live.flip_bit(3, 0, 5)  # "malicious" modification
+        report = Scrubber(icap, golden).scrub_cycle()
+        assert report.frames_corrupted == [3]
+        assert live.differing_frames(golden) == []
+        # Nothing here is verifiable remotely: ScrubReport has no MAC.
+        assert not hasattr(report, "tag")

@@ -1,0 +1,54 @@
+"""Full XC6VLX240T runs — the paper's exact scale (marked slow).
+
+These move all 28,488 real frames through the real AES-CMAC; one run
+takes tens of seconds of wall-clock.  Deselect with ``-m 'not slow'``.
+"""
+
+import pytest
+
+from repro.core.protocol import SessionOptions, run_attestation
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import XC6VLX240T
+from repro.timing.network import LAB_NETWORK
+from repro.utils.rng import DeterministicRng
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def full_setup():
+    system = build_sacha_system(XC6VLX240T)
+    provisioned, record = provision_device(system, "prv-full", seed=2019)
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(2020))
+    return system, provisioned, verifier
+
+
+class TestFullDevice:
+    def test_full_protocol_at_paper_scale(self, full_setup):
+        system, provisioned, verifier = full_setup
+        result = run_attestation(
+            provisioned.prover,
+            verifier,
+            DeterministicRng(1),
+            SessionOptions(network=LAB_NETWORK),
+        )
+        report = result.report
+        assert report.accepted
+        # Paper counts.
+        assert report.config_steps == 26_400
+        assert report.readback_steps == 28_488
+        # Paper durations from the accumulated action model.
+        assert report.timing.theoretical_ns / 1e9 == pytest.approx(1.443, abs=0.002)
+        assert report.timing.total_ns / 1e9 == pytest.approx(28.5, abs=0.01)
+
+    def test_static_tamper_detected_at_scale(self, full_setup):
+        system, provisioned, verifier = full_setup
+        target = system.partition.static_frame_list()[1_000]
+        provisioned.board.fpga.memory.flip_bit(target, 40, 13)
+        result = run_attestation(provisioned.prover, verifier, DeterministicRng(2))
+        assert not result.report.accepted
+        assert result.report.mismatched_frames == [target]
+        # Clean up for other module-scoped tests.
+        provisioned.board.fpga.memory.flip_bit(target, 40, 13)

@@ -1,0 +1,134 @@
+"""Unit tests for the stop-and-wait ARQ layer."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.arq import ArqLink
+from repro.net.channel import Channel, Endpoint, LatencyModel
+from repro.net.ethernet import EthernetFrame, MacAddress
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+MAC_A = MacAddress(0x020000000011)
+MAC_B = MacAddress(0x020000000012)
+
+
+def _linked_pair(loss=0.0, rng=None, timeout_ns=50_000.0, max_retries=25):
+    simulator = Simulator()
+    channel = Channel(
+        simulator, LatencyModel(base_ns=1_000.0), loss_probability=loss, rng=rng
+    )
+    left_ep, right_ep = Endpoint("left", MAC_A), Endpoint("right", MAC_B)
+    channel.connect(left_ep, right_ep)
+    left = ArqLink(simulator, left_ep, MAC_B, timeout_ns, max_retries)
+    right = ArqLink(simulator, right_ep, MAC_A, timeout_ns, max_retries)
+    return simulator, channel, left, right
+
+
+def _payload_frame(payload: bytes) -> EthernetFrame:
+    return EthernetFrame(MAC_B, MAC_A, 0x88B5, payload)
+
+
+class TestLosslessDelivery:
+    def test_single_payload(self):
+        simulator, _, left, right = _linked_pair()
+        received = []
+        right.handler = lambda frame: received.append(frame.payload)
+        left.send(_payload_frame(b"hello"))
+        simulator.run()
+        assert received == [b"hello"]
+        assert left.idle
+
+    def test_many_payloads_in_order(self):
+        simulator, _, left, right = _linked_pair()
+        received = []
+        right.handler = lambda frame: received.append(frame.payload[:1])
+        for tag in (b"a", b"b", b"c", b"d"):
+            left.send(_payload_frame(tag))
+        simulator.run()
+        assert received == [b"a", b"b", b"c", b"d"]
+        assert left.retransmissions == 0
+
+    def test_bidirectional(self):
+        simulator, _, left, right = _linked_pair()
+        got_left, got_right = [], []
+        left.handler = lambda frame: got_left.append(frame.payload)
+        right.handler = lambda frame: got_right.append(frame.payload)
+        left.send(_payload_frame(b"ping"))
+        right.send(_payload_frame(b"pong"))
+        simulator.run()
+        assert got_right == [b"ping"]
+        assert got_left == [b"pong"]
+
+
+class TestLossyDelivery:
+    def test_exactly_once_under_loss(self):
+        rng = DeterministicRng(99)
+        simulator, channel, left, right = _linked_pair(loss=0.25, rng=rng)
+        received = []
+        right.handler = lambda frame: received.append(frame.payload)
+        payloads = [bytes([i]) * 8 for i in range(30)]
+        for payload in payloads:
+            left.send(_payload_frame(payload))
+        simulator.run()
+        assert received == payloads  # exactly once, in order
+        assert channel.frames_dropped > 0
+        assert left.retransmissions > 0
+
+    def test_lost_ack_does_not_duplicate_delivery(self):
+        """Drop only right->left frames (ACKs): data is retransmitted but
+        delivered once."""
+        simulator, channel, left, right = _linked_pair()
+        drop_next_ack = [True]
+
+        def ack_killer(time_ns, direction, frame):
+            if direction == "right->left" and drop_next_ack[0]:
+                drop_next_ack[0] = False
+                # Returning a frame addressed nowhere would be wrong; we
+                # emulate loss by substituting an undecodable-but-valid
+                # frame the link will ignore... simpler: use channel loss
+                # via a poison payload the ARQ treats as stale ACK.
+                return EthernetFrame(
+                    frame.destination,
+                    frame.source,
+                    frame.ethertype,
+                    b"\x02" + (99).to_bytes(4, "big"),  # stale ACK seq
+                )
+            return None
+
+        channel.add_tap(ack_killer)
+        received = []
+        right.handler = lambda frame: received.append(frame.payload)
+        left.send(_payload_frame(b"once"))
+        simulator.run()
+        assert received == [b"once"]
+        assert right.duplicates_dropped >= 1  # the retransmitted copy
+
+    def test_gives_up_after_max_retries(self):
+        rng = DeterministicRng(1)
+        simulator, channel, left, right = _linked_pair(
+            loss=0.999999, rng=rng, max_retries=3
+        )
+        right.handler = lambda frame: None
+        left.send(_payload_frame(b"doomed"))
+        with pytest.raises(NetworkError, match="gave up"):
+            simulator.run()
+
+
+class TestValidation:
+    def test_bad_timeout(self):
+        simulator = Simulator()
+        endpoint = Endpoint("x", MAC_A)
+        with pytest.raises(NetworkError):
+            ArqLink(simulator, endpoint, MAC_B, timeout_ns=0)
+
+    def test_bad_retries(self):
+        simulator = Simulator()
+        endpoint = Endpoint("x", MAC_A)
+        with pytest.raises(NetworkError):
+            ArqLink(simulator, endpoint, MAC_B, max_retries=0)
+
+    def test_truncated_arq_frame(self):
+        simulator, _, left, right = _linked_pair()
+        with pytest.raises(NetworkError):
+            right._on_frame(_payload_frame(b"\x01"))

@@ -1,0 +1,144 @@
+"""Unit tests for the simulated channel: delivery, latency, loss, taps."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.channel import Channel, Endpoint, LatencyModel
+from repro.net.ethernet import EthernetFrame, MacAddress
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+MAC_A = MacAddress(0x020000000001)
+MAC_B = MacAddress(0x020000000002)
+
+
+def _pair(latency=LatencyModel(), loss=0.0, rng=None):
+    sim = Simulator()
+    channel = Channel(sim, latency, loss_probability=loss, rng=rng)
+    left, right = Endpoint("left", MAC_A), Endpoint("right", MAC_B)
+    channel.connect(left, right)
+    return sim, channel, left, right
+
+
+def _frame(payload=b"ping") -> EthernetFrame:
+    return EthernetFrame(MAC_B, MAC_A, 0x88B5, payload)
+
+
+class TestDelivery:
+    def test_frame_reaches_peer(self):
+        sim, _, left, right = _pair()
+        received = []
+        right.handler = received.append
+        left.send(_frame())
+        sim.run()
+        assert len(received) == 1
+        assert received[0].payload.startswith(b"ping")
+
+    def test_delivery_time_includes_serialization_and_latency(self):
+        sim, _, left, right = _pair(latency=LatencyModel(base_ns=1000.0))
+        times = []
+        right.handler = lambda frame: times.append(sim.now_ns)
+        frame = _frame()
+        left.send(frame)
+        sim.run()
+        assert times[0] == pytest.approx(frame.wire_bytes() * 8.0 + 1000.0)
+
+    def test_bidirectional(self):
+        sim, _, left, right = _pair()
+        got_left, got_right = [], []
+        left.handler = got_left.append
+        right.handler = got_right.append
+        left.send(_frame(b"to-right"))
+        right.send(_frame(b"to-left"))
+        sim.run()
+        assert len(got_left) == 1 and len(got_right) == 1
+
+    def test_in_order_delivery(self):
+        sim, _, left, right = _pair(latency=LatencyModel(base_ns=500.0))
+        payloads = []
+        right.handler = lambda frame: payloads.append(frame.payload[:1])
+        for tag in (b"a", b"b", b"c"):
+            left.send(_frame(tag))
+        sim.run()
+        assert payloads == [b"a", b"b", b"c"]
+
+    def test_counters(self):
+        sim, _, left, right = _pair()
+        right.handler = lambda frame: None
+        left.send(_frame())
+        sim.run()
+        assert left.frames_sent == 1
+        assert right.frames_received == 1
+        assert left.bytes_sent > 0
+
+
+class TestErrors:
+    def test_unattached_endpoint_cannot_send(self):
+        lonely = Endpoint("lonely", MAC_A)
+        with pytest.raises(NetworkError):
+            lonely.send(_frame())
+
+    def test_double_connect_rejected(self):
+        sim, channel, _, _ = _pair()
+        with pytest.raises(NetworkError):
+            channel.connect(Endpoint("x", MAC_A), Endpoint("y", MAC_B))
+
+    def test_bad_loss_probability(self):
+        with pytest.raises(NetworkError):
+            Channel(Simulator(), loss_probability=1.0)
+
+
+class TestLossAndJitter:
+    def test_lossy_channel_drops_frames(self):
+        rng = DeterministicRng(5)
+        sim, channel, left, right = _pair(loss=0.5, rng=rng)
+        received = []
+        right.handler = received.append
+        for _ in range(200):
+            left.send(_frame())
+        sim.run()
+        assert channel.frames_dropped > 0
+        assert len(received) + channel.frames_dropped == 200
+        assert 40 < len(received) < 160
+
+    def test_jitter_varies_latency(self):
+        rng = DeterministicRng(6)
+        model = LatencyModel(base_ns=1000.0, jitter_sigma_ns=100.0)
+        samples = {model.sample_ns(rng) for _ in range(20)}
+        assert len(samples) > 1
+        assert all(sample >= 0 for sample in samples)
+
+    def test_no_rng_means_no_jitter(self):
+        model = LatencyModel(base_ns=1000.0, jitter_sigma_ns=100.0)
+        assert model.sample_ns(None) == 1000.0
+
+
+class TestTaps:
+    def test_eavesdropping_tap_sees_frames(self):
+        sim, channel, left, right = _pair()
+        right.handler = lambda frame: None
+        seen = []
+
+        def tap(time_ns, direction, frame):
+            seen.append((direction, frame.payload[:4]))
+            return None
+
+        channel.add_tap(tap)
+        left.send(_frame(b"ping"))
+        sim.run()
+        assert seen == [("left->right", b"ping")]
+
+    def test_rewriting_tap_substitutes_frame(self):
+        sim, channel, left, right = _pair()
+        received = []
+        right.handler = received.append
+
+        def mitm(time_ns, direction, frame):
+            return EthernetFrame(
+                frame.destination, frame.source, frame.ethertype, b"evil" + bytes(42)
+            )
+
+        channel.add_tap(mitm)
+        left.send(_frame(b"ping"))
+        sim.run()
+        assert received[0].payload.startswith(b"evil")

@@ -1,0 +1,86 @@
+"""Unit tests for the SACHa wire format."""
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.net.messages import (
+    ConfigAck,
+    IcapConfigCommand,
+    IcapReadbackCommand,
+    MacChecksumCommand,
+    MacChecksumResponse,
+    ReadbackResponse,
+    decode_command,
+    decode_response,
+)
+
+
+class TestCommandRoundtrip:
+    def test_icap_config(self):
+        command = IcapConfigCommand(frame_index=12345, data=b"\xde\xad" * 162)
+        decoded = decode_command(command.encode())
+        assert decoded == command
+
+    def test_icap_readback(self):
+        command = IcapReadbackCommand(frame_index=28_487)
+        assert decode_command(command.encode()) == command
+
+    def test_mac_checksum(self):
+        assert decode_command(MacChecksumCommand().encode()) == MacChecksumCommand()
+
+    def test_padding_tolerated(self):
+        """Ethernet pads short payloads; decoding must ignore the tail."""
+        wire = MacChecksumCommand().encode() + bytes(45)
+        assert decode_command(wire) == MacChecksumCommand()
+        wire = IcapReadbackCommand(7).encode() + bytes(41)
+        assert decode_command(wire) == IcapReadbackCommand(7)
+
+    def test_empty_frame_data_allowed(self):
+        command = IcapConfigCommand(frame_index=0, data=b"")
+        assert decode_command(command.encode()) == command
+
+
+class TestResponseRoundtrip:
+    def test_readback_response(self):
+        response = ReadbackResponse(frame_index=99, data=bytes(324))
+        assert decode_response(response.encode()) == response
+
+    def test_mac_response(self):
+        response = MacChecksumResponse(tag=bytes(range(16)))
+        assert decode_response(response.encode()) == response
+
+    def test_config_ack(self):
+        assert decode_response(ConfigAck(5).encode()) == ConfigAck(5)
+
+
+class TestMalformedInput:
+    def test_empty_command(self):
+        with pytest.raises(WireFormatError):
+            decode_command(b"")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(WireFormatError):
+            decode_command(b"\x7f")
+        with pytest.raises(WireFormatError):
+            decode_response(b"\x01")
+
+    def test_truncated_config(self):
+        full = IcapConfigCommand(1, b"abcd").encode()
+        with pytest.raises(WireFormatError):
+            decode_command(full[:3])
+        with pytest.raises(WireFormatError):
+            decode_command(full[:7])  # length prefix promises more data
+
+    def test_truncated_readback_command(self):
+        with pytest.raises(WireFormatError):
+            decode_command(IcapReadbackCommand(1).encode()[:2])
+
+    def test_frame_index_range(self):
+        with pytest.raises(WireFormatError):
+            IcapConfigCommand(-1, b"").encode()
+        with pytest.raises(WireFormatError):
+            IcapReadbackCommand(1 << 32).encode()
+
+    def test_oversized_blob(self):
+        with pytest.raises(WireFormatError):
+            IcapConfigCommand(0, bytes(70_000)).encode()

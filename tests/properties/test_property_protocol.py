@@ -1,0 +1,98 @@
+"""Property-based tests for the protocol: completeness and soundness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orders import OffsetOrder, PermutationOrder, check_coverage
+from repro.core.protocol import run_attestation
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import SIM_SMALL
+from repro.fpga.puf import SramPuf, enroll_device
+from repro.utils.rng import DeterministicRng
+
+TOTAL = SIM_SMALL.total_frames
+
+
+def _fresh(seed):
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, record = provision_device(system, f"prv-{seed}", seed=seed)
+    return system, provisioned, record
+
+
+class TestCompleteness:
+    """An honest prover is always accepted — for any seed, any offset."""
+
+    @given(seed=st.integers(0, 10_000), offset=st.integers(0, TOTAL - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_honest_prover_accepted(self, seed, offset):
+        system, provisioned, record = _fresh(seed)
+        verifier = SachaVerifier(
+            record.system,
+            record.mac_key,
+            DeterministicRng(seed + 1),
+            order=OffsetOrder(offset),
+        )
+        result = run_attestation(provisioned.prover, verifier, DeterministicRng(seed))
+        assert result.report.accepted
+
+
+class TestSoundness:
+    """Any single-bit static-region tamper is detected, wherever it is —
+    unless it hits a masked (register) position, which by construction
+    carries no configuration."""
+
+    @given(
+        seed=st.integers(0, 1_000),
+        word=st.integers(0, SIM_SMALL.words_per_frame - 1),
+        bit=st.integers(0, 31),
+        frame_choice=st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_single_bit_tamper_detected(self, seed, word, bit, frame_choice):
+        system, provisioned, record = _fresh(seed)
+        static_frames = system.partition.static_frame_list()
+        frame = static_frames[frame_choice % len(static_frames)]
+        from repro.fpga.registers import RegisterBit
+
+        position = RegisterBit(frame, word, bit)
+        if system.combined_mask().is_masked(position):
+            return  # masked positions carry state, not configuration
+        provisioned.board.fpga.memory.flip_bit(frame, word, bit)
+        verifier = SachaVerifier(
+            record.system, record.mac_key, DeterministicRng(seed + 1)
+        )
+        result = run_attestation(provisioned.prover, verifier, DeterministicRng(seed))
+        assert not result.report.accepted
+        assert result.report.mismatched_frames == [frame]
+
+
+class TestOrderProperties:
+    @given(offset=st.integers(0, 3 * TOTAL))
+    @settings(max_examples=30)
+    def test_offset_order_always_covers(self, offset):
+        check_coverage(OffsetOrder(offset).frame_sequence(TOTAL), TOTAL)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_permutation_order_always_covers(self, seed):
+        check_coverage(
+            PermutationOrder(DeterministicRng(seed)).frame_sequence(TOTAL), TOTAL
+        )
+
+
+class TestPufKeyAgreement:
+    """Device and verifier always agree on the key, for any enrollment
+    seed and moderate noise."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        noise=st.floats(min_value=0.0, max_value=0.10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_key_agreement(self, seed, noise):
+        puf = SramPuf(seed, noise_rate=noise)
+        key, slot = enroll_device(puf, DeterministicRng(seed + 1))
+        derived = slot.derive_key(puf, DeterministicRng(seed + 2))
+        assert derived == key

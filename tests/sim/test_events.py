@@ -1,0 +1,102 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.events import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now_ns == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_runs_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(5, lambda l=label: order.append(l))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(12.5, lambda: seen.append(sim.now_ns))
+        sim.run()
+        assert seen == [12.5]
+        assert sim.now_ns == 12.5
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: sim.schedule_at(5, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert not fired
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        event = sim.schedule(2, lambda: None)
+        event.cancel()
+        assert sim.pending() == 1
+
+
+class TestCascading:
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        times = []
+
+        def step(count):
+            times.append(sim.now_ns)
+            if count:
+                sim.schedule(10, lambda: step(count - 1))
+
+        sim.schedule(0, lambda: step(3))
+        sim.run()
+        assert times == [0, 10, 20, 30]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append("early"))
+        sim.schedule(100, lambda: fired.append("late"))
+        sim.run(until_ns=50)
+        assert fired == ["early"]
+        assert sim.now_ns == 50
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: sim.run())
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        event = sim.schedule(7, lambda: None)
+        assert sim.peek_next_time() == 7
+        event.cancel()
+        assert sim.peek_next_time() is None

@@ -1,0 +1,62 @@
+"""Unit tests for trace recording and shape queries."""
+
+from repro.sim.tracing import TraceRecorder
+
+
+def _sample_trace() -> TraceRecorder:
+    trace = TraceRecorder()
+    for index in range(3):
+        trace.record(index * 10.0, "ICAP_config", "vrf->prv", f"frame {index}")
+    for index in range(4):
+        trace.record(100.0 + index, "ICAP_readback", "vrf->prv", f"frame {index}")
+    trace.record(200.0, "MAC_checksum", "vrf->prv")
+    return trace
+
+
+class TestRecording:
+    def test_length(self):
+        assert len(_sample_trace()) == 8
+
+    def test_disabled_recorder_stores_nothing(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0, "x", "vrf->prv")
+        assert len(trace) == 0
+
+    def test_events_are_immutable_records(self):
+        trace = _sample_trace()
+        event = trace.events[0]
+        assert event.kind == "ICAP_config"
+        assert event.time_ns == 0.0
+
+
+class TestShapeQueries:
+    def test_counts_by_kind(self):
+        counts = _sample_trace().counts_by_kind()
+        assert counts == {
+            "ICAP_config": 3,
+            "ICAP_readback": 4,
+            "MAC_checksum": 1,
+        }
+
+    def test_kinds_in_order_collapses_runs(self):
+        assert _sample_trace().kinds_in_order() == [
+            "ICAP_config",
+            "ICAP_readback",
+            "MAC_checksum",
+        ]
+
+    def test_kinds_in_order_uncollapsed(self):
+        assert len(_sample_trace().kinds_in_order(collapse_repeats=False)) == 8
+
+    def test_first_and_last(self):
+        trace = _sample_trace()
+        assert trace.first("ICAP_readback").detail == "frame 0"
+        assert trace.last("ICAP_readback").detail == "frame 3"
+        assert trace.first("missing") is None
+        assert trace.last("missing") is None
+
+    def test_summarize_mentions_run_counts(self):
+        summary = _sample_trace().summarize()
+        assert "ICAP_config x3" in summary
+        assert "ICAP_readback x4" in summary
+        assert "MAC_checksum" in summary

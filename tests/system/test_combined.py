@@ -1,0 +1,126 @@
+"""Combined HW/SW attestation tests (Figure 1, right-hand side)."""
+
+import pytest
+
+from repro.core.provisioning import provision_device
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.errors import ProtocolError
+from repro.fpga.device import SIM_MEDIUM
+from repro.system.combined import CombinedAttestation, FpgaTrustModule
+from repro.system.processor import Microprocessor
+from repro.utils.rng import DeterministicRng
+
+SOFTWARE_KEY = bytes(range(16, 32))
+FIRMWARE = b"\x55" * 700
+
+
+@pytest.fixture
+def stack():
+    system = build_sacha_system(SIM_MEDIUM)
+    provisioned, record = provision_device(system, "prv-sys", seed=777)
+    verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(778))
+    processor = Microprocessor(memory_bytes=1024)
+    processor.load_software(FIRMWARE)
+    trust_module = FpgaTrustModule(
+        provisioned.prover, processor, SOFTWARE_KEY
+    )
+    combined = CombinedAttestation(
+        prover=provisioned.prover,
+        verifier=verifier,
+        trust_module=trust_module,
+        software_key=SOFTWARE_KEY,
+        expected_image=FIRMWARE,
+        processor_memory_bytes=1024,
+    )
+    return provisioned, processor, trust_module, combined
+
+
+class TestMicroprocessor:
+    def test_load_and_read(self):
+        processor = Microprocessor(256)
+        processor.load_software(b"code")
+        assert processor.bus_read(0, 4) == b"code"
+        assert processor.full_memory()[4:] == bytes(252)
+
+    def test_oversized_image_rejected(self):
+        with pytest.raises(ProtocolError):
+            Microprocessor(4).load_software(b"12345")
+
+    def test_tamper_changes_memory(self):
+        processor = Microprocessor(256)
+        processor.load_software(b"good code here")
+        processor.tamper(5, b"EVIL")
+        assert b"EVIL" in processor.full_memory()
+
+    def test_bus_read_bounds(self):
+        processor = Microprocessor(16)
+        with pytest.raises(ProtocolError):
+            processor.bus_read(10, 10)
+
+    def test_bad_memory_size(self):
+        with pytest.raises(ProtocolError):
+            Microprocessor(0)
+
+
+class TestCombinedFlow:
+    def test_clean_system_trusted(self, stack):
+        _, _, _, combined = stack
+        report = combined.run(DeterministicRng(1))
+        assert report.fpga_attested
+        assert report.software_attested
+        assert report.system_trusted
+        assert "SYSTEM TRUSTED" in report.explain()
+
+    def test_software_tamper_detected(self, stack):
+        _, processor, _, combined = stack
+        processor.tamper(10, b"\xde\xad\xbe\xef")
+        report = combined.run(DeterministicRng(2))
+        assert report.fpga_attested
+        assert not report.software_attested
+        assert not report.system_trusted
+
+    def test_fpga_tamper_stops_the_chain(self, stack):
+        provisioned, _, _, combined = stack
+        static_frame = provisioned.system.partition.static_frame_list()[2]
+        provisioned.board.fpga.memory.flip_bit(static_frame, 0, 1)
+        report = combined.run(DeterministicRng(3))
+        assert not report.fpga_attested
+        assert not report.software_attested  # step 2 never trusted
+        assert not report.system_trusted
+
+    def test_compromised_fpga_forges_without_self_attestation(self, stack):
+        """The motivating failure: skip step 1 and a tampered trusted
+        module vouches for malicious software."""
+        provisioned, processor, _, combined = stack
+        processor.tamper(10, b"\xde\xad")
+        forged = FpgaTrustModule(
+            provisioned.prover,
+            processor,
+            SOFTWARE_KEY,
+            honest=False,
+            forged_image=FIRMWARE,
+        )
+        combined._trust_module = forged
+        blind = combined.run(DeterministicRng(4), skip_self_attestation=True)
+        assert blind.system_trusted  # the forgery goes through
+        assert blind.skipped_self_attestation
+        assert "SKIPPED" in blind.explain()
+
+    def test_sacha_catches_what_blind_trust_misses(self, stack):
+        """With self-attestation on a *tampered* FPGA the same forgery
+        fails at step 1."""
+        provisioned, processor, _, combined = stack
+        processor.tamper(10, b"\xde\xad")
+        static_frame = provisioned.system.partition.static_frame_list()[2]
+        provisioned.board.fpga.memory.flip_bit(static_frame, 0, 1)
+        forged = FpgaTrustModule(
+            provisioned.prover,
+            processor,
+            SOFTWARE_KEY,
+            honest=False,
+            forged_image=FIRMWARE,
+        )
+        combined._trust_module = forged
+        report = combined.run(DeterministicRng(5))
+        assert not report.system_trusted

@@ -1,0 +1,92 @@
+"""Timing-model tests: Table 3 to the nanosecond, counts, totals."""
+
+import pytest
+
+from repro.fpga.device import SIM_MEDIUM, XC6VLX240T
+from repro.timing.model import (
+    ActionCounts,
+    ActionTimingModel,
+    ProtocolAction,
+    action_totals_ns,
+    sacha_action_counts,
+    theoretical_duration_ns,
+)
+from repro.timing.report import PAPER_TABLE3_NS, PAPER_TABLE4_COUNTS
+
+MODEL = ActionTimingModel(XC6VLX240T)
+
+
+class TestTable3Exact:
+    @pytest.mark.parametrize("action", list(ProtocolAction), ids=lambda a: a.code)
+    def test_action_matches_paper(self, action):
+        assert MODEL.action_ns(action) == pytest.approx(
+            PAPER_TABLE3_NS[action], abs=0.5
+        )
+
+    def test_all_actions_enumerated(self):
+        assert len(MODEL.all_actions_ns()) == 10
+
+
+class TestScaling:
+    def test_frame_dependent_actions_scale_down(self):
+        small_model = ActionTimingModel(SIM_MEDIUM)
+        for action in (ProtocolAction.A1, ProtocolAction.A2, ProtocolAction.A4,
+                       ProtocolAction.A8):
+            assert small_model.action_ns(action) < MODEL.action_ns(action)
+
+    def test_fixed_actions_do_not_scale(self):
+        small_model = ActionTimingModel(SIM_MEDIUM)
+        for action in (ProtocolAction.A3, ProtocolAction.A5, ProtocolAction.A9,
+                       ProtocolAction.A10):
+            assert small_model.action_ns(action) == MODEL.action_ns(action)
+
+    def test_step_aggregates(self):
+        assert MODEL.config_step_ns() == pytest.approx(8_856 + 1_834)
+        assert MODEL.readback_step_ns() == pytest.approx(
+            13_616 + 24_044 + 128 + 2_928
+        )
+        assert MODEL.checksum_step_ns() == pytest.approx(344 + 136 + 472)
+
+
+class TestCounts:
+    def test_paper_counts(self):
+        counts = sacha_action_counts(dynamic_frames=26_400, total_frames=28_488)
+        for action in ProtocolAction:
+            assert counts.count(action) == PAPER_TABLE4_COUNTS[action]
+
+    def test_total_commands(self):
+        counts = sacha_action_counts(26_400, 28_488)
+        assert counts.total_commands() == 26_400 + 28_488 + 1
+
+    def test_readback_repeats(self):
+        counts = sacha_action_counts(10, 20, readback_repeats=2)
+        assert counts.count(ProtocolAction.A4) == 40
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            sacha_action_counts(-1, 10)
+        with pytest.raises(ValueError):
+            sacha_action_counts(1, 10, readback_repeats=0)
+
+
+class TestTotals:
+    def test_theoretical_duration_is_paper_value(self):
+        counts = sacha_action_counts(26_400, 28_488)
+        total_s = theoretical_duration_ns(MODEL, counts) / 1e9
+        assert total_s == pytest.approx(1.443, abs=0.002)
+
+    def test_readback_dominates(self):
+        """A3+A4 account for ~74 % of the theoretical duration."""
+        counts = sacha_action_counts(26_400, 28_488)
+        rows = {action: total for action, _, total in action_totals_ns(MODEL, counts)}
+        readback_cmd = rows[ProtocolAction.A3] + rows[ProtocolAction.A4]
+        total = theoretical_duration_ns(MODEL, counts)
+        assert 0.70 < readback_cmd / total < 0.78
+
+    def test_action_totals_rows(self):
+        counts = ActionCounts(config_steps=2, readback_steps=3)
+        rows = action_totals_ns(MODEL, counts)
+        assert len(rows) == 10
+        a1 = next(row for row in rows if row[0] is ProtocolAction.A1)
+        assert a1[1] == 2
+        assert a1[2] == pytest.approx(2 * 8_856)

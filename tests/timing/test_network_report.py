@@ -1,0 +1,87 @@
+"""Network-model and Table 3/4 report tests: the 1.443 s / 28.5 s pair."""
+
+import pytest
+
+from repro.fpga.device import SIM_MEDIUM, XC6VLX240T
+from repro.timing.model import sacha_action_counts
+from repro.timing.network import (
+    IDEAL_NETWORK,
+    LAB_NETWORK,
+    WAN_NETWORK,
+    NetworkModel,
+    measured_duration_ns,
+)
+from repro.timing.report import (
+    PAPER_MEASURED_S,
+    PAPER_THEORETICAL_S,
+    table3_rows,
+    table4_report,
+)
+
+
+class TestNetworkModels:
+    def test_ideal_adds_nothing(self):
+        counts = sacha_action_counts(26_400, 28_488)
+        assert IDEAL_NETWORK.overhead_ns(counts) == 0.0
+
+    def test_lab_overhead_closes_the_gap(self):
+        """theoretical + lab overhead = the measured 28.5 s."""
+        counts = sacha_action_counts(26_400, 28_488)
+        theoretical = PAPER_THEORETICAL_S * 1e9
+        measured = measured_duration_ns(theoretical, LAB_NETWORK, counts)
+        assert measured / 1e9 == pytest.approx(PAPER_MEASURED_S, abs=0.05)
+
+    def test_wan_is_prohibitive(self):
+        """The protocol's chattiness (~55k commands) makes a 10 ms-RTT
+        network hopeless — the shape argument behind batching (E7)."""
+        counts = sacha_action_counts(26_400, 28_488)
+        overhead_s = WAN_NETWORK.overhead_ns(counts) / 1e9
+        assert overhead_s > 500
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel("bad", -1.0)
+
+
+class TestTable3Report:
+    def test_real_part_rows_match(self):
+        assert all(row.matches_paper for row in table3_rows(XC6VLX240T))
+
+    def test_scaled_part_has_no_paper_column(self):
+        rows = table3_rows(SIM_MEDIUM)
+        assert all(row.paper_ns is None for row in rows)
+        assert all(row.matches_paper for row in rows)  # vacuously true
+
+
+class TestTable4Report:
+    def test_default_reproduces_paper(self):
+        report = table4_report()
+        assert report.theoretical_s == pytest.approx(1.443, abs=0.002)
+        assert report.measured_s == pytest.approx(28.5, abs=0.01)
+
+    def test_counts_in_rows(self):
+        report = table4_report()
+        by_action = {row.action.code: row for row in report.rows}
+        assert by_action["A1"].count == 26_400
+        assert by_action["A4"].count == 28_488
+        assert by_action["A10"].count == 1
+
+    def test_ideal_network_measured_equals_theoretical(self):
+        report = table4_report(network=IDEAL_NETWORK)
+        assert report.measured_ns == pytest.approx(report.theoretical_ns)
+
+    def test_scaled_device_requires_counts(self):
+        with pytest.raises(ValueError):
+            table4_report(device=SIM_MEDIUM)
+
+    def test_scaled_device_with_counts(self):
+        counts = sacha_action_counts(
+            dynamic_frames=214, total_frames=SIM_MEDIUM.total_frames
+        )
+        report = table4_report(device=SIM_MEDIUM, counts=counts)
+        assert report.theoretical_s < 0.1
+
+    def test_summary_mentions_both_durations(self):
+        summary = table4_report().summary()
+        assert "theoretical" in summary
+        assert "measured" in summary

@@ -1,0 +1,101 @@
+"""Unit tests for bit/word helpers."""
+
+import pytest
+
+from repro.utils.bitops import (
+    bit_count,
+    bytes_to_words,
+    get_bit,
+    hamming_distance,
+    rotl32,
+    set_bit,
+    words_to_bytes,
+    xor_bytes,
+)
+
+
+class TestGetSetBit:
+    def test_get_bit_lsb(self):
+        assert get_bit(0b1011, 0) == 1
+        assert get_bit(0b1011, 2) == 0
+
+    def test_get_bit_high_index(self):
+        assert get_bit(1 << 100, 100) == 1
+
+    def test_get_bit_negative_index_raises(self):
+        with pytest.raises(ValueError):
+            get_bit(1, -1)
+
+    def test_set_bit_sets_and_clears(self):
+        assert set_bit(0, 3, 1) == 0b1000
+        assert set_bit(0b1111, 1, 0) == 0b1101
+
+    def test_set_bit_idempotent(self):
+        assert set_bit(set_bit(0, 5, 1), 5, 1) == 1 << 5
+
+    def test_set_bit_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+
+class TestRotl32:
+    def test_identity_rotation(self):
+        assert rotl32(0x12345678, 0) == 0x12345678
+        assert rotl32(0x12345678, 32) == 0x12345678
+
+    def test_byte_rotation(self):
+        assert rotl32(0x12345678, 8) == 0x34567812
+
+    def test_single_bit_wraps(self):
+        assert rotl32(0x80000000, 1) == 1
+
+
+class TestBitCountHamming:
+    def test_bit_count(self):
+        assert bit_count(b"\x00") == 0
+        assert bit_count(b"\xff\x0f") == 12
+
+    def test_hamming_distance_zero(self):
+        assert hamming_distance(b"abc", b"abc") == 0
+
+    def test_hamming_distance_counts_differing_bits(self):
+        assert hamming_distance(b"\x00", b"\xff") == 8
+        assert hamming_distance(b"\x0f\x01", b"\x00\x00") == 5
+
+    def test_hamming_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            hamming_distance(b"a", b"ab")
+
+
+class TestXorBytes:
+    def test_xor_is_involution(self):
+        a, b = b"\x12\x34", b"\xab\xcd"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_xor_with_zero_is_identity(self):
+        assert xor_bytes(b"\x55\xaa", b"\x00\x00") == b"\x55\xaa"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"a")
+
+
+class TestWordConversion:
+    def test_roundtrip(self):
+        data = bytes(range(16))
+        assert words_to_bytes(bytes_to_words(data)) == data
+
+    def test_big_endian_order(self):
+        assert bytes_to_words(b"\x12\x34\x56\x78") == [0x12345678]
+
+    def test_unaligned_length_raises(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"\x00" * 5)
+
+    def test_oversized_word_raises(self):
+        with pytest.raises(ValueError):
+            words_to_bytes([1 << 32])
+
+    def test_empty(self):
+        assert bytes_to_words(b"") == []
+        assert words_to_bytes([]) == b""

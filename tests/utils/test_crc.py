@@ -1,0 +1,76 @@
+"""Unit tests for the three CRC variants."""
+
+import zlib
+
+import pytest
+
+from repro.utils.crc import Crc16Ccitt, Crc32, XilinxBitstreamCrc, crc32
+
+
+class TestCrc32:
+    def test_matches_zlib(self):
+        for message in (b"", b"123456789", b"hello world" * 50):
+            assert crc32(message) == zlib.crc32(message)
+
+    def test_check_value(self):
+        # The classic CRC-32 check value for "123456789".
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_incremental_equals_oneshot(self):
+        crc = Crc32()
+        crc.update(b"hello ").update(b"world")
+        assert crc.digest() == crc32(b"hello world")
+
+    def test_digest_bytes_little_endian(self):
+        value = crc32(b"abc")
+        assert Crc32().update(b"abc").digest_bytes() == value.to_bytes(4, "little")
+
+    def test_sensitive_to_single_bit(self):
+        assert crc32(b"\x00\x00") != crc32(b"\x00\x01")
+
+
+class TestCrc16Ccitt:
+    def test_check_value(self):
+        # CRC-16/CCITT-FALSE check value for "123456789".
+        assert Crc16Ccitt().update(b"123456789").digest() == 0x29B1
+
+    def test_empty_is_init_value(self):
+        assert Crc16Ccitt().digest() == 0xFFFF
+
+    def test_incremental(self):
+        split = Crc16Ccitt().update(b"12345").update(b"6789").digest()
+        assert split == Crc16Ccitt().update(b"123456789").digest()
+
+
+class TestXilinxBitstreamCrc:
+    def test_covers_register_address(self):
+        a = XilinxBitstreamCrc()
+        b = XilinxBitstreamCrc()
+        a.feed(2, 0xDEADBEEF)
+        b.feed(3, 0xDEADBEEF)
+        assert a.digest() != b.digest()
+
+    def test_check_resets(self):
+        crc = XilinxBitstreamCrc()
+        crc.feed(1, 0x1234)
+        expected = crc.digest()
+        assert crc.check(expected)
+        assert crc.digest() == 0
+
+    def test_check_failure_also_resets(self):
+        crc = XilinxBitstreamCrc()
+        crc.feed(1, 0x1234)
+        assert not crc.check(0xBAD)
+        assert crc.digest() == 0
+
+    def test_feed_words(self):
+        a = XilinxBitstreamCrc()
+        a.feed_words(2, [1, 2, 3])
+        b = XilinxBitstreamCrc()
+        for word in (1, 2, 3):
+            b.feed(2, word)
+        assert a.digest() == b.digest()
+
+    def test_register_range(self):
+        with pytest.raises(ValueError):
+            XilinxBitstreamCrc().feed(32, 0)

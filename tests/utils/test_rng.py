@@ -1,0 +1,68 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.utils.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(7), DeterministicRng(7)
+        assert a.randbytes(32) == b.randbytes(32)
+        assert a.randint(0, 1000) == b.randint(0, 1000)
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRng(1).randbytes(16) != DeterministicRng(2).randbytes(16)
+
+    def test_fork_is_independent(self):
+        base = DeterministicRng(9)
+        fork_a = base.fork("alpha")
+        # Drawing from the base must not perturb the fork's stream.
+        base.randbytes(100)
+        fork_b = DeterministicRng(9).fork("alpha")
+        assert fork_a.randbytes(16) == fork_b.randbytes(16)
+
+    def test_fork_labels_distinguish(self):
+        base = DeterministicRng(9)
+        assert base.fork("a").randbytes(8) != base.fork("b").randbytes(8)
+
+
+class TestDraws:
+    def test_randbytes_length(self, rng):
+        assert len(rng.randbytes(0)) == 0
+        assert len(rng.randbytes(17)) == 17
+
+    def test_randbytes_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            rng.randbytes(-1)
+
+    def test_randint_bounds(self, rng):
+        values = [rng.randint(3, 5) for _ in range(100)]
+        assert set(values) <= {3, 4, 5}
+        assert len(set(values)) > 1
+
+    def test_chance_extremes(self, rng):
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0 - 1e-12) for _ in range(50))
+
+    def test_chance_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            rng.chance(1.5)
+
+    def test_permutation_is_permutation(self, rng):
+        perm = rng.permutation(50)
+        assert sorted(perm) == list(range(50))
+
+    def test_shuffle_preserves_elements(self, rng):
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+    def test_sample_unique(self, rng):
+        picked = rng.sample(range(100), 10)
+        assert len(set(picked)) == 10
+
+    def test_gauss_centers(self, rng):
+        values = [rng.gauss(10.0, 1.0) for _ in range(2000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 10.0) < 0.2

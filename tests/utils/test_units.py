@@ -1,0 +1,47 @@
+"""Unit tests for unit formatting and clock-period helpers."""
+
+import pytest
+
+from repro.utils.units import MHZ, format_bytes, format_time_ns, period_ns
+
+
+class TestPeriod:
+    def test_125_mhz_is_8ns(self):
+        assert period_ns(125 * MHZ) == pytest.approx(8.0)
+
+    def test_100_mhz_is_10ns(self):
+        assert period_ns(100 * MHZ) == pytest.approx(10.0)
+
+    def test_zero_frequency_raises(self):
+        with pytest.raises(ValueError):
+            period_ns(0)
+
+
+class TestFormatTime:
+    def test_nanoseconds(self):
+        assert format_time_ns(472) == "472 ns"
+
+    def test_microseconds(self):
+        assert format_time_ns(13_616) == "13.616 us"
+
+    def test_milliseconds(self):
+        assert format_time_ns(3_646_464) == "3.646 ms"
+
+    def test_seconds(self):
+        assert format_time_ns(1_443_000_000) == "1.443 s"
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert format_bytes(324) == "324 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_mib_partial_bitstream(self):
+        # The paper's DynMem payload: 26,400 x 324 B.
+        assert format_bytes(26_400 * 324) == "8.16 MiB"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
