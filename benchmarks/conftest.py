@@ -6,9 +6,19 @@ asserts the reproduced shape before timing it.  Run with::
     pytest benchmarks/ --benchmark-only
 
 Add ``-s`` to see the regenerated tables next to the timings.
+
+Set ``REPRO_BENCH_METRICS_DIR=somedir`` to run every benchmark against a
+fresh enabled :class:`repro.obs.MetricsRegistry` and dump a per-bench
+Prometheus snapshot (``<test_name>.prom``) into that directory — the
+measurement substrate for perf PRs.  Without the variable, benchmarks
+run with observability disabled, which is the overhead baseline.
 """
 
 from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
 
 import pytest
 
@@ -16,7 +26,28 @@ from repro.core.provisioning import provision_device
 from repro.core.verifier import SachaVerifier
 from repro.design.sacha_design import build_sacha_system
 from repro.fpga.device import SIM_MEDIUM, SIM_SMALL
+from repro.obs.exporters import write_prometheus
+from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture(autouse=True)
+def _bench_metrics_snapshot(request):
+    """Per-bench metric collection, gated on REPRO_BENCH_METRICS_DIR."""
+    out_dir = os.environ.get("REPRO_BENCH_METRICS_DIR")
+    if not out_dir:
+        yield
+        return
+    registry = MetricsRegistry(enabled=True)
+    previous = set_registry(registry)
+    try:
+        yield
+    finally:
+        set_registry(previous)
+        target = Path(out_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        safe_name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+        write_prometheus(registry, target / f"{safe_name}.prom")
 
 
 @pytest.fixture(scope="session")

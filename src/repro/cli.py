@@ -8,12 +8,20 @@ Commands:
 * ``security [--device PART]`` — run the Section-7.2 threat sweep;
 * ``trace [--device PART]`` — print the Figure-9 protocol trace;
 * ``experiment <ID>`` — run one registered experiment (E1-table2, ...);
+* ``metrics [--device PART]`` — observability demo: attest with metrics,
+  spans and structured logging enabled, print the collected evidence;
 * ``list`` — list devices and experiments.
+
+``attest``, ``trace``, ``experiment`` and ``metrics`` take observability
+options: ``--metrics-out FILE`` (Prometheus text exposition),
+``--spans-out FILE`` (JSON-lines span log), ``--log-json`` (structured
+JSON logs plus the span log on stderr) and ``--log-level``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -26,11 +34,15 @@ from repro.analysis.experiments import (
     e5_security_evaluation,
     e6_protocol_trace,
 )
-from repro.core.protocol import run_attestation
+from repro.core.protocol import SessionOptions, run_attestation
 from repro.core.provisioning import provision_device
 from repro.core.verifier import SachaVerifier
 from repro.design.sacha_design import build_sacha_system
 from repro.fpga.device import catalog, get_part
+from repro.obs import log as obs_log
+from repro.obs.exporters import to_prometheus, write_jsonl, write_prometheus
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.obs.spans import render_span_tree
 from repro.utils.rng import DeterministicRng
 
 
@@ -41,6 +53,85 @@ def _add_device_option(parser: argparse.ArgumentParser, default: str) -> None:
         choices=list(catalog()),
         help=f"device part (default: {default})",
     )
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's metrics to FILE in Prometheus text format",
+    )
+    group.add_argument(
+        "--spans-out",
+        metavar="FILE",
+        default=None,
+        help="write the structured span log to FILE as JSON lines",
+    )
+    group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="structured logs (and the span log) as JSON lines on stderr",
+    )
+    group.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="minimum structured log level (default: info)",
+    )
+    group.add_argument(
+        "--span-frames",
+        action="store_true",
+        help="emit one span per readback frame (large logs on big parts)",
+    )
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "spans_out", None)
+        or getattr(args, "log_json", False)
+        or args.command == "metrics"
+    )
+
+
+def _setup_obs(args: argparse.Namespace):
+    """Install an enabled registry + log handler when any obs flag is set.
+
+    Returns ``(registry, previous_registry)`` or ``None``.
+    """
+    if not _obs_requested(args):
+        return None
+    obs_log.configure(
+        level=getattr(logging, args.log_level.upper()),
+        json_output=args.log_json,
+    )
+    registry = MetricsRegistry(enabled=True)
+    return registry, set_registry(registry)
+
+
+def _finish_obs(args: argparse.Namespace, scope) -> None:
+    """Export collected evidence, then restore the previous registry."""
+    if scope is None:
+        return
+    registry, previous = scope
+    try:
+        if args.metrics_out:
+            write_prometheus(registry, args.metrics_out)
+        if args.spans_out:
+            write_jsonl(
+                (record.to_dict() for record in registry.spans), args.spans_out
+            )
+        if args.log_json and not args.spans_out:
+            span_logger = obs_log.get_logger("repro.obs.spans")
+            for record in registry.spans:
+                fields = record.to_dict()
+                fields.pop("record", None)
+                span_logger.info("span", **fields)
+    finally:
+        set_registry(previous)
+        obs_log.reset()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="flip one static-frame bit before attesting",
     )
+    _add_obs_options(attest)
 
     commands.add_parser("tables", help="regenerate Tables 2-4 + JTAG reference")
 
@@ -66,9 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = commands.add_parser("trace", help="Figure-9 protocol trace")
     _add_device_option(trace, "SIM-SMALL")
+    _add_obs_options(trace)
 
     experiment = commands.add_parser("experiment", help="run one experiment")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    _add_obs_options(experiment)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="observability demo: attest honest + tampered, print evidence",
+    )
+    _add_device_option(metrics, "SIM-SMALL")
+    metrics.add_argument("--seed", type=int, default=2019)
+    _add_obs_options(metrics)
 
     commands.add_parser("list", help="list devices and experiments")
     return parser
@@ -86,7 +188,10 @@ def _command_attest(args: argparse.Namespace) -> int:
         record.system, record.mac_key, DeterministicRng(args.seed + 1)
     )
     result = run_attestation(
-        provisioned.prover, verifier, DeterministicRng(args.seed + 2)
+        provisioned.prover,
+        verifier,
+        DeterministicRng(args.seed + 2),
+        SessionOptions(span_frames=args.span_frames),
     )
     print(result.report.explain())
     return 0 if result.report.accepted == (not args.tamper) else 1
@@ -128,6 +233,45 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    """Observability demo: one honest + one tampered run, evidence printed.
+
+    The honest run populates the accept counters and the span tree; the
+    tampered run exercises the reject path, so the exposition shows both
+    ``result`` label values.
+    """
+    device = get_part(args.device)
+    registry = get_registry()  # enabled by _setup_obs for this command
+    options = SessionOptions(record_trace=True, span_frames=args.span_frames)
+    accepted = True
+    for tamper in (False, True):
+        system = build_sacha_system(device)
+        provisioned, record = provision_device(
+            system, f"metrics-demo-{int(tamper)}", seed=args.seed + int(tamper)
+        )
+        if tamper:
+            frame = system.partition.static_frame_list()[0]
+            provisioned.board.fpga.memory.flip_bit(frame, 0, 0)
+        verifier = SachaVerifier(
+            record.system, record.mac_key, DeterministicRng(args.seed + 10)
+        )
+        result = run_attestation(
+            provisioned.prover,
+            verifier,
+            DeterministicRng(args.seed + 20),
+            options,
+        )
+        accepted = accepted and (result.report.accepted == (not tamper))
+    print("== Prometheus exposition ==")
+    print(to_prometheus(registry), end="")
+    print("== span tree ==")
+    print(render_span_tree(registry.spans))
+    print("== trace (JSONL, first 5 lines) ==")
+    jsonl = result.report.trace.to_jsonl().splitlines()
+    print("\n".join(jsonl[:5]))
+    return 0 if accepted else 1
+
+
 def _command_list(_: argparse.Namespace) -> int:
     print("devices:")
     for name in catalog():
@@ -148,13 +292,24 @@ _HANDLERS = {
     "security": _command_security,
     "trace": _command_trace,
     "experiment": _command_experiment,
+    "metrics": _command_metrics,
     "list": _command_list,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    scope = _setup_obs(args)
+    try:
+        status = _HANDLERS[args.command](args)
+    finally:
+        try:
+            _finish_obs(args, scope)
+        except OSError as exc:
+            print(f"repro: error writing observability output: {exc}",
+                  file=sys.stderr)
+            return 1
+    return status
 
 
 if __name__ == "__main__":

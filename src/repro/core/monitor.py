@@ -22,8 +22,12 @@ from repro.core.protocol import SessionOptions, run_attestation
 from repro.core.prover import SachaProver
 from repro.core.report import AttestationReport
 from repro.core.verifier import SachaVerifier
+from repro.obs import log as obs_log
+from repro.obs.metrics import get_registry
 from repro.sim.events import Simulator
 from repro.utils.rng import DeterministicRng
+
+_log = obs_log.get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,7 @@ class AttestationMonitor:
         """Note the time of an (externally mounted) tamper for latency
         accounting."""
         self.history.tamper_time_ns = self._simulator.now_ns
+        _log.info("tamper_recorded", time_ns=self.history.tamper_time_ns)
 
     def start(self, runs: int) -> None:
         """Schedule ``runs`` periodic attestations from now."""
@@ -137,9 +142,31 @@ class AttestationMonitor:
             mismatched_frames=tuple(report.mismatched_frames),
         )
         self.history.samples.append(sample)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "sacha_monitor_runs_total", "Periodic attestation runs executed"
+            ).inc()
+            if not report.accepted:
+                registry.counter(
+                    "sacha_monitor_rejections_total",
+                    "Periodic attestation runs that rejected the prover",
+                ).inc()
         if not report.accepted:
             if self.history.detection_time_ns is None:
                 self.history.detection_time_ns = finished
+                latency = self.history.detection_latency_ns
+                _log.warning(
+                    "monitor_detection",
+                    run=self._run_counter,
+                    time_ns=finished,
+                    detection_latency_ns=latency,
+                )
+                if registry.enabled and latency is not None:
+                    registry.gauge(
+                        "sacha_monitor_detection_latency_seconds",
+                        "Tamper-to-first-rejection latency of the last detection",
+                    ).set(latency / 1e9)
             if self._on_rejection is not None:
                 self._on_rejection(sample)
             if self._stop_on_detection:

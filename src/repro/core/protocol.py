@@ -11,6 +11,7 @@ network model, so a run on the XC6VLX240T reports the paper's 1.443 s /
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -18,6 +19,9 @@ from repro.errors import ProtocolError
 from repro.core.prover import SachaProver
 from repro.core.report import AttestationReport, TimingBreakdown
 from repro.core.verifier import SachaVerifier
+from repro.obs import log as obs_log
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.net.messages import (
     IcapReadbackCommand,
     IcapReadbackRangeCommand,
@@ -31,6 +35,8 @@ from repro.sim.tracing import TraceRecorder
 from repro.timing.model import ActionCounts, ActionTimingModel, ProtocolAction
 from repro.timing.network import IDEAL_NETWORK, NetworkModel
 from repro.utils.rng import DeterministicRng
+
+_log = obs_log.get_logger(__name__)
 
 
 @dataclass
@@ -54,6 +60,10 @@ class SessionOptions:
     #: (the optimization the E7 ablation motivates).  1 = the paper's
     #: one-frame-per-packet protocol.  Incompatible with mask_at_prover.
     readback_batch_frames: int = 1
+    #: Emit one observability span per readback step (28k+ spans on a
+    #: full XC6VLX240T run — phase spans alone are the default).  Only
+    #: takes effect while the active metrics registry is enabled.
+    span_frames: bool = False
 
 
 @dataclass
@@ -95,159 +105,238 @@ def run_attestation(
     rng = rng or DeterministicRng(0)
     trace = TraceRecorder(enabled=options.record_trace)
     model = ActionTimingModel(verifier.system.device)
+    device = verifier.system.device
     elapsed = 0.0
 
     def tick(action: ProtocolAction) -> None:
         nonlocal elapsed
         elapsed += model.action_ns(action)
 
-    # -- dynamic configuration phase (Figure 9, top) -------------------------
-    nonce = verifier.new_nonce()
-    config_commands = verifier.config_commands(nonce)
-    config_ns = 0.0
-    for command in config_commands:
-        start = elapsed
-        tick(ProtocolAction.A1)
-        prover.handle_command(command)
-        tick(ProtocolAction.A2)
-        config_ns += elapsed - start
-        trace.record(start, "ICAP_config", "vrf->prv", f"frame {command.frame_index}")
-
-    # The dynamic partition now runs the configured application.
-    registers = prover.board.fpga.registers
-    if options.declare_app_registers:
-        verifier.system.app_impl.declare_registers(registers)
-    if options.scramble_registers:
-        registers.scramble(rng.fork("app-activity"))
-
-    # -- full configuration readback (Figure 9, middle) -----------------------
-    plan = verifier.readback_plan()
-    responses: List[ReadbackResponse] = []
-    readback_ns = 0.0
-    readback_commands = 0
-    first = True
-    if options.mask_at_prover and options.readback_batch_frames > 1:
-        raise ProtocolError(
-            "readback batching is incompatible with prover-side masking"
+    registry = get_registry()
+    obs_on = registry.enabled
+    clock = lambda: elapsed  # noqa: E731 — spans read the sim clock live
+    if obs_on:
+        attestations = registry.counter(
+            "sacha_attestations_total",
+            "Completed attestation runs by verdict",
+            labels=("result",),
         )
-    if options.mask_at_prover:
-        for command in verifier.masked_readback_commands(plan):
-            start = elapsed
-            elapsed += model.masked_readback_send_ns()
-            if first:
-                tick(ProtocolAction.A5)
-                trace.record(elapsed, "MAC_init", "prv")
-                first = False
-            ack = prover.handle_command(command)
-            if not isinstance(ack, MaskedReadbackAck):
-                raise ProtocolError(
-                    f"prover returned {type(ack).__name__} to masked readback"
+        frames_configured = registry.counter(
+            "sacha_frames_configured_total",
+            "Frames written during dynamic configuration phases",
+        )
+        frames_readback = registry.counter(
+            "sacha_frames_readback_total",
+            "Configuration frames read back from provers",
+        )
+        mac_updates = registry.counter(
+            "sacha_mac_updates_total",
+            "Incremental MAC update steps performed by provers",
+        )
+        phase_seconds = registry.histogram(
+            "sacha_phase_duration_seconds",
+            "Simulated duration of each protocol phase",
+            labels=("phase",),
+        )
+        run_seconds = registry.histogram(
+            "sacha_attestation_duration_seconds",
+            "Simulated end-to-end duration of one attestation run",
+        )
+    if obs_on and options.span_frames:
+        frame_span = lambda idx: span(  # noqa: E731
+            "readback", clock=clock, registry=registry, frame=idx
+        )
+    else:
+        frame_span = lambda idx: contextlib.nullcontext()  # noqa: E731
+
+    with span(
+        "attestation", clock=clock, registry=registry, device=device.name
+    ) as root:
+        # -- dynamic configuration phase (Figure 9, top) ---------------------
+        nonce = verifier.new_nonce()
+        with span("config", clock=clock, registry=registry):
+            config_commands = verifier.config_commands(nonce)
+            config_ns = 0.0
+            for command in config_commands:
+                start = elapsed
+                tick(ProtocolAction.A1)
+                prover.handle_command(command)
+                tick(ProtocolAction.A2)
+                config_ns += elapsed - start
+                trace.record(
+                    start, "ICAP_config", "vrf->prv", f"frame {command.frame_index}"
                 )
-            tick(ProtocolAction.A4)
-            tick(ProtocolAction.A6)
-            elapsed += model.masked_ack_ns()
-            readback_ns += elapsed - start
-            trace.record(
-                start,
-                "ICAP_readback_masked",
-                "vrf->prv",
-                f"frame {command.frame_index}",
+
+        # The dynamic partition now runs the configured application.
+        registers = prover.board.fpga.registers
+        if options.declare_app_registers:
+            verifier.system.app_impl.declare_registers(registers)
+        if options.scramble_registers:
+            registers.scramble(rng.fork("app-activity"))
+
+        # -- full configuration readback (Figure 9, middle) -------------------
+        plan = verifier.readback_plan()
+        responses: List[ReadbackResponse] = []
+        readback_ns = 0.0
+        readback_commands = 0
+        first = True
+        if options.mask_at_prover and options.readback_batch_frames > 1:
+            raise ProtocolError(
+                "readback batching is incompatible with prover-side masking"
             )
-    elif options.readback_batch_frames > 1:
-        frame_bytes = verifier.system.device.frame_bytes
-        for batch_start, batch_count in _contiguous_batches(
-            plan, options.readback_batch_frames
-        ):
-            start = elapsed
-            tick(ProtocolAction.A3)
-            if first:
-                tick(ProtocolAction.A5)
-                trace.record(elapsed, "MAC_init", "prv")
-                first = False
-            response = prover.handle_command(
-                IcapReadbackRangeCommand(
-                    start_index=batch_start, count=batch_count
-                )
-            )
-            if not isinstance(response, ReadbackRangeResponse):
-                raise ProtocolError(
-                    f"prover returned {type(response).__name__} to a "
-                    "ranged readback"
-                )
-            for offset in range(batch_count):
-                tick(ProtocolAction.A4)
-                tick(ProtocolAction.A6)
-                responses.append(
-                    ReadbackResponse(
-                        frame_index=batch_start + offset,
-                        data=response.data[
-                            offset * frame_bytes : (offset + 1) * frame_bytes
-                        ],
+        with span("readback", clock=clock, registry=registry, frames=len(plan)):
+            if options.mask_at_prover:
+                for command in verifier.masked_readback_commands(plan):
+                    start = elapsed
+                    elapsed += model.masked_readback_send_ns()
+                    if first:
+                        tick(ProtocolAction.A5)
+                        trace.record(elapsed, "MAC_init", "prv")
+                        first = False
+                    with frame_span(command.frame_index):
+                        ack = prover.handle_command(command)
+                        if not isinstance(ack, MaskedReadbackAck):
+                            raise ProtocolError(
+                                f"prover returned {type(ack).__name__} to "
+                                "masked readback"
+                            )
+                        tick(ProtocolAction.A4)
+                        tick(ProtocolAction.A6)
+                        elapsed += model.masked_ack_ns()
+                    readback_ns += elapsed - start
+                    trace.record(
+                        start,
+                        "ICAP_readback_masked",
+                        "vrf->prv",
+                        f"frame {command.frame_index}",
                     )
-                )
-            # One serialization for the whole batch (A8 amortized).
-            elapsed += (batch_count * frame_bytes + 42) * 8.0
-            readback_ns += elapsed - start
-            readback_commands += 1
-            trace.record(
-                start,
-                "ICAP_readback_range",
-                "vrf->prv",
-                f"frames {batch_start}..{batch_start + batch_count - 1}",
-            )
-    else:
-        for frame_index in plan:
+            elif options.readback_batch_frames > 1:
+                frame_bytes = verifier.system.device.frame_bytes
+                for batch_start, batch_count in _contiguous_batches(
+                    plan, options.readback_batch_frames
+                ):
+                    start = elapsed
+                    tick(ProtocolAction.A3)
+                    if first:
+                        tick(ProtocolAction.A5)
+                        trace.record(elapsed, "MAC_init", "prv")
+                        first = False
+                    response = prover.handle_command(
+                        IcapReadbackRangeCommand(
+                            start_index=batch_start, count=batch_count
+                        )
+                    )
+                    if not isinstance(response, ReadbackRangeResponse):
+                        raise ProtocolError(
+                            f"prover returned {type(response).__name__} to a "
+                            "ranged readback"
+                        )
+                    for offset in range(batch_count):
+                        tick(ProtocolAction.A4)
+                        tick(ProtocolAction.A6)
+                        responses.append(
+                            ReadbackResponse(
+                                frame_index=batch_start + offset,
+                                data=response.data[
+                                    offset * frame_bytes : (offset + 1) * frame_bytes
+                                ],
+                            )
+                        )
+                    # One serialization for the whole batch (A8 amortized).
+                    elapsed += (batch_count * frame_bytes + 42) * 8.0
+                    readback_ns += elapsed - start
+                    readback_commands += 1
+                    trace.record(
+                        start,
+                        "ICAP_readback_range",
+                        "vrf->prv",
+                        f"frames {batch_start}..{batch_start + batch_count - 1}",
+                    )
+            else:
+                for frame_index in plan:
+                    start = elapsed
+                    tick(ProtocolAction.A3)
+                    if first:
+                        tick(ProtocolAction.A5)
+                        trace.record(elapsed, "MAC_init", "prv")
+                        first = False
+                    with frame_span(frame_index):
+                        response = prover.handle_command(
+                            IcapReadbackCommand(frame_index)
+                        )
+                        if not isinstance(response, ReadbackResponse):
+                            raise ProtocolError(
+                                f"prover returned {type(response).__name__} "
+                                "to ICAP_readback"
+                            )
+                        tick(ProtocolAction.A4)
+                        tick(ProtocolAction.A6)
+                        tick(ProtocolAction.A8)
+                    readback_ns += elapsed - start
+                    responses.append(response)
+                    trace.record(
+                        start, "ICAP_readback", "vrf->prv", f"frame {frame_index}"
+                    )
+
+        # -- checksum exchange (Figure 9, bottom) ------------------------------
+        with span("checksum", clock=clock, registry=registry):
             start = elapsed
-            tick(ProtocolAction.A3)
-            if first:
-                tick(ProtocolAction.A5)
-                trace.record(elapsed, "MAC_init", "prv")
-                first = False
-            response = prover.handle_command(IcapReadbackCommand(frame_index))
-            if not isinstance(response, ReadbackResponse):
+            tick(ProtocolAction.A9)
+            checksum_response = prover.handle_command(MacChecksumCommand())
+            if not isinstance(checksum_response, MacChecksumResponse):
                 raise ProtocolError(
-                    f"prover returned {type(response).__name__} to ICAP_readback"
+                    f"prover returned {type(checksum_response).__name__} to "
+                    "MAC_checksum"
                 )
-            tick(ProtocolAction.A4)
-            tick(ProtocolAction.A6)
-            tick(ProtocolAction.A8)
-            readback_ns += elapsed - start
-            responses.append(response)
-            trace.record(start, "ICAP_readback", "vrf->prv", f"frame {frame_index}")
+            tick(ProtocolAction.A7)
+            tick(ProtocolAction.A10)
+            checksum_ns = elapsed - start
+            trace.record(start, "MAC_checksum", "vrf->prv")
+            trace.record(elapsed, "MAC_response", "prv->vrf")
 
-    # -- checksum exchange (Figure 9, bottom) ----------------------------------
-    start = elapsed
-    tick(ProtocolAction.A9)
-    checksum_response = prover.handle_command(MacChecksumCommand())
-    if not isinstance(checksum_response, MacChecksumResponse):
-        raise ProtocolError(
-            f"prover returned {type(checksum_response).__name__} to MAC_checksum"
+        # -- verdict ----------------------------------------------------------
+        counts = ActionCounts(
+            config_steps=len(config_commands),
+            readback_steps=readback_commands or len(plan),
         )
-    tick(ProtocolAction.A7)
-    tick(ProtocolAction.A10)
-    checksum_ns = elapsed - start
-    trace.record(start, "MAC_checksum", "vrf->prv")
-    trace.record(elapsed, "MAC_response", "prv->vrf")
+        network_ns = options.network.overhead_ns(counts)
+        if options.mask_at_prover:
+            report = verifier.evaluate_masked(nonce, plan, checksum_response.tag)
+        else:
+            report = verifier.evaluate(
+                nonce, plan, responses, checksum_response.tag
+            )
+        report.config_steps = len(config_commands)
+        report.nonce = nonce
+        report.timing = TimingBreakdown(
+            config_ns=config_ns,
+            readback_ns=readback_ns,
+            checksum_ns=checksum_ns,
+            network_overhead_ns=network_ns,
+        )
+        report.trace = trace if options.record_trace else None
+        if root is not None:
+            root.set_attribute("result", "accept" if report.accepted else "reject")
+            root.set_attribute("frames", len(plan))
 
-    # -- verdict -------------------------------------------------------------------
-    counts = ActionCounts(
-        config_steps=len(config_commands),
-        readback_steps=readback_commands or len(plan),
-    )
-    network_ns = options.network.overhead_ns(counts)
-    if options.mask_at_prover:
-        report = verifier.evaluate_masked(nonce, plan, checksum_response.tag)
-    else:
-        report = verifier.evaluate(nonce, plan, responses, checksum_response.tag)
-    report.config_steps = len(config_commands)
-    report.nonce = nonce
-    report.timing = TimingBreakdown(
-        config_ns=config_ns,
-        readback_ns=readback_ns,
-        checksum_ns=checksum_ns,
-        network_overhead_ns=network_ns,
-    )
-    report.trace = trace if options.record_trace else None
+    if obs_on:
+        result_label = "accept" if report.accepted else "reject"
+        attestations.inc(result=result_label)
+        frames_configured.inc(len(config_commands))
+        frames_readback.inc(len(plan))
+        mac_updates.inc(len(plan))
+        phase_seconds.observe(config_ns / 1e9, phase="config")
+        phase_seconds.observe(readback_ns / 1e9, phase="readback")
+        phase_seconds.observe(checksum_ns / 1e9, phase="checksum")
+        run_seconds.observe(report.timing.total_ns / 1e9)
+        _log.info(
+            "attestation_completed",
+            device=device.name,
+            result=result_label,
+            frames=len(plan),
+            mismatched=len(report.mismatched_frames),
+            total_ns=report.timing.total_ns,
+        )
     return SessionResult(
         report=report,
         nonce=nonce,

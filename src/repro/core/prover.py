@@ -29,6 +29,7 @@ from repro.net.messages import (
     ReadbackResponse,
     Response,
 )
+from repro.obs.metrics import get_registry
 from repro.utils.rng import DeterministicRng
 
 
@@ -129,6 +130,13 @@ class SachaProver:
         """Dispatch one verifier command; returns the response, if any."""
         if not self.board.powered_on:
             raise ProtocolError("prover board is not powered on")
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "sacha_prover_commands_total",
+                "Commands handled by provers, by command kind",
+                labels=("kind",),
+            ).inc(kind=type(command).__name__)
         if isinstance(command, IcapConfigCommand):
             self.handle_config(command.frame_index, command.data)
             return None

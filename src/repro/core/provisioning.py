@@ -18,7 +18,10 @@ from repro.fpga.board import Board, Fpga
 from repro.fpga.flash import BootMem
 from repro.fpga.puf import PufKeySlot, SramPuf, enroll_device
 from repro.core.prover import KeyProvider, PufDerivedKey, RegisterKey, SachaProver
+from repro.obs import log as obs_log
 from repro.utils.rng import DeterministicRng
+
+_log = obs_log.get_logger(__name__)
 
 KEY_MODE_PUF = "puf"
 KEY_MODE_REGISTER = "register"
@@ -131,4 +134,10 @@ def provision_device(
         key_slot=key_slot,
     )
     record = VerifierRecord(device_id=device_id, mac_key=key, system=system)
+    _log.info(
+        "device_provisioned",
+        device_id=device_id,
+        device=system.device.name,
+        key_mode=key_mode,
+    )
     return provisioned, record

@@ -18,7 +18,12 @@ from repro.core.prover import SachaProver
 from repro.core.report import AttestationReport
 from repro.core.verifier import SachaVerifier
 from repro.errors import ProtocolError
+from repro.obs import log as obs_log
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.utils.rng import DeterministicRng
+
+_log = obs_log.get_logger(__name__)
 
 
 @dataclass
@@ -115,20 +120,52 @@ class SwarmAttestation:
         """
         report = SwarmReport()
         durations: List[float] = []
-        for member in self._members:
-            result = run_attestation(
-                member.prover,
-                member.verifier,
-                rng.fork(member.device_id),
-                options,
-            )
-            report.results[member.device_id] = result.report
-            duration = result.report.timing.total_ns if result.report.timing else 0.0
-            durations.append(duration)
-            if on_result is not None:
-                on_result(member.device_id, result.report)
+        sweep_clock = lambda: sum(durations)  # noqa: E731 — sequential sweep time
+        with span("swarm_sweep", clock=sweep_clock, members=len(self._members)):
+            for member in self._members:
+                result = run_attestation(
+                    member.prover,
+                    member.verifier,
+                    rng.fork(member.device_id),
+                    options,
+                )
+                report.results[member.device_id] = result.report
+                duration = (
+                    result.report.timing.total_ns if result.report.timing else 0.0
+                )
+                durations.append(duration)
+                if on_result is not None:
+                    on_result(member.device_id, result.report)
         report.sequential_ns = sum(durations)
         report.parallel_ns = max(durations) if durations else 0.0
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "sacha_swarm_sweeps_total", "Completed fleet attestation sweeps"
+            ).inc()
+            members = registry.counter(
+                "sacha_swarm_members_total",
+                "Fleet members attested across sweeps, by verdict",
+                labels=("verdict",),
+            )
+            if report.healthy:
+                members.inc(len(report.healthy), verdict="accept")
+            if report.compromised:
+                members.inc(len(report.compromised), verdict="reject")
+            sweep_gauge = registry.gauge(
+                "sacha_swarm_sweep_duration_seconds",
+                "Duration of the last fleet sweep, by strategy",
+                labels=("strategy",),
+            )
+            sweep_gauge.set(report.sequential_ns / 1e9, strategy="sequential")
+            sweep_gauge.set(report.parallel_ns / 1e9, strategy="parallel")
+            _log.info(
+                "swarm_sweep_completed",
+                members=len(self._members),
+                healthy=len(report.healthy),
+                compromised=len(report.compromised),
+                sequential_ns=report.sequential_ns,
+            )
         return report
 
 

@@ -17,7 +17,47 @@ from repro.errors import VerificationError
 from repro.core.orders import ReadbackOrder, default_order
 from repro.core.report import AttestationReport
 from repro.net.messages import IcapConfigCommand, ReadbackResponse
+from repro.obs import log as obs_log
+from repro.obs.metrics import get_registry
 from repro.utils.rng import DeterministicRng
+
+_log = obs_log.get_logger(__name__)
+
+
+def _observe_verdict(report: AttestationReport) -> None:
+    """Count the evaluation and log a rejection's reason."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    verdict = "accept" if report.accepted else "reject"
+    registry.counter(
+        "sacha_verifier_evaluations_total",
+        "Verifier verdicts, by outcome",
+        labels=("verdict",),
+    ).inc(verdict=verdict)
+    if report.mismatched_frames:
+        registry.counter(
+            "sacha_frames_mismatched_total",
+            "Readback frames that differed from the masked golden reference",
+        ).inc(len(report.mismatched_frames))
+    if not report.accepted:
+        reason = report.failure_reason
+        if not reason:
+            parts = []
+            if not report.mac_valid:
+                parts.append("MAC invalid")
+            if not report.config_match:
+                parts.append(
+                    f"{len(report.mismatched_frames)} frame(s) mismatched"
+                )
+            reason = "; ".join(parts)
+        _log.warning(
+            "attestation_rejected",
+            mac_valid=report.mac_valid,
+            config_match=report.config_match,
+            mismatched_frames=len(report.mismatched_frames),
+            reason=reason,
+        )
 
 
 @dataclass(frozen=True)
@@ -174,6 +214,7 @@ class SachaVerifier:
                 "masked-readback MAC mismatch (no frame localization "
                 "available in this variant)"
             )
+        _observe_verdict(report)
         return report
 
     def evaluate(
@@ -195,6 +236,7 @@ class SachaVerifier:
             report.failure_reason = (
                 f"expected {len(plan)} readback responses, got {len(responses)}"
             )
+            _observe_verdict(report)
             return report
         if self._policy.require_frame_echo:
             for requested, response in zip(plan, responses):
@@ -203,6 +245,7 @@ class SachaVerifier:
                         f"prover answered frame {response.frame_index} "
                         f"when frame {requested} was requested"
                     )
+                    _observe_verdict(report)
                     return report
 
         # Check 1: H_Prv == H_Vrf over the received data.
@@ -229,4 +272,5 @@ class SachaVerifier:
                 mismatched.append(response.frame_index)
         report.mismatched_frames = sorted(mismatched)
         report.config_match = not mismatched
+        _observe_verdict(report)
         return report

@@ -69,3 +69,7 @@ class AttackError(ReproError):
 
 class VerificationError(ReproError):
     """The verifier could not reach a verdict (missing golden data, ...)."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the metrics/tracing API (name, label or type conflicts)."""

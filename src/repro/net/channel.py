@@ -16,8 +16,12 @@ from typing import Callable, List, Optional
 from repro.errors import NetworkError
 from repro.net.ethernet import EthernetFrame, MacAddress
 from repro.net.phy import GigabitPhy
+from repro.obs import log as obs_log
+from repro.obs.metrics import get_registry
 from repro.sim.events import Simulator
 from repro.utils.rng import DeterministicRng
+
+_log = obs_log.get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -125,15 +129,45 @@ class Channel:
     def transmit(self, sender: Endpoint, frame: EthernetFrame) -> None:
         peer = self._peer(sender)
         direction = f"{sender.name}->{peer.name}"
+        registry = get_registry()
+        obs_on = registry.enabled
+        if obs_on:
+            registry.counter(
+                "sacha_net_frames_sent_total",
+                "Ethernet frames offered to the channel, by direction",
+                labels=("direction",),
+            ).inc(direction=direction)
         for tap in self._taps:
             replacement = tap(self._simulator.now_ns, direction, frame)
             if replacement is not None:
                 frame = replacement
+                if obs_on:
+                    registry.counter(
+                        "sacha_net_tap_injections_total",
+                        "Frames substituted by in-path taps (adversaries)",
+                    ).inc()
         if self._loss_probability and self._rng is not None:
             if self._rng.chance(self._loss_probability):
                 self.frames_dropped += 1
+                if obs_on:
+                    registry.counter(
+                        "sacha_net_frames_lost_total",
+                        "Frames dropped by the channel loss model",
+                    ).inc()
+                    _log.debug(
+                        "frame_lost",
+                        direction=direction,
+                        time_ns=self._simulator.now_ns,
+                    )
                 return
         delay = self._phy.serialization_ns(frame) + self._latency.sample_ns(self._rng)
+        if obs_on:
+            registry.histogram(
+                "sacha_net_latency_seconds",
+                "One-way frame delivery latency (serialization + latency model)",
+                labels=("direction",),
+                buckets=(1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1.0),
+            ).observe(delay / 1e9, direction=direction)
         self._simulator.schedule(
             delay, lambda: peer.deliver(frame), label=f"deliver {direction}"
         )

@@ -1,0 +1,76 @@
+"""Observability: metrics, structured spans, exporters, logging.
+
+``repro.obs`` is the measurement substrate for every attestation run:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters, gauges and fixed-bucket histograms;
+* :mod:`repro.obs.spans` — ``span("readback", frame=idx)`` context
+  managers that nest via ``contextvars`` and timestamp from the
+  simulation clock;
+* :mod:`repro.obs.exporters` — Prometheus text exposition and JSON-lines
+  logs, deterministic for golden tests;
+* :mod:`repro.obs.log` — structured event logging for library modules.
+
+The active registry starts *disabled*: all instruments are shared
+no-ops and spans vanish, so un-instrumented callers pay (almost)
+nothing.  Enable collection for a scope with::
+
+    from repro import obs
+
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        report = quick_attestation()
+        print(obs.to_prometheus(registry))
+        print(obs.render_span_tree(registry.spans))
+"""
+
+from repro.obs import log
+from repro.obs.exporters import (
+    registry_snapshot,
+    spans_to_jsonl,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    current_span,
+    render_span_tree,
+    span,
+    span_tree,
+    spans_to_trace,
+)
+
+__all__ = [
+    "log",
+    "DEFAULT_DURATION_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "SpanRecord",
+    "current_span",
+    "span",
+    "span_tree",
+    "spans_to_trace",
+    "render_span_tree",
+    "registry_snapshot",
+    "spans_to_jsonl",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+    "write_prometheus",
+]

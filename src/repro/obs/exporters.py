@@ -1,0 +1,131 @@
+"""Exporters: Prometheus text exposition and JSON-lines event logs.
+
+Both formats are deterministic — metric families sorted by name, label
+sets sorted by value tuple, JSON keys sorted — so golden-output tests
+and diffing two runs both work.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, List, Mapping, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bound_text(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in Prometheus text exposition format."""
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            samples = list(instrument.samples())
+            if not samples and not instrument.label_names:
+                samples = [({}, 0.0)]
+            for labels, value in samples:
+                lines.append(
+                    f"{instrument.name}{_format_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+        elif isinstance(instrument, Histogram):
+            for labels, series in instrument.samples():
+                for bound, cumulative in instrument.cumulative_buckets(**labels):
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _bound_text(bound)
+                    lines.append(
+                        f"{instrument.name}_bucket"
+                        f"{_format_labels(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{instrument.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(series.sum)}"
+                )
+                lines.append(
+                    f"{instrument.name}_count{_format_labels(labels)} "
+                    f"{series.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(to_prometheus(registry), encoding="utf-8")
+    return path
+
+
+def to_jsonl(records: Iterable[Mapping[str, object]]) -> str:
+    """One compact sorted-key JSON object per line."""
+    return "".join(
+        json.dumps(dict(record), sort_keys=True, default=str) + "\n"
+        for record in records
+    )
+
+
+def spans_to_jsonl(spans: Iterable[SpanRecord]) -> str:
+    return to_jsonl(record.to_dict() for record in spans)
+
+
+def write_jsonl(
+    records: Iterable[Mapping[str, object]], path: Union[str, Path]
+) -> Path:
+    path = Path(path)
+    path.write_text(to_jsonl(records), encoding="utf-8")
+    return path
+
+
+def registry_snapshot(registry: MetricsRegistry) -> dict:
+    """A plain-dict snapshot of every instrument (for JSON dumps/tests)."""
+    snapshot: dict = {}
+    for instrument in registry.instruments():
+        if isinstance(instrument, (Counter, Gauge)):
+            snapshot[instrument.name] = {
+                "kind": instrument.kind,
+                "samples": [
+                    {"labels": labels, "value": value}
+                    for labels, value in instrument.samples()
+                ],
+            }
+        elif isinstance(instrument, Histogram):
+            snapshot[instrument.name] = {
+                "kind": instrument.kind,
+                "samples": [
+                    {
+                        "labels": labels,
+                        "count": series.count,
+                        "sum": series.sum,
+                    }
+                    for labels, series in instrument.samples()
+                ],
+            }
+    return snapshot

@@ -1,0 +1,124 @@
+"""Structured logging for the library (``repro.obs.log``).
+
+Library modules log *events with fields*, not formatted strings::
+
+    from repro.obs import log
+
+    logger = log.get_logger(__name__)
+    logger.info("attestation_rejected", device="prv-3", frames=2)
+
+Everything hangs off the stdlib ``repro`` logger, which carries a
+``NullHandler`` by default — importing the library never prints.  The
+CLI (or an embedding application) calls :func:`configure` to attach a
+handler: key-value lines for humans, JSON lines (``--log-json``) for
+machines.  No formatter emits wall-clock timestamps, so log output is
+reproducible run to run; simulation times travel as ordinary fields
+(``time_ns=...``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+ROOT_LOGGER_NAME = "repro"
+
+_FIELDS_ATTR = "repro_fields"
+_EVENT_ATTR = "repro_event"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+class StructuredLogger:
+    """Thin event+fields facade over one stdlib logger."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def stdlib_logger(self) -> logging.Logger:
+        return self._logger
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            extra = {_FIELDS_ATTR: fields, _EVENT_ATTR: event}
+            self._logger.log(level, event, extra=extra)
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str = ROOT_LOGGER_NAME) -> StructuredLogger:
+    """A structured logger below the ``repro`` hierarchy.
+
+    Dotted module names (``repro.core.protocol``) are used as-is; any
+    other name is nested under ``repro.``.
+    """
+    if name != ROOT_LOGGER_NAME and not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``level logger event key=value ...`` — grep-friendly."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = getattr(record, _EVENT_ATTR, record.getMessage())
+        fields = getattr(record, _FIELDS_ATTR, {})
+        parts = [record.levelname.lower(), record.name, event]
+        parts.extend(f"{key}={value}" for key, value in fields.items())
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: level, logger, event, then the fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, _EVENT_ATTR, record.getMessage()),
+        }
+        payload.update(getattr(record, _FIELDS_ATTR, {}))
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure(
+    level: int = logging.INFO,
+    json_output: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Handler:
+    """Attach one stream handler to the ``repro`` logger.
+
+    Replaces any handler a previous :func:`configure` attached, so the
+    CLI can be invoked repeatedly in one process (tests do).
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_output else KeyValueFormatter())
+    handler._repro_obs_handler = True
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+def reset() -> None:
+    """Detach configured handlers (restores the silent default)."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)

@@ -1,0 +1,192 @@
+"""Structured spans over the simulation clock.
+
+A span brackets one phase of work — ``span("readback", frame=idx)`` —
+and nests through ``contextvars``: spans opened inside an open span
+become its children, so one attestation run yields a
+``attestation → config / readback / checksum`` tree without any caller
+threading parent handles around.
+
+Timestamps come from whatever clock the caller supplies (the protocol
+passes its simulation-time accumulator); there is deliberately no
+``time.time()`` fallback, so span logs are bit-for-bit reproducible.
+
+Completed spans land in the active :class:`~repro.obs.metrics.MetricsRegistry`
+as frozen :class:`SpanRecord` objects.  When the registry is disabled,
+``span(...)`` is a no-op context manager.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_ns: float
+    end_ns: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+    status: str = "ok"  # "ok" | "error"
+    error: str = ""
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "record": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "status": self.status,
+        }
+        if self.error:
+            record["error"] = self.error
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        return record
+
+
+class _ActiveSpan:
+    __slots__ = ("span_id", "parent_id", "name", "start_ns", "attributes")
+
+    def __init__(self, span_id, parent_id, name, start_ns, attributes) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ns = start_ns
+        self.attributes = attributes
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+
+_CURRENT: contextvars.ContextVar[Optional[_ActiveSpan]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span() -> Optional[_ActiveSpan]:
+    """The innermost open span of this context, if any."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    clock: Optional[Clock] = None,
+    registry: Optional[MetricsRegistry] = None,
+    **attributes: object,
+) -> Iterator[Optional[_ActiveSpan]]:
+    """Open a span named ``name`` until the ``with`` block exits.
+
+    ``clock`` is a zero-argument callable returning the current
+    simulation time in nanoseconds; without one the span records 0.0
+    (pure-structure tracing).  An exception inside the block marks the
+    span ``status="error"`` (with the exception repr) and re-raises.
+    """
+    registry = registry or get_registry()
+    if not registry.enabled:
+        yield None
+        return
+    now: Clock = clock or (lambda: 0.0)
+    parent = _CURRENT.get()
+    active = _ActiveSpan(
+        span_id=registry.next_span_id(),
+        parent_id=parent.span_id if parent else None,
+        name=name,
+        start_ns=now(),
+        attributes=dict(attributes),
+    )
+    token = _CURRENT.set(active)
+    status, error = "ok", ""
+    try:
+        yield active
+    except BaseException as exc:
+        status, error = "error", repr(exc)
+        raise
+    finally:
+        _CURRENT.reset(token)
+        registry.record_span(
+            SpanRecord(
+                span_id=active.span_id,
+                parent_id=active.parent_id,
+                name=active.name,
+                start_ns=active.start_ns,
+                end_ns=now(),
+                attributes=active.attributes,
+                status=status,
+                error=error,
+            )
+        )
+
+
+def span_tree(spans: Sequence[SpanRecord]) -> List[Dict[str, object]]:
+    """Nest flat records into a forest of ``{record, children}`` dicts."""
+    nodes: Dict[int, Dict[str, object]] = {
+        record.span_id: {"span": record, "children": []} for record in spans
+    }
+    roots: List[Dict[str, object]] = []
+    for record in spans:
+        node = nodes[record.span_id]
+        parent = nodes.get(record.parent_id) if record.parent_id else None
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def render_span_tree(spans: Sequence[SpanRecord]) -> str:
+    """Indented one-line-per-span rendering of the forest."""
+    lines: List[str] = []
+
+    def walk(node: Dict[str, object], depth: int) -> None:
+        record: SpanRecord = node["span"]
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(record.attributes.items())
+        )
+        flag = "" if record.status == "ok" else f" [{record.status}]"
+        lines.append(
+            f"{'  ' * depth}{record.name}"
+            f" ({record.duration_ns:,.0f} ns){flag}"
+            + (f" {attrs}" if attrs else "")
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in span_tree(spans):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def spans_to_trace(spans: Sequence[SpanRecord]):
+    """Bridge spans into a :class:`~repro.sim.tracing.TraceRecorder`.
+
+    Each span becomes one ``span:<name>`` trace event at its start time,
+    so the shape-query helpers (``counts_by_kind``, ``kinds_in_order``,
+    ``between``) work identically on span logs and protocol traces.
+    """
+    from repro.sim.tracing import TraceRecorder
+
+    trace = TraceRecorder(enabled=True)
+    for record in sorted(spans, key=lambda item: (item.start_ns, item.span_id)):
+        detail = " ".join(
+            f"{key}={value}" for key, value in sorted(record.attributes.items())
+        )
+        trace.record(record.start_ns, f"span:{record.name}", "span", detail)
+    return trace

@@ -8,8 +8,9 @@ against the paper's message sequence chart.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,66 @@ class TraceRecorder:
             if event.kind == kind:
                 return event
         return None
+
+    def filter(
+        self,
+        kind: Optional[Union[str, Iterable[str]]] = None,
+        direction: Optional[str] = None,
+    ) -> "TraceRecorder":
+        """A new recorder holding only the matching events.
+
+        ``kind`` accepts one kind or any iterable of kinds; ``direction``
+        matches exactly.  Omitted criteria match everything, so
+        ``trace.filter()`` is a copy.
+        """
+        if kind is None:
+            kinds = None
+        elif isinstance(kind, str):
+            kinds = {kind}
+        else:
+            kinds = set(kind)
+        selected = TraceRecorder(enabled=True)
+        for event in self._events:
+            if kinds is not None and event.kind not in kinds:
+                continue
+            if direction is not None and event.direction != direction:
+                continue
+            selected._events.append(event)
+        return selected
+
+    def between(self, t0_ns: float, t1_ns: float) -> "TraceRecorder":
+        """Events in the half-open window ``t0_ns <= time_ns < t1_ns``."""
+        selected = TraceRecorder(enabled=True)
+        selected._events = [
+            event for event in self._events if t0_ns <= event.time_ns < t1_ns
+        ]
+        return selected
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Events as plain dicts (the shared JSONL export shape)."""
+        records: List[Dict[str, object]] = []
+        for event in self._events:
+            record: Dict[str, object] = {
+                "record": "trace",
+                "time_ns": event.time_ns,
+                "kind": event.kind,
+                "direction": event.direction,
+            }
+            if event.detail:
+                record["detail"] = event.detail
+            records.append(record)
+        return records
+
+    def to_jsonl(self) -> str:
+        """One compact sorted-key JSON object per event, newline-separated.
+
+        The same line shape :func:`repro.obs.exporters.to_jsonl` emits,
+        so protocol traces and span logs share one export path.
+        """
+        return "".join(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+            for record in self.to_dicts()
+        )
 
     def kinds_in_order(self, collapse_repeats: bool = True) -> List[str]:
         """Sequence of event kinds, optionally with runs collapsed.

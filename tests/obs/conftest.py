@@ -1,0 +1,15 @@
+"""Observability fixtures: an enabled registry scoped to one test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+@pytest.fixture
+def registry():
+    """A fresh enabled registry installed as the active one."""
+    fresh = MetricsRegistry(enabled=True)
+    with use_registry(fresh):
+        yield fresh

@@ -1,0 +1,287 @@
+"""Instrumented protocol runs: metric names, span trees, CLI exporters."""
+
+import json
+
+import pytest
+
+from repro.core.monitor import AttestationMonitor
+from repro.core.protocol import SessionOptions, run_attestation
+from repro.core.provisioning import provision_device
+from repro.core.swarm import SwarmMember, SwarmAttestation
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import SIM_SMALL
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+from repro.obs.spans import span_tree
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+
+def _attest(seed=7, tamper=False, options=SessionOptions()):
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, record = provision_device(system, f"obs-{seed}", seed=seed)
+    if tamper:
+        frame = system.partition.static_frame_list()[0]
+        provisioned.board.fpga.memory.flip_bit(frame, 0, 0)
+    verifier = SachaVerifier(
+        record.system, record.mac_key, DeterministicRng(seed + 1)
+    )
+    return run_attestation(
+        provisioned.prover, verifier, DeterministicRng(seed + 2), options
+    )
+
+
+class TestAttestationMetrics:
+    def test_honest_run_metric_names_and_values(self, registry):
+        result = _attest()
+        assert result.report.accepted
+        names = [instrument.name for instrument in registry.instruments()]
+        for expected in (
+            "sacha_attestations_total",
+            "sacha_frames_configured_total",
+            "sacha_frames_readback_total",
+            "sacha_mac_updates_total",
+            "sacha_phase_duration_seconds",
+            "sacha_attestation_duration_seconds",
+            "sacha_prover_commands_total",
+            "sacha_verifier_evaluations_total",
+        ):
+            assert expected in names
+        attestations = registry.get("sacha_attestations_total")
+        assert attestations.value(result="accept") == 1.0
+        assert attestations.value(result="reject") == 0.0
+        frames = result.report.readback_steps
+        assert registry.get("sacha_frames_readback_total").value() == frames
+        phase = registry.get("sacha_phase_duration_seconds")
+        for name in ("config", "readback", "checksum"):
+            assert phase.count(phase=name) == 1
+
+    def test_tampered_run_counts_rejection(self, registry):
+        result = _attest(tamper=True)
+        assert not result.report.accepted
+        assert registry.get("sacha_attestations_total").value(result="reject") == 1.0
+        assert registry.get("sacha_verifier_evaluations_total").value(
+            verdict="reject"
+        ) == 1.0
+        assert registry.get("sacha_frames_mismatched_total").value() >= 1.0
+
+    def test_span_tree_reconstructs_phases(self, registry):
+        _attest()
+        forest = span_tree(registry.spans)
+        assert len(forest) == 1
+        root = forest[0]
+        assert root["span"].name == "attestation"
+        assert root["span"].attributes["result"] == "accept"
+        assert [node["span"].name for node in root["children"]] == [
+            "config",
+            "readback",
+            "checksum",
+        ]
+        # Span clocks read the simulated protocol time, so phases nest
+        # inside the attestation interval and appear in causal order.
+        readback = root["children"][1]["span"]
+        assert root["span"].start_ns <= readback.start_ns
+        assert readback.end_ns <= root["span"].end_ns
+
+    def test_span_frames_option_adds_per_frame_children(self, registry):
+        result = _attest(options=SessionOptions(span_frames=True))
+        forest = span_tree(registry.spans)
+        readback = forest[0]["children"][1]
+        frames = result.report.readback_steps
+        assert len(readback["children"]) == frames
+        assert all(
+            node["span"].name == "readback" for node in readback["children"]
+        )
+
+    def test_disabled_registry_records_nothing(self):
+        ambient = get_registry()
+        assert not ambient.enabled  # the default global registry is off
+        result = _attest()
+        assert result.report.accepted
+        assert ambient.instruments() == []
+        assert ambient.spans == ()
+
+
+class TestSubsystemMetrics:
+    def test_monitor_counts_runs(self, registry):
+        from repro.fpga.device import SIM_MEDIUM
+
+        system = build_sacha_system(SIM_MEDIUM)
+        provisioned, record = provision_device(system, "obs-mon", seed=6400)
+        verifier = SachaVerifier(
+            record.system, record.mac_key, DeterministicRng(6401)
+        )
+        simulator = Simulator()
+        monitor = AttestationMonitor(
+            simulator,
+            provisioned.prover,
+            verifier,
+            period_ns=60e6,
+            rng=DeterministicRng(6402),
+        )
+        monitor.start(runs=3)
+        simulator.run()
+        assert registry.get("sacha_monitor_runs_total").value() == 3.0
+        assert registry.get("sacha_monitor_rejections_total") is None or (
+            registry.get("sacha_monitor_rejections_total").value() == 0.0
+        )
+
+    def test_swarm_sweep_metrics_and_span(self, registry):
+        members = []
+        for index in range(2):
+            system = build_sacha_system(SIM_SMALL)
+            provisioned, record = provision_device(
+                system, f"obs-swarm-{index}", seed=100 + index
+            )
+            verifier = SachaVerifier(
+                record.system, record.mac_key, DeterministicRng(200 + index)
+            )
+            members.append(
+                SwarmMember(f"obs-swarm-{index}", provisioned.prover, verifier)
+            )
+        report = SwarmAttestation(members).run(DeterministicRng(300))
+        assert len(report.healthy) == 2
+        assert registry.get("sacha_swarm_sweeps_total").value() == 1.0
+        assert registry.get("sacha_swarm_members_total").value(
+            verdict="accept"
+        ) == 2.0
+        gauge = registry.get("sacha_swarm_sweep_duration_seconds")
+        assert gauge.value(strategy="sequential") >= gauge.value(
+            strategy="parallel"
+        )
+        roots = [record for record in registry.spans if record.parent_id is None]
+        assert [record.name for record in roots] == ["swarm_sweep"]
+
+    def test_channel_counts_frames(self, registry):
+        from repro.net.channel import Channel, Endpoint, LatencyModel
+        from repro.net.ethernet import EthernetFrame, MacAddress
+
+        sim = Simulator()
+        channel = Channel(sim, LatencyModel(base_ns=100.0))
+        left = Endpoint("left", MacAddress(0x020000000001))
+        right = Endpoint("right", MacAddress(0x020000000002))
+        channel.connect(left, right)
+        right.handler = lambda frame: None
+        for _ in range(3):
+            left.send(
+                EthernetFrame(
+                    MacAddress(0x020000000002),
+                    MacAddress(0x020000000001),
+                    0x88B5,
+                    b"ping",
+                )
+            )
+        sim.run()
+        sent = registry.get("sacha_net_frames_sent_total")
+        assert sent.value(direction="left->right") == 3.0
+        assert registry.get("sacha_net_latency_seconds").count(
+            direction="left->right"
+        ) == 3
+
+
+class TestCliExporters:
+    def test_attest_writes_prometheus_and_spans(self, tmp_path, capsys):
+        from repro.cli import main
+
+        metrics_path = tmp_path / "m.prom"
+        spans_path = tmp_path / "spans.jsonl"
+        rc = main(
+            [
+                "attest",
+                "--device",
+                "SIM-SMALL",
+                "--seed",
+                "7",
+                "--metrics-out",
+                str(metrics_path),
+                "--spans-out",
+                str(spans_path),
+            ]
+        )
+        assert rc == 0
+        exposition = metrics_path.read_text(encoding="utf-8")
+        assert 'sacha_attestations_total{result="accept"} 1' in exposition
+        assert "sacha_frames_readback_total" in exposition
+        assert "sacha_phase_duration_seconds_bucket" in exposition
+        lines = [
+            json.loads(line)
+            for line in spans_path.read_text(encoding="utf-8").splitlines()
+        ]
+        by_name = {line["name"]: line for line in lines}
+        root = by_name["attestation"]
+        assert root["parent_id"] is None
+        for child in ("config", "readback", "checksum"):
+            assert by_name[child]["parent_id"] == root["span_id"]
+
+    def test_attest_log_json_emits_span_events(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "attest",
+                "--device",
+                "SIM-SMALL",
+                "--seed",
+                "7",
+                "--log-json",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        events = [json.loads(line) for line in err.splitlines() if line]
+        names = {event["event"] for event in events}
+        assert "attestation_completed" in names
+        assert "device_provisioned" in names
+        spans = [event for event in events if event["event"] == "span"]
+        assert {event["name"] for event in spans} >= {
+            "attestation",
+            "config",
+            "readback",
+            "checksum",
+        }
+
+    def test_attest_leaves_global_registry_disabled(self, tmp_path):
+        from repro.cli import main
+
+        before = get_registry()
+        main(
+            [
+                "attest",
+                "--device",
+                "SIM-SMALL",
+                "--metrics-out",
+                str(tmp_path / "m.prom"),
+            ]
+        )
+        assert get_registry() is before
+
+    def test_metrics_command_shows_both_verdicts(self, capsys):
+        from repro.cli import main
+
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert 'sacha_attestations_total{result="accept"} 1' in out
+        assert 'sacha_attestations_total{result="reject"} 1' in out
+        assert "== span tree ==" in out
+        assert "attestation" in out
+
+    def test_plain_attest_pays_no_obs_cost(self, capsys):
+        from repro.cli import main
+
+        before = get_registry()
+        assert main(["attest", "--device", "SIM-SMALL", "--seed", "7"]) == 0
+        assert get_registry() is before
+        assert before.instruments() == []
+
+
+@pytest.mark.slow
+class TestOverheadSmoke:
+    def test_enabled_metrics_do_not_distort_timing(self, registry):
+        """The simulated timing model must be unaffected by metrics —
+        observability reads the sim clock, it never advances it."""
+        enabled = _attest(seed=31)
+        with use_registry(MetricsRegistry(enabled=False)):
+            disabled = _attest(seed=31)
+        assert (
+            enabled.report.timing.total_ns == disabled.report.timing.total_ns
+        )

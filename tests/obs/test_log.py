@@ -1,0 +1,82 @@
+"""Structured logging: naming, formatters, configure/reset lifecycle."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def _clean_handlers():
+    obs_log.reset()
+    yield
+    obs_log.reset()
+
+
+def test_get_logger_nests_under_repro():
+    assert obs_log.get_logger("widget").stdlib_logger.name == "repro.widget"
+    assert (
+        obs_log.get_logger("repro.core.protocol").stdlib_logger.name
+        == "repro.core.protocol"
+    )
+    assert obs_log.get_logger().stdlib_logger.name == "repro"
+
+
+def test_silent_by_default(capsys):
+    obs_log.get_logger("quiet").info("nothing_attached", key="value")
+    captured = capsys.readouterr()
+    assert captured.out == "" and captured.err == ""
+
+
+def test_key_value_format():
+    stream = io.StringIO()
+    obs_log.configure(stream=stream)
+    obs_log.get_logger("fmt").info("run_done", result="accept", frames=34)
+    assert (
+        stream.getvalue().strip()
+        == "info repro.fmt run_done result=accept frames=34"
+    )
+
+
+def test_json_format_sorted_and_parseable():
+    stream = io.StringIO()
+    obs_log.configure(json_output=True, stream=stream)
+    obs_log.get_logger("fmt").warning("rejected", frames=2, reason="mac")
+    payload = json.loads(stream.getvalue())
+    assert payload == {
+        "level": "warning",
+        "logger": "repro.fmt",
+        "event": "rejected",
+        "frames": 2,
+        "reason": "mac",
+    }
+
+
+def test_level_filtering():
+    stream = io.StringIO()
+    obs_log.configure(level=logging.WARNING, stream=stream)
+    logger = obs_log.get_logger("lvl")
+    logger.info("ignored")
+    logger.warning("kept")
+    assert "ignored" not in stream.getvalue()
+    assert "kept" in stream.getvalue()
+
+
+def test_reconfigure_replaces_handler():
+    first, second = io.StringIO(), io.StringIO()
+    obs_log.configure(stream=first)
+    obs_log.configure(stream=second)
+    obs_log.get_logger("dup").info("once")
+    assert first.getvalue() == ""
+    assert second.getvalue().count("once") == 1
+
+
+def test_reset_detaches():
+    stream = io.StringIO()
+    obs_log.configure(stream=stream)
+    obs_log.reset()
+    obs_log.get_logger("off").info("dropped")
+    assert stream.getvalue() == ""

@@ -1,0 +1,152 @@
+"""Registry and instrument semantics: counters, gauges, histograms, labels."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("runs_total")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labeled_series_are_independent(self, registry):
+        counter = registry.counter("verdicts_total", labels=("result",))
+        counter.inc(result="accept")
+        counter.inc(3, result="reject")
+        assert counter.value(result="accept") == 1.0
+        assert counter.value(result="reject") == 3.0
+        assert counter.value(result="unknown") == 0.0
+
+    def test_cannot_decrease(self, registry):
+        counter = registry.counter("runs_total")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self, registry):
+        counter = registry.counter("verdicts_total", labels=("result",))
+        with pytest.raises(ObservabilityError):
+            counter.inc(outcome="accept")
+        with pytest.raises(ObservabilityError):
+            counter.inc()  # missing the declared label
+
+    def test_samples_sorted_and_stringified(self, registry):
+        counter = registry.counter("verdicts_total", labels=("result",))
+        counter.inc(result="reject")
+        counter.inc(result="accept")
+        assert [labels for labels, _ in counter.samples()] == [
+            {"result": "accept"},
+            {"result": "reject"},
+        ]
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("fleet_size")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6.0
+
+    def test_labeled(self, registry):
+        gauge = registry.gauge("sweep_seconds", labels=("strategy",))
+        gauge.set(1.5, strategy="sequential")
+        gauge.set(0.5, strategy="parallel")
+        assert gauge.value(strategy="sequential") == 1.5
+        assert gauge.value(strategy="parallel") == 0.5
+
+
+class TestHistogram:
+    def test_observations_land_in_first_matching_bucket(self, registry):
+        histogram = registry.histogram("dur", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(555.5)
+        cumulative = histogram.cumulative_buckets()
+        assert cumulative == [
+            (1.0, 1),
+            (10.0, 2),
+            (100.0, 3),
+            (float("inf"), 4),
+        ]
+
+    def test_boundary_value_is_inclusive(self, registry):
+        histogram = registry.histogram("dur", buckets=(1.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.cumulative_buckets()[0] == (1.0, 1)
+
+    def test_buckets_must_ascend(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("bad", buckets=(10.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("empty", buckets=())
+
+    def test_labeled_series(self, registry):
+        histogram = registry.histogram(
+            "phase_dur", labels=("phase",), buckets=(1.0,)
+        )
+        histogram.observe(0.5, phase="config")
+        histogram.observe(2.0, phase="readback")
+        assert histogram.count(phase="config") == 1
+        assert histogram.count(phase="readback") == 1
+        assert histogram.count(phase="checksum") == 0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("runs_total", "help")
+        second = registry.counter("runs_total")
+        assert first is second
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("x_total", labels=("result",))
+        with pytest.raises(ObservabilityError):
+            registry.counter("x_total", labels=("verdict",))
+
+    def test_instruments_sorted_by_name(self, registry):
+        registry.counter("b_total")
+        registry.gauge("a_gauge")
+        assert [i.name for i in registry.instruments()] == ["a_gauge", "b_total"]
+
+    def test_disabled_registry_hands_out_noops(self):
+        disabled = MetricsRegistry(enabled=False)
+        counter = disabled.counter("runs_total")
+        counter.inc(5)  # swallowed, never raises
+        counter.inc(result="whatever")  # no label checking on the no-op
+        assert counter.value() == 0.0
+        assert disabled.instruments() == []
+
+    def test_clear_drops_everything(self, registry):
+        registry.counter("runs_total").inc()
+        registry.record_span(object())
+        registry.clear()
+        assert registry.instruments() == []
+        assert registry.spans == ()
+
+    def test_use_registry_restores_previous(self):
+        before = get_registry()
+        scoped = MetricsRegistry(enabled=True)
+        with use_registry(scoped):
+            assert get_registry() is scoped
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        before = get_registry()
+        fresh = MetricsRegistry()
+        assert set_registry(fresh) is before
+        assert set_registry(before) is fresh

@@ -60,3 +60,63 @@ class TestShapeQueries:
         assert "ICAP_config x3" in summary
         assert "ICAP_readback x4" in summary
         assert "MAC_checksum" in summary
+
+
+class TestFiltering:
+    def test_filter_by_kind(self):
+        readbacks = _sample_trace().filter(kind="ICAP_readback")
+        assert len(readbacks) == 4
+        assert readbacks.counts_by_kind() == {"ICAP_readback": 4}
+
+    def test_filter_by_kind_iterable(self):
+        macs = _sample_trace().filter(kind=("MAC_checksum", "ICAP_config"))
+        assert macs.counts_by_kind() == {"ICAP_config": 3, "MAC_checksum": 1}
+
+    def test_filter_by_direction(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "cmd", "vrf->prv")
+        trace.record(1.0, "echo", "prv->vrf")
+        assert len(trace.filter(direction="prv->vrf")) == 1
+
+    def test_filter_returns_queryable_recorder(self):
+        filtered = _sample_trace().filter(kind="ICAP_readback")
+        assert filtered.first("ICAP_readback").detail == "frame 0"
+        assert filtered.first("ICAP_config") is None
+
+    def test_between_is_half_open(self):
+        trace = _sample_trace()
+        window = trace.between(100.0, 103.0)
+        assert [event.time_ns for event in window.events] == [
+            100.0,
+            101.0,
+            102.0,
+        ]
+
+    def test_between_then_filter_composes(self):
+        composed = _sample_trace().between(0.0, 150.0).filter(
+            kind="ICAP_readback"
+        )
+        assert len(composed) == 4
+
+
+class TestJsonl:
+    def test_to_jsonl_line_shape(self):
+        import json
+
+        lines = _sample_trace().to_jsonl().splitlines()
+        assert len(lines) == 8
+        first = json.loads(lines[0])
+        assert first == {
+            "detail": "frame 0",
+            "direction": "vrf->prv",
+            "kind": "ICAP_config",
+            "record": "trace",
+            "time_ns": 0.0,
+        }
+
+    def test_to_jsonl_omits_empty_detail(self):
+        import json
+
+        last = json.loads(_sample_trace().to_jsonl().splitlines()[-1])
+        assert last["kind"] == "MAC_checksum"
+        assert "detail" not in last
