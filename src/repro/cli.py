@@ -3,7 +3,10 @@
 Commands:
 
 * ``attest [--device PART] [--seed N] [--tamper]`` — provision a device,
-  run one attestation, print the report;
+  run one attestation, print the report; with ``--loss`` /
+  ``--fault-profile`` the run goes over the simulated network with fault
+  injection, ARQ (``--arq-backoff``) and session retry
+  (``--max-attempts``), and exits 2 on an ``inconclusive`` verdict;
 * ``tables`` — regenerate Tables 2, 3 and 4 plus the JTAG reference;
 * ``security [--device PART]`` — run the Section-7.2 threat sweep;
 * ``trace [--device PART]`` — print the Figure-9 protocol trace;
@@ -149,6 +152,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="flip one static-frame bit before attesting",
     )
+    resilience = attest.add_argument_group(
+        "resilience (runs the protocol over the simulated network)"
+    )
+    resilience.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-frame loss probability on the channel (implies networked run)",
+    )
+    resilience.add_argument(
+        "--fault-profile",
+        default=None,
+        metavar="SPEC",
+        help="named profile (clean/lossy/noisy/harsh) or key=value spec, "
+        'e.g. "loss=0.05,corrupt=0.02,dup=0.02,outage=5ms+50ms"',
+    )
+    resilience.add_argument(
+        "--arq-backoff",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="ARQ retransmission backoff factor (default: 2.0)",
+    )
+    resilience.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="session-level retries (fresh nonce) before giving up (default: 3)",
+    )
     _add_obs_options(attest)
 
     commands.add_parser("tables", help="regenerate Tables 2-4 + JTAG reference")
@@ -187,6 +221,8 @@ def _command_attest(args: argparse.Namespace) -> int:
     verifier = SachaVerifier(
         record.system, record.mac_key, DeterministicRng(args.seed + 1)
     )
+    if args.loss is not None or args.fault_profile is not None:
+        return _attest_over_network(args, provisioned, verifier)
     result = run_attestation(
         provisioned.prover,
         verifier,
@@ -194,6 +230,59 @@ def _command_attest(args: argparse.Namespace) -> int:
         SessionOptions(span_frames=args.span_frames),
     )
     print(result.report.explain())
+    return 0 if result.report.accepted == (not args.tamper) else 1
+
+
+def _attest_over_network(args, provisioned, verifier) -> int:
+    """Attest through the simulated channel under an injected fault profile."""
+    import dataclasses
+
+    from repro.core.net_session import NetworkAttestationSession
+    from repro.net.arq import ArqTuning
+    from repro.net.channel import Channel, LatencyModel
+    from repro.net.faults import FaultModel, FaultProfile
+    from repro.sim.events import Simulator
+
+    profile = (
+        FaultProfile.parse(args.fault_profile)
+        if args.fault_profile
+        else FaultProfile()
+    )
+    if args.loss is not None:
+        profile = dataclasses.replace(profile, loss_probability=args.loss)
+    rng = DeterministicRng(args.seed + 3)
+    fault_model = (
+        FaultModel(profile, rng.fork("faults")) if profile.is_active else None
+    )
+    simulator = Simulator()
+    channel = Channel(
+        simulator, LatencyModel(base_ns=5_000.0), fault_model=fault_model
+    )
+    session = NetworkAttestationSession(
+        simulator,
+        channel,
+        provisioned.prover,
+        verifier,
+        rng.fork("session"),
+        reliable=True,
+        arq_tuning=ArqTuning(backoff_factor=args.arq_backoff),
+        max_attempts=args.max_attempts,
+    )
+    result = session.run()
+    print(result.report.explain())
+    if fault_model is not None:
+        injected = ", ".join(
+            f"{kind}={count}"
+            for kind, count in fault_model.counters.as_dict().items()
+            if count
+        )
+        print(f"faults: {injected or 'none'}")
+    print(
+        f"attempts: {result.attempts}, "
+        f"retransmissions: {session.total_retransmissions}"
+    )
+    if result.report.inconclusive:
+        return 2
     return 0 if result.report.accepted == (not args.tamper) else 1
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError
 from repro.core.protocol import SessionOptions, run_attestation
 from repro.core.prover import SachaProver
 from repro.core.report import AttestationReport
@@ -38,6 +38,16 @@ class MonitorSample:
     finished_ns: float
     accepted: bool
     mismatched_frames: tuple
+    #: "accept" | "reject" | "inconclusive" — an inconclusive run (the
+    #: attestation machinery itself failed) is not a detection.
+    verdict: str = ""
+    failure_detail: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.verdict:
+            object.__setattr__(
+                self, "verdict", "accept" if self.accepted else "reject"
+            )
 
     @property
     def duration_ns(self) -> float:
@@ -58,7 +68,13 @@ class MonitorHistory:
 
     @property
     def rejections(self) -> int:
-        return sum(1 for sample in self.samples if not sample.accepted)
+        return sum(1 for sample in self.samples if sample.verdict == "reject")
+
+    @property
+    def inconclusive_runs(self) -> int:
+        return sum(
+            1 for sample in self.samples if sample.verdict == "inconclusive"
+        )
 
     @property
     def detection_latency_ns(self) -> Optional[float]:
@@ -83,7 +99,7 @@ class AttestationMonitor:
         verifier: SachaVerifier,
         period_ns: float,
         rng: DeterministicRng,
-        options: SessionOptions = SessionOptions(),
+        options: Optional[SessionOptions] = None,
         stop_on_detection: bool = True,
         on_rejection: Optional[Callable[[MonitorSample], None]] = None,
     ) -> None:
@@ -94,7 +110,7 @@ class AttestationMonitor:
         self._verifier = verifier
         self._period_ns = period_ns
         self._rng = rng
-        self._options = options
+        self._options = options if options is not None else SessionOptions()
         self._stop_on_detection = stop_on_detection
         self._on_rejection = on_rejection
         self.history = MonitorHistory()
@@ -120,13 +136,51 @@ class AttestationMonitor:
         self._remaining_runs -= 1
         self._run_counter += 1
         started = self._simulator.now_ns
-        result = run_attestation(
-            self._prover,
-            self._verifier,
-            self._rng.fork(f"run-{self._run_counter}"),
-            self._options,
-        )
-        report: AttestationReport = result.report
+        report: Optional[AttestationReport] = None
+        failure_detail = ""
+        try:
+            result = run_attestation(
+                self._prover,
+                self._verifier,
+                self._rng.fork(f"run-{self._run_counter}"),
+                self._options,
+            )
+            report = result.report
+        except ReproError as exc:
+            # One failing run must not kill the monitor: record an
+            # inconclusive sample and keep the periodic schedule alive.
+            # Reset the prover's incremental MAC so the aborted run
+            # cannot corrupt the next period's checksum.
+            self._prover.abort_run()
+            failure_detail = f"{type(exc).__name__}: {exc}"
+            _log.warning(
+                "monitor_run_failed", run=self._run_counter, error=str(exc)
+            )
+        registry = get_registry()
+        if report is None:
+            sample = MonitorSample(
+                started_ns=started,
+                finished_ns=started,
+                accepted=False,
+                mismatched_frames=(),
+                verdict="inconclusive",
+                failure_detail=failure_detail,
+            )
+            self.history.samples.append(sample)
+            if registry.enabled:
+                registry.counter(
+                    "sacha_monitor_runs_total",
+                    "Periodic attestation runs executed",
+                ).inc()
+                registry.counter(
+                    "sacha_monitor_inconclusive_total",
+                    "Periodic attestation runs that failed to reach a verdict",
+                ).inc()
+            if self._remaining_runs > 0:
+                self._simulator.schedule_at(
+                    started + self._period_ns, self._run_once, label="monitor-run"
+                )
+            return
         duration = report.timing.total_ns if report.timing else 0.0
         if duration >= self._period_ns:
             raise ProtocolError(
@@ -140,19 +194,19 @@ class AttestationMonitor:
             finished_ns=finished,
             accepted=report.accepted,
             mismatched_frames=tuple(report.mismatched_frames),
+            verdict=report.verdict.value,
         )
         self.history.samples.append(sample)
-        registry = get_registry()
         if registry.enabled:
             registry.counter(
                 "sacha_monitor_runs_total", "Periodic attestation runs executed"
             ).inc()
-            if not report.accepted:
+            if sample.verdict == "reject":
                 registry.counter(
                     "sacha_monitor_rejections_total",
                     "Periodic attestation runs that rejected the prover",
                 ).inc()
-        if not report.accepted:
+        if sample.verdict == "reject":
             if self.history.detection_time_ns is None:
                 self.history.detection_time_ns = finished
                 latency = self.history.detection_latency_ns

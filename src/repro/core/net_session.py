@@ -8,6 +8,17 @@ serialization and latency, the prover is an endpoint handler, and the
 verifier is a state machine driven by deliveries.  Adversary taps on the
 channel see (and may rewrite) every frame — this is the path the
 man-in-the-middle attacks use.
+
+The session degrades gracefully instead of raising out of the event
+loop.  Undecodable frames (bit corruption or truncation from the fault
+model) are dropped and counted; duplicated or late responses are
+ignored; a drained simulation or an ARQ link giving up fails *the
+attempt*, and the session retries the whole protocol — fresh nonce,
+full reconfiguration, new ARQ state — up to ``max_attempts`` times
+before returning an :class:`~repro.core.report.AttestationReport` whose
+verdict is ``inconclusive`` with a structured
+:class:`~repro.core.report.FailureReason`.  A caller therefore always
+gets a verdict: ``accept``, ``reject``, or ``inconclusive``.
 """
 
 from __future__ import annotations
@@ -16,10 +27,11 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.errors import ProtocolError
+from repro.errors import NetworkError, ProtocolError
 from repro.core.prover import SachaProver
-from repro.core.report import AttestationReport
+from repro.core.report import AttestationReport, FailureReason
 from repro.core.verifier import SachaVerifier
+from repro.net.arq import ArqTuning
 from repro.net.channel import Channel, Endpoint
 from repro.net.ethernet import ETHERTYPE_SACHA, EthernetFrame, MacAddress
 from repro.net.messages import (
@@ -31,8 +43,13 @@ from repro.net.messages import (
     decode_command,
     decode_response,
 )
+from repro.obs import log as obs_log
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.sim.events import Simulator
 from repro.utils.rng import DeterministicRng
+
+_log = obs_log.get_logger(__name__)
 
 VERIFIER_MAC = MacAddress.from_string("02:00:00:00:00:01")
 PROVER_MAC = MacAddress.from_string("02:00:00:00:00:02")
@@ -44,6 +61,7 @@ class _Phase(enum.Enum):
     READBACK = "readback"
     CHECKSUM = "checksum"
     DONE = "done"
+    FAILED = "failed"
 
 
 @dataclass
@@ -52,6 +70,7 @@ class NetworkRunResult:
     duration_ns: float
     frames_sent_by_verifier: int
     frames_sent_by_prover: int
+    attempts: int = 1
 
 
 class NetworkAttestationSession:
@@ -66,32 +85,31 @@ class NetworkAttestationSession:
         rng: Optional[DeterministicRng] = None,
         reliable: bool = False,
         arq_timeout_ns: float = 2_000_000.0,
+        arq_tuning: Optional[ArqTuning] = None,
+        arq_max_retries: int = 25,
+        max_attempts: int = 1,
     ) -> None:
+        if max_attempts < 1:
+            raise ProtocolError(
+                f"session needs at least one attempt, got {max_attempts}"
+            )
         self._simulator = simulator
         self._channel = channel
         self._prover = prover
         self._verifier = verifier
         self._rng = rng or DeterministicRng(0)
+        self._reliable = reliable
+        self._arq_timeout_ns = arq_timeout_ns
+        self._arq_tuning = arq_tuning
+        self._arq_max_retries = arq_max_retries
+        self._max_attempts = max_attempts
 
         self.verifier_endpoint = Endpoint("vrf", VERIFIER_MAC)
         self.prover_endpoint = Endpoint("prv", PROVER_MAC)
         channel.connect(self.verifier_endpoint, self.prover_endpoint)
-        if reliable:
-            # Slot a stop-and-wait ARQ under the session so the strict
-            # command/response sequence survives frame loss.
-            from repro.net.arq import ArqLink
-
-            self._verifier_port = ArqLink(
-                simulator, self.verifier_endpoint, PROVER_MAC, arq_timeout_ns
-            )
-            self._prover_port = ArqLink(
-                simulator, self.prover_endpoint, VERIFIER_MAC, arq_timeout_ns
-            )
-        else:
-            self._verifier_port = self.verifier_endpoint
-            self._prover_port = self.prover_endpoint
-        self._verifier_port.handler = self._on_verifier_delivery
-        self._prover_port.handler = self._on_prover_delivery
+        self._verifier_port = self.verifier_endpoint
+        self._prover_port = self.prover_endpoint
+        self._install_ports()
 
         self._phase = _Phase.IDLE
         self._nonce = b""
@@ -101,14 +119,139 @@ class NetworkAttestationSession:
         self._tag: Optional[bytes] = None
         self._start_ns = 0.0
         self._end_ns = 0.0
+        self._link_failure: Optional[NetworkError] = None
+        self.undecodable_frames = 0
+        self.unexpected_frames = 0
+        self.total_retransmissions = 0
+
+    # -- transport plumbing --------------------------------------------------------
+
+    def _install_ports(self) -> None:
+        """(Re)create the transport for one attempt.
+
+        In reliable mode every attempt gets fresh ARQ links on both
+        endpoints: sequence numbers and RTT estimators restart together,
+        so a retry is indistinguishable from a brand-new session to the
+        peer.
+        """
+        if self._reliable:
+            from repro.net.arq import ArqLink
+
+            self._verifier_port = ArqLink(
+                self._simulator,
+                self.verifier_endpoint,
+                PROVER_MAC,
+                self._arq_timeout_ns,
+                self._arq_max_retries,
+                tuning=self._arq_tuning,
+                rng=self._rng.fork("arq-vrf"),
+                on_give_up=self._on_link_failure,
+            )
+            self._prover_port = ArqLink(
+                self._simulator,
+                self.prover_endpoint,
+                VERIFIER_MAC,
+                self._arq_timeout_ns,
+                self._arq_max_retries,
+                tuning=self._arq_tuning,
+                rng=self._rng.fork("arq-prv"),
+                on_give_up=self._on_link_failure,
+            )
+        self._verifier_port.handler = self._on_verifier_delivery
+        self._prover_port.handler = self._on_prover_delivery
+
+    def _on_link_failure(self, error: NetworkError) -> None:
+        """Terminal ARQ give-up: record it and let the simulation drain."""
+        if self._link_failure is None:
+            self._link_failure = error
+        _log.warning(
+            "session_link_failure", phase=self._phase.value, error=str(error)
+        )
+
+    def _count(self, name: str, help_text: str, **labels: str) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            label_names = tuple(sorted(labels))
+            registry.counter(name, help_text, labels=label_names).inc(**labels)
 
     # -- verifier side -----------------------------------------------------------
 
     def run(self) -> NetworkRunResult:
-        """Drive a full attestation and return the verdict."""
+        """Drive a full attestation and return the verdict.
+
+        Never raises for link-level failures: after ``max_attempts``
+        failed attempts the result carries an ``inconclusive`` report.
+        """
         if self._phase is not _Phase.IDLE:
             raise ProtocolError("session already ran")
         self._start_ns = self._simulator.now_ns
+        registry = get_registry()
+        clock = lambda: self._simulator.now_ns  # noqa: E731
+
+        attempts = 0
+        failure: Optional[FailureReason] = None
+        with span("net_session", clock=clock, reliable=self._reliable):
+            while attempts < self._max_attempts:
+                attempts += 1
+                if attempts > 1:
+                    self._count(
+                        "sacha_session_retries_total",
+                        "Session-level attestation re-runs after link failure",
+                    )
+                    _log.info(
+                        "session_retry",
+                        attempt=attempts,
+                        max_attempts=self._max_attempts,
+                    )
+                with span("session_attempt", clock=clock, attempt=attempts):
+                    failure = self._run_attempt()
+                if failure is None:
+                    break
+        if registry.enabled:
+            registry.counter(
+                "sacha_session_attempts_total",
+                "Protocol attempts started by networked sessions",
+            ).inc(attempts)
+
+        if failure is not None:
+            self._phase = _Phase.FAILED
+            self._end_ns = self._simulator.now_ns
+            failure = FailureReason(
+                stage=failure.stage,
+                kind=failure.kind,
+                detail=failure.detail,
+                attempts=attempts,
+            )
+            report = AttestationReport.make_inconclusive(failure, self._nonce)
+            report.config_steps = len(self._verifier.config_commands(self._nonce))
+        else:
+            report = self._verifier.evaluate(
+                self._nonce, self._plan, self._responses, self._tag or b""
+            )
+            report.config_steps = len(self._verifier.config_commands(self._nonce))
+            report.nonce = self._nonce
+        self._count(
+            "sacha_session_outcomes_total",
+            "Networked session results, by verdict",
+            verdict=report.verdict.value,
+        )
+        return NetworkRunResult(
+            report=report,
+            duration_ns=self._end_ns - self._start_ns,
+            frames_sent_by_verifier=self.verifier_endpoint.frames_sent,
+            frames_sent_by_prover=self.prover_endpoint.frames_sent,
+            attempts=attempts,
+        )
+
+    def _run_attempt(self) -> Optional[FailureReason]:
+        """One full protocol pass; None on success, the failure otherwise."""
+        # Fresh per-attempt state: nonce, plan, responses, MAC, transport.
+        self._link_failure = None
+        self._responses = []
+        self._plan_cursor = 0
+        self._tag = None
+        self._prover.abort_run()
+        self._install_ports()
         self._phase = _Phase.CONFIG
 
         # Fire-and-forget configuration commands; in-order delivery on the
@@ -123,23 +266,25 @@ class NetworkAttestationSession:
         self._send_next_readback()
 
         self._simulator.run()
-        if self._phase is not _Phase.DONE:
-            raise ProtocolError(
-                f"simulation drained in phase {self._phase.value}; "
-                "a message was lost"
+        self._harvest_retransmissions()
+        if self._link_failure is not None:
+            return FailureReason(
+                stage=self._phase.value,
+                kind="link_down",
+                detail=str(self._link_failure),
             )
+        if self._phase is not _Phase.DONE:
+            return FailureReason(
+                stage=self._phase.value,
+                kind="drained",
+                detail="simulation drained before the checksum exchange; "
+                "a message was lost",
+            )
+        return None
 
-        report = self._verifier.evaluate(
-            self._nonce, self._plan, self._responses, self._tag or b""
-        )
-        report.config_steps = len(self._verifier.config_commands(self._nonce))
-        report.nonce = self._nonce
-        return NetworkRunResult(
-            report=report,
-            duration_ns=self._end_ns - self._start_ns,
-            frames_sent_by_verifier=self.verifier_endpoint.frames_sent,
-            frames_sent_by_prover=self.prover_endpoint.frames_sent,
-        )
+    def _harvest_retransmissions(self) -> None:
+        for port in (self._verifier_port, self._prover_port):
+            self.total_retransmissions += getattr(port, "retransmissions", 0)
 
     def _send_next_readback(self) -> None:
         if self._plan_cursor < len(self._plan):
@@ -150,37 +295,80 @@ class NetworkAttestationSession:
             self._send_to_prover(MacChecksumCommand().encode())
 
     def _on_verifier_delivery(self, frame: EthernetFrame) -> None:
-        response = decode_response(frame.payload)
+        try:
+            response = decode_response(frame.payload)
+        except NetworkError:
+            # Corrupted in flight on a raw (non-ARQ) channel: drop it and
+            # let the drained-simulation path fail the attempt.
+            self.undecodable_frames += 1
+            self._count(
+                "sacha_session_undecodable_frames_total",
+                "Frames the session dropped because they failed to decode",
+                side="verifier",
+            )
+            return
         if isinstance(response, ReadbackResponse):
-            if self._phase is not _Phase.READBACK:
-                raise ProtocolError("readback response outside readback phase")
+            if (
+                self._phase is not _Phase.READBACK
+                or self._plan_cursor >= len(self._plan)
+                or response.frame_index != self._plan[self._plan_cursor]
+            ):
+                # A duplicate or reordered copy; the expected-index check
+                # keeps the MAC stream aligned with the plan.
+                self.unexpected_frames += 1
+                self._count(
+                    "sacha_session_unexpected_frames_total",
+                    "Out-of-phase or duplicate responses the session ignored",
+                    side="verifier",
+                )
+                return
             self._responses.append(response)
             self._plan_cursor += 1
             self._send_next_readback()
             return
         if isinstance(response, MacChecksumResponse):
             if self._phase is not _Phase.CHECKSUM:
-                raise ProtocolError("checksum response outside checksum phase")
+                self.unexpected_frames += 1
+                self._count(
+                    "sacha_session_unexpected_frames_total",
+                    "Out-of-phase or duplicate responses the session ignored",
+                    side="verifier",
+                )
+                return
             self._tag = response.tag
             self._phase = _Phase.DONE
             self._end_ns = self._simulator.now_ns
             return
-        raise ProtocolError(f"unexpected response {type(response).__name__}")
+        self.unexpected_frames += 1
 
     def _send_to_prover(self, payload: bytes) -> None:
-        self._verifier_port.send(
-            EthernetFrame(
-                destination=PROVER_MAC,
-                source=VERIFIER_MAC,
-                ethertype=ETHERTYPE_SACHA,
-                payload=payload,
+        if self._link_failure is not None:
+            return
+        try:
+            self._verifier_port.send(
+                EthernetFrame(
+                    destination=PROVER_MAC,
+                    source=VERIFIER_MAC,
+                    ethertype=ETHERTYPE_SACHA,
+                    payload=payload,
+                )
             )
-        )
+        except NetworkError as error:
+            self._on_link_failure(error)
 
     # -- prover side ---------------------------------------------------------------
 
     def _on_prover_delivery(self, frame: EthernetFrame) -> None:
-        command = decode_command(frame.payload)
+        try:
+            command = decode_command(frame.payload)
+        except NetworkError:
+            self.undecodable_frames += 1
+            self._count(
+                "sacha_session_undecodable_frames_total",
+                "Frames the session dropped because they failed to decode",
+                side="prover",
+            )
+            return
         if isinstance(command, IcapConfigCommand):
             self._prover.handle_command(command)
             # A configured application starts running: declare/refresh its
@@ -197,11 +385,16 @@ class NetworkAttestationSession:
         response = self._prover.handle_command(command)
         if response is None:
             return
-        self._prover_port.send(
-            EthernetFrame(
-                destination=VERIFIER_MAC,
-                source=PROVER_MAC,
-                ethertype=ETHERTYPE_SACHA,
-                payload=response.encode(),
+        if self._link_failure is not None:
+            return
+        try:
+            self._prover_port.send(
+                EthernetFrame(
+                    destination=VERIFIER_MAC,
+                    source=PROVER_MAC,
+                    ethertype=ETHERTYPE_SACHA,
+                    payload=response.encode(),
+                )
             )
-        )
+        except NetworkError as error:
+            self._on_link_failure(error)

@@ -22,6 +22,13 @@ from repro.core.verifier import SachaVerifier
 from repro.obs import log as obs_log
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
+from repro.net.ethernet import (
+    FCS_BYTES,
+    HEADER_BYTES,
+    IFG_BYTES,
+    MAX_PAYLOAD,
+    PREAMBLE_BYTES,
+)
 from repro.net.messages import (
     IcapReadbackCommand,
     IcapReadbackRangeCommand,
@@ -31,6 +38,11 @@ from repro.net.messages import (
     ReadbackRangeResponse,
     ReadbackResponse,
 )
+from repro.net.phy import GigabitPhy
+
+#: Wire header of a ``ReadbackRangeResponse``: opcode(1) + start(4) +
+#: length(4) — see ``repro.net.messages``.
+RANGE_RESPONSE_HEADER_BYTES = 9
 from repro.sim.tracing import TraceRecorder
 from repro.timing.model import ActionCounts, ActionTimingModel, ProtocolAction
 from repro.timing.network import IDEAL_NETWORK, NetworkModel
@@ -99,10 +111,11 @@ def run_attestation(
     prover: SachaProver,
     verifier: SachaVerifier,
     rng: Optional[DeterministicRng] = None,
-    options: SessionOptions = SessionOptions(),
+    options: Optional[SessionOptions] = None,
 ) -> SessionResult:
     """Execute one full SACHa attestation."""
     rng = rng or DeterministicRng(0)
+    options = options if options is not None else SessionOptions()
     trace = TraceRecorder(enabled=options.record_trace)
     model = ActionTimingModel(verifier.system.device)
     device = verifier.system.device
@@ -212,6 +225,10 @@ def run_attestation(
                     )
             elif options.readback_batch_frames > 1:
                 frame_bytes = verifier.system.device.frame_bytes
+                phy = GigabitPhy()
+                per_frame_overhead = (
+                    PREAMBLE_BYTES + HEADER_BYTES + FCS_BYTES + IFG_BYTES
+                )
                 for batch_start, batch_count in _contiguous_batches(
                     plan, options.readback_batch_frames
                 ):
@@ -242,8 +259,17 @@ def run_attestation(
                                 ],
                             )
                         )
-                    # One serialization for the whole batch (A8 amortized).
-                    elapsed += (batch_count * frame_bytes + 42) * 8.0
+                    # One serialization for the whole batch (A8 amortized):
+                    # the ranged response spans as many MTU-sized Ethernet
+                    # frames as its payload needs, each paying the full
+                    # preamble/header/FCS/IFG overhead at PHY line rate.
+                    payload_bytes = (
+                        RANGE_RESPONSE_HEADER_BYTES + batch_count * frame_bytes
+                    )
+                    fragments = -(-payload_bytes // MAX_PAYLOAD)
+                    elapsed += (
+                        payload_bytes + fragments * per_frame_overhead
+                    ) * phy.ns_per_byte
                     readback_ns += elapsed - start
                     readback_commands += 1
                     trace.record(
@@ -350,7 +376,7 @@ def attest(
     prover: SachaProver,
     verifier: SachaVerifier,
     rng: Optional[DeterministicRng] = None,
-    options: SessionOptions = SessionOptions(),
+    options: Optional[SessionOptions] = None,
 ) -> AttestationReport:
     """Convenience wrapper returning just the report."""
     return run_attestation(prover, verifier, rng, options).report

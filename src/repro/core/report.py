@@ -9,11 +9,52 @@ to be attested.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.sim.tracing import TraceRecorder
 from repro.utils.units import format_time_ns
+
+
+class Verdict(enum.Enum):
+    """The three possible outcomes of one attestation run.
+
+    ``ACCEPT`` and ``REJECT`` are the paper's two definite verdicts.
+    ``INCONCLUSIVE`` is the graceful-degradation outcome: the run could
+    not be completed (link down, session retries exhausted, a member
+    crashing mid-sweep) so the verifier learned *nothing* about the
+    prover — which is materially different from a rejection and must
+    never be conflated with one.
+    """
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class FailureReason:
+    """Structured description of why a run failed to reach a verdict.
+
+    ``stage`` names where the run died (``config`` / ``readback`` /
+    ``checksum`` / ``link`` / ``member`` / ``session``); ``kind`` is a
+    machine-matchable class (``link_down``, ``drained``, ``exception``,
+    ...); ``detail`` is the human-readable remainder.
+    """
+
+    stage: str
+    kind: str
+    detail: str = ""
+    attempts: int = 0
+
+    def describe(self) -> str:
+        text = f"{self.kind} during {self.stage}"
+        if self.attempts:
+            text += f" after {self.attempts} attempt(s)"
+        if self.detail:
+            text += f": {self.detail}"
+        return text
 
 
 @dataclass(frozen=True)
@@ -56,13 +97,49 @@ class AttestationReport:
     timing: Optional[TimingBreakdown] = None
     trace: Optional[TraceRecorder] = None
     failure_reason: str = ""
+    #: Set when the run could not complete: the report carries no
+    #: information about the prover's configuration.
+    inconclusive: bool = False
+    failure: Optional[FailureReason] = None
+
+    @classmethod
+    def make_inconclusive(
+        cls, failure: FailureReason, nonce: bytes = b""
+    ) -> "AttestationReport":
+        """A no-verdict report for a run that could not complete."""
+        return cls(
+            mac_valid=False,
+            config_match=False,
+            nonce=nonce,
+            failure_reason=failure.describe(),
+            inconclusive=True,
+            failure=failure,
+        )
+
+    @property
+    def verdict(self) -> Verdict:
+        if self.inconclusive:
+            return Verdict.INCONCLUSIVE
+        return Verdict.ACCEPT if self.accepted else Verdict.REJECT
 
     @property
     def accepted(self) -> bool:
         """The overall verdict: prover attested."""
-        return self.mac_valid and self.config_match
+        return self.mac_valid and self.config_match and not self.inconclusive
 
     def explain(self) -> str:
+        if self.inconclusive:
+            reason = (
+                self.failure.describe() if self.failure else self.failure_reason
+            ) or "run did not complete"
+            lines = [f"INCONCLUSIVE: {reason}"]
+            lines.append(
+                f"steps: {self.config_steps} config, "
+                f"{self.readback_steps} readback"
+            )
+            if self.timing is not None:
+                lines.append("timing: " + self.timing.summary())
+            return "\n".join(lines)
         if self.accepted:
             lines = [
                 "ATTESTED: MAC valid and configuration matches the golden "

@@ -11,13 +11,13 @@ down to their mismatching frames.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.protocol import SessionOptions, run_attestation
 from repro.core.prover import SachaProver
-from repro.core.report import AttestationReport
+from repro.core.report import AttestationReport, FailureReason, Verdict
 from repro.core.verifier import SachaVerifier
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError
 from repro.obs import log as obs_log
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
@@ -48,7 +48,7 @@ class SwarmReport:
         return sorted(
             device_id
             for device_id, report in self.results.items()
-            if report.accepted
+            if report.verdict is Verdict.ACCEPT
         )
 
     @property
@@ -56,12 +56,21 @@ class SwarmReport:
         return sorted(
             device_id
             for device_id, report in self.results.items()
-            if not report.accepted
+            if report.verdict is Verdict.REJECT
+        )
+
+    @property
+    def inconclusive(self) -> List[str]:
+        """Members whose run failed (link down, crash) — no verdict."""
+        return sorted(
+            device_id
+            for device_id, report in self.results.items()
+            if report.verdict is Verdict.INCONCLUSIVE
         )
 
     @property
     def all_healthy(self) -> bool:
-        return not self.compromised
+        return not self.compromised and not self.inconclusive
 
     def localize(self) -> Dict[str, List[int]]:
         """Mismatching frames per compromised device."""
@@ -73,7 +82,8 @@ class SwarmReport:
     def explain(self) -> str:
         lines = [
             f"swarm of {len(self.results)}: {len(self.healthy)} healthy, "
-            f"{len(self.compromised)} compromised"
+            f"{len(self.compromised)} compromised, "
+            f"{len(self.inconclusive)} inconclusive"
         ]
         for device_id in self.compromised:
             frames = self.results[device_id].mismatched_frames
@@ -81,6 +91,14 @@ class SwarmReport:
                 f"frames {frames[:5]}" if frames else "MAC invalid"
             )
             lines.append(f"  - {device_id}: {reason}")
+        for device_id in self.inconclusive:
+            report = self.results[device_id]
+            reason = (
+                report.failure.describe()
+                if report.failure
+                else report.failure_reason or "run did not complete"
+            )
+            lines.append(f"  - {device_id}: inconclusive ({reason})")
         lines.append(
             f"sweep time: {self.sequential_ns / 1e9:.3f} s sequential, "
             f"{self.parallel_ns / 1e9:.3f} s parallel"
@@ -109,33 +127,57 @@ class SwarmAttestation:
     def run(
         self,
         rng: DeterministicRng,
-        options: SessionOptions = SessionOptions(),
-        on_result: Callable[[str, AttestationReport], None] = None,
+        options: Optional[SessionOptions] = None,
+        on_result: Optional[Callable[[str, AttestationReport], None]] = None,
     ) -> SwarmReport:
         """Attest every member; independent nonces and readback orders.
 
         ``sequential_ns`` models one verifier sweeping the fleet member
         by member; ``parallel_ns`` models per-device verifiers running
         concurrently (the slowest member bounds the sweep).
+
+        A member whose run raises (dead link, crashing prover) is
+        recorded with an ``inconclusive`` report; the sweep always
+        completes and the report covers every member.
         """
+        options = options if options is not None else SessionOptions()
         report = SwarmReport()
         durations: List[float] = []
         sweep_clock = lambda: sum(durations)  # noqa: E731 — sequential sweep time
         with span("swarm_sweep", clock=sweep_clock, members=len(self._members)):
             for member in self._members:
-                result = run_attestation(
-                    member.prover,
-                    member.verifier,
-                    rng.fork(member.device_id),
-                    options,
-                )
-                report.results[member.device_id] = result.report
+                try:
+                    result = run_attestation(
+                        member.prover,
+                        member.verifier,
+                        rng.fork(member.device_id),
+                        options,
+                    )
+                    member_report = result.report
+                except ReproError as exc:
+                    # A half-finished run leaves incremental MAC state in
+                    # the prover; reset it so the failure cannot bleed
+                    # into the next member or sweep.
+                    member.prover.abort_run()
+                    member_report = AttestationReport.make_inconclusive(
+                        FailureReason(
+                            stage="member",
+                            kind=type(exc).__name__,
+                            detail=str(exc),
+                        )
+                    )
+                    _log.warning(
+                        "swarm_member_failed",
+                        device_id=member.device_id,
+                        error=str(exc),
+                    )
+                report.results[member.device_id] = member_report
                 duration = (
-                    result.report.timing.total_ns if result.report.timing else 0.0
+                    member_report.timing.total_ns if member_report.timing else 0.0
                 )
                 durations.append(duration)
                 if on_result is not None:
-                    on_result(member.device_id, result.report)
+                    on_result(member.device_id, member_report)
         report.sequential_ns = sum(durations)
         report.parallel_ns = max(durations) if durations else 0.0
         registry = get_registry()
@@ -152,6 +194,8 @@ class SwarmAttestation:
                 members.inc(len(report.healthy), verdict="accept")
             if report.compromised:
                 members.inc(len(report.compromised), verdict="reject")
+            if report.inconclusive:
+                members.inc(len(report.inconclusive), verdict="inconclusive")
             sweep_gauge = registry.gauge(
                 "sacha_swarm_sweep_duration_seconds",
                 "Duration of the last fleet sweep, by strategy",
@@ -164,6 +208,7 @@ class SwarmAttestation:
                 members=len(self._members),
                 healthy=len(report.healthy),
                 compromised=len(report.compromised),
+                inconclusive=len(report.inconclusive),
                 sequential_ns=report.sequential_ns,
             )
         return report

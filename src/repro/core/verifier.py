@@ -29,7 +29,7 @@ def _observe_verdict(report: AttestationReport) -> None:
     registry = get_registry()
     if not registry.enabled:
         return
-    verdict = "accept" if report.accepted else "reject"
+    verdict = report.verdict.value
     registry.counter(
         "sacha_verifier_evaluations_total",
         "Verifier verdicts, by outcome",

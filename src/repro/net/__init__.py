@@ -6,8 +6,15 @@ channel with eavesdropping taps for the adversary, and the SACHa command
 wire format (``ICAP_config`` / ``ICAP_readback`` / ``MAC_checksum``).
 """
 
-from repro.net.arq import ArqLink
+from repro.net.arq import ArqLink, ArqTuning
 from repro.net.channel import Channel, Endpoint, LatencyModel, NetworkTap
+from repro.net.faults import (
+    Delivery,
+    FaultCounters,
+    FaultModel,
+    FaultProfile,
+    OutageWindow,
+)
 from repro.net.ethernet import (
     ETHERTYPE_SACHA,
     MAX_PAYLOAD,
@@ -32,7 +39,13 @@ from repro.net.phy import GigabitPhy
 
 __all__ = [
     "ArqLink",
+    "ArqTuning",
     "Channel",
+    "Delivery",
+    "FaultCounters",
+    "FaultModel",
+    "FaultProfile",
+    "OutageWindow",
     "Endpoint",
     "LatencyModel",
     "NetworkTap",

@@ -1,4 +1,4 @@
-"""Stop-and-wait ARQ: reliable, exactly-once delivery over a lossy link.
+"""Stop-and-wait ARQ: reliable, exactly-once delivery over a faulty link.
 
 The SACHa protocol is a strict command/response sequence; a single lost
 Ethernet frame deadlocks a naive run.  ``ArqLink`` wraps a channel
@@ -6,9 +6,22 @@ endpoint with a classic stop-and-wait automatic-repeat-request layer:
 
 * every payload goes out as ``DATA(seq)`` and is retransmitted on a
   timeout until the matching ``ACK(seq)`` arrives;
+* a CRC-32 trailer covers every ARQ frame, so corrupted or truncated
+  frames (the fault model's bit flips) are detected and dropped — the
+  retransmission path then recovers them like losses;
 * the receiver delivers each sequence number exactly once (duplicates
-  from lost ACKs are re-acknowledged but not re-delivered);
+  from lost ACKs or channel duplication are re-acknowledged but not
+  re-delivered);
 * ordering is preserved (stop-and-wait never reorders).
+
+The retransmission timer is adaptive: each clean (non-retransmitted)
+round trip feeds a Jacobson/Karels SRTT/RTTVAR estimator, and the
+retransmission timeout backs off exponentially with deterministic
+jitter while a payload keeps timing out.  When ``max_retries`` is
+exhausted the link declares itself down: with an ``on_give_up``
+callback installed it reports the failure and goes quiescent (so the
+session above can degrade to an ``inconclusive`` verdict); without one
+it raises, preserving the fail-fast behaviour of simple tests.
 
 Exactly-once, in-order delivery is precisely what the attestation needs:
 a duplicated ``ICAP_readback`` would desynchronize the incremental MAC
@@ -19,12 +32,19 @@ opaque payloads — so it slots under the unmodified SACHa session.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
 from repro.errors import NetworkError
 from repro.net.channel import Endpoint
 from repro.net.ethernet import EthernetFrame, MacAddress
+from repro.obs import log as obs_log
+from repro.obs.metrics import get_registry
 from repro.sim.events import Event, Simulator
+from repro.utils.crc import Crc32
+from repro.utils.rng import DeterministicRng
+
+_log = obs_log.get_logger(__name__)
 
 #: Ethertype for ARQ-wrapped traffic (local experimental ethertype 2).
 ETHERTYPE_ARQ = 0x88B6
@@ -32,15 +52,64 @@ ETHERTYPE_ARQ = 0x88B6
 _TYPE_DATA = 0x01
 _TYPE_ACK = 0x02
 
+_HEADER_BYTES = 5  # type(1) + sequence(4)
+_CRC_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ArqTuning:
+    """Retransmission-timer parameters of one :class:`ArqLink`.
+
+    Defaults follow the classic TCP values: SRTT gain 1/8, RTTVAR gain
+    1/4, RTO = SRTT + 4·RTTVAR, doubled per consecutive timeout with up
+    to ``jitter_fraction`` deterministic jitter to break retransmission
+    synchronization between the two directions of a link.
+    """
+
+    initial_timeout_ns: float = 2_000_000.0
+    min_timeout_ns: float = 200_000.0
+    max_timeout_ns: float = 500_000_000.0
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.1
+    srtt_gain: float = 1.0 / 8.0
+    rttvar_gain: float = 1.0 / 4.0
+    rttvar_weight: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.initial_timeout_ns <= 0:
+            raise NetworkError(
+                f"ARQ timeout must be positive, got {self.initial_timeout_ns}"
+            )
+        if not 0 < self.min_timeout_ns <= self.max_timeout_ns:
+            raise NetworkError(
+                f"ARQ timeout bounds [{self.min_timeout_ns}, "
+                f"{self.max_timeout_ns}] are inverted or non-positive"
+            )
+        if self.backoff_factor < 1.0:
+            raise NetworkError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise NetworkError(
+                f"jitter fraction {self.jitter_fraction} out of range [0, 1)"
+            )
+
+    def clamp(self, timeout_ns: float) -> float:
+        return min(max(timeout_ns, self.min_timeout_ns), self.max_timeout_ns)
+
 
 def _encode(frame_type: int, sequence: int, payload: bytes = b"") -> bytes:
-    return bytes([frame_type]) + sequence.to_bytes(4, "big") + payload
+    body = bytes([frame_type]) + sequence.to_bytes(4, "big") + payload
+    return body + Crc32().update(body).digest_bytes()
 
 
 def _decode(data: bytes):
-    if len(data) < 5:
+    if len(data) < _HEADER_BYTES + _CRC_BYTES:
         raise NetworkError("truncated ARQ frame")
-    return data[0], int.from_bytes(data[1:5], "big"), data[5:]
+    body, crc = data[:-_CRC_BYTES], data[-_CRC_BYTES:]
+    if Crc32().update(body).digest_bytes() != crc:
+        raise NetworkError("ARQ frame CRC mismatch")
+    return body[0], int.from_bytes(body[1:5], "big"), body[5:]
 
 
 class ArqLink:
@@ -59,6 +128,9 @@ class ArqLink:
         peer_mac: MacAddress,
         timeout_ns: float = 2_000_000.0,
         max_retries: int = 25,
+        tuning: Optional[ArqTuning] = None,
+        rng: Optional[DeterministicRng] = None,
+        on_give_up: Optional[Callable[[NetworkError], None]] = None,
     ) -> None:
         if timeout_ns <= 0:
             raise NetworkError(f"ARQ timeout must be positive, got {timeout_ns}")
@@ -67,8 +139,13 @@ class ArqLink:
         self._simulator = simulator
         self._endpoint = endpoint
         self._peer_mac = peer_mac
-        self._timeout_ns = timeout_ns
+        self._tuning = tuning or ArqTuning(
+            initial_timeout_ns=timeout_ns,
+            min_timeout_ns=min(timeout_ns, ArqTuning.min_timeout_ns),
+        )
         self._max_retries = max_retries
+        self._rng = rng
+        self.on_give_up = on_give_up
         endpoint.handler = self._on_frame
 
         self.handler: Optional[Callable[[EthernetFrame], None]] = None
@@ -78,15 +155,44 @@ class ArqLink:
         self._in_flight_retries = 0
         self._timeout_event: Optional[Event] = None
         self._expected_rx_sequence = 0
+        self._last_tx_ns = 0.0
+        self._failed: Optional[NetworkError] = None
+
+        # Jacobson/Karels estimator state; RTO starts at the configured
+        # initial timeout until the first clean sample arrives.
+        self._srtt_ns: Optional[float] = None
+        self._rttvar_ns = 0.0
+        self._rto_ns = self._tuning.initial_timeout_ns
 
         self.payloads_sent = 0
         self.retransmissions = 0
         self.duplicates_dropped = 0
+        self.corrupt_frames_dropped = 0
+        self.backoff_events = 0
+
+    @property
+    def failed(self) -> Optional[NetworkError]:
+        """The give-up error, if this link has declared itself down."""
+        return self._failed
+
+    @property
+    def rto_ns(self) -> float:
+        """The current (pre-backoff) retransmission timeout."""
+        return self._rto_ns
+
+    @property
+    def srtt_ns(self) -> Optional[float]:
+        """The smoothed round-trip-time estimate, once sampled."""
+        return self._srtt_ns
 
     # -- sending -----------------------------------------------------------------
 
     def send(self, frame: EthernetFrame) -> None:
         """Queue one payload for reliable delivery to the peer."""
+        if self._failed is not None:
+            raise NetworkError(
+                f"ARQ link from {self._endpoint.name} is down: {self._failed}"
+            )
         self._send_queue.append(frame.payload)
         self._pump()
 
@@ -99,8 +205,18 @@ class ArqLink:
         self.payloads_sent += 1
         self._transmit_in_flight()
 
+    def _current_timeout_ns(self) -> float:
+        """RTO backed off for the current retry, with deterministic jitter."""
+        timeout = self._rto_ns * (
+            self._tuning.backoff_factor ** self._in_flight_retries
+        )
+        if self._tuning.jitter_fraction and self._rng is not None:
+            timeout *= 1.0 + self._tuning.jitter_fraction * self._rng.random()
+        return self._tuning.clamp(timeout)
+
     def _transmit_in_flight(self) -> None:
         assert self._in_flight is not None
+        self._last_tx_ns = self._simulator.now_ns
         self._endpoint.send(
             EthernetFrame(
                 destination=self._peer_mac,
@@ -110,30 +226,73 @@ class ArqLink:
             )
         )
         self._timeout_event = self._simulator.schedule(
-            self._timeout_ns, self._on_timeout, label="arq-timeout"
+            self._current_timeout_ns(), self._on_timeout, label="arq-timeout"
         )
 
     def _on_timeout(self) -> None:
-        if self._in_flight is None:
+        if self._in_flight is None or self._failed is not None:
             return
         self._in_flight_retries += 1
+        registry = get_registry()
         if self._in_flight_retries > self._max_retries:
-            raise NetworkError(
+            error = NetworkError(
                 f"ARQ gave up after {self._max_retries} retransmissions "
                 f"(link from {self._endpoint.name} is down?)"
             )
+            self._failed = error
+            self._in_flight = None
+            self._send_queue.clear()
+            if registry.enabled:
+                registry.counter(
+                    "sacha_arq_give_ups_total",
+                    "ARQ links that exhausted their retransmission budget",
+                ).inc()
+                _log.warning(
+                    "arq_give_up",
+                    endpoint=self._endpoint.name,
+                    retries=self._max_retries,
+                )
+            if self.on_give_up is not None:
+                self.on_give_up(error)
+                return
+            raise error
         self.retransmissions += 1
+        self.backoff_events += 1
+        if registry.enabled:
+            registry.counter(
+                "sacha_arq_retransmissions_total",
+                "DATA frames retransmitted after a timeout",
+            ).inc()
+            registry.counter(
+                "sacha_arq_backoff_events_total",
+                "Retransmission timeouts that grew the backoff window",
+            ).inc()
         self._transmit_in_flight()
 
     # -- receiving ----------------------------------------------------------------
 
     def _on_frame(self, frame: EthernetFrame) -> None:
-        frame_type, sequence, payload = _decode(frame.payload)
+        if self._failed is not None:
+            return
+        try:
+            frame_type, sequence, payload = _decode(frame.payload)
+        except NetworkError:
+            # A corrupted or truncated frame: indistinguishable from loss
+            # at this layer — drop it and let retransmission recover.
+            self.corrupt_frames_dropped += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "sacha_arq_corrupt_frames_total",
+                    "ARQ frames dropped on CRC or framing failure",
+                ).inc()
+            return
         if frame_type == _TYPE_ACK:
             self._on_ack(sequence)
             return
         if frame_type != _TYPE_DATA:
-            raise NetworkError(f"unknown ARQ frame type {frame_type:#04x}")
+            self.corrupt_frames_dropped += 1
+            return
         # Always acknowledge — the sender may have missed a previous ACK.
         self._endpoint.send(
             EthernetFrame(
@@ -159,12 +318,37 @@ class ArqLink:
                 )
             )
 
+    def _update_rtt(self, sample_ns: float) -> None:
+        """Fold one clean round-trip sample into SRTT/RTTVAR (RFC 6298)."""
+        tuning = self._tuning
+        if self._srtt_ns is None:
+            self._srtt_ns = sample_ns
+            self._rttvar_ns = sample_ns / 2.0
+        else:
+            deviation = abs(self._srtt_ns - sample_ns)
+            self._rttvar_ns += tuning.rttvar_gain * (deviation - self._rttvar_ns)
+            self._srtt_ns += tuning.srtt_gain * (sample_ns - self._srtt_ns)
+        self._rto_ns = tuning.clamp(
+            self._srtt_ns + tuning.rttvar_weight * self._rttvar_ns
+        )
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "sacha_arq_rto_seconds",
+                "Current adaptive retransmission timeout, by endpoint",
+                labels=("endpoint",),
+            ).set(self._rto_ns / 1e9, endpoint=self._endpoint.name)
+
     def _on_ack(self, sequence: int) -> None:
         if self._in_flight is None or sequence != self._next_tx_sequence:
             return  # stale ACK
         if self._timeout_event is not None:
             self._timeout_event.cancel()
             self._timeout_event = None
+        # Karn's algorithm: only sample RTT for never-retransmitted
+        # payloads (an ACK of a retransmission is ambiguous).
+        if self._in_flight_retries == 0:
+            self._update_rtt(self._simulator.now_ns - self._last_tx_ns)
         self._in_flight = None
         self._next_tx_sequence += 1
         self._pump()

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 
 from repro.errors import NetworkError
 from repro.net.ethernet import EthernetFrame, MacAddress
+from repro.net.faults import Delivery, FaultModel
 from repro.net.phy import GigabitPhy
 from repro.obs import log as obs_log
 from repro.obs.metrics import get_registry
@@ -93,14 +94,21 @@ class Channel:
         phy: GigabitPhy = GigabitPhy(),
         loss_probability: float = 0.0,
         rng: Optional[DeterministicRng] = None,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise NetworkError(f"loss probability {loss_probability} out of range")
+        if loss_probability > 0.0 and rng is None:
+            raise NetworkError(
+                "loss_probability > 0 needs an rng; without one the loss "
+                "model would silently never fire"
+            )
         self._simulator = simulator
         self._latency = latency
         self._phy = phy
         self._loss_probability = loss_probability
         self._rng = rng
+        self._fault_model = fault_model
         self._endpoints: List[Endpoint] = []
         self._taps: List[NetworkTap] = []
         self.frames_dropped = 0
@@ -108,6 +116,10 @@ class Channel:
     @property
     def simulator(self) -> Simulator:
         return self._simulator
+
+    @property
+    def fault_model(self) -> Optional[FaultModel]:
+        return self._fault_model
 
     def connect(self, left: Endpoint, right: Endpoint) -> None:
         if self._endpoints:
@@ -160,14 +172,37 @@ class Channel:
                         time_ns=self._simulator.now_ns,
                     )
                 return
-        delay = self._phy.serialization_ns(frame) + self._latency.sample_ns(self._rng)
-        if obs_on:
-            registry.histogram(
-                "sacha_net_latency_seconds",
-                "One-way frame delivery latency (serialization + latency model)",
-                labels=("direction",),
-                buckets=(1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1.0),
-            ).observe(delay / 1e9, direction=direction)
-        self._simulator.schedule(
-            delay, lambda: peer.deliver(frame), label=f"deliver {direction}"
-        )
+        if self._fault_model is not None:
+            deliveries = self._fault_model.perturb(
+                self._simulator.now_ns, direction, frame
+            )
+            if not deliveries:
+                self.frames_dropped += 1
+                if obs_on:
+                    _log.debug(
+                        "frame_faulted_away",
+                        direction=direction,
+                        time_ns=self._simulator.now_ns,
+                    )
+                return
+        else:
+            deliveries = [Delivery(frame)]
+        for delivery in deliveries:
+            delivered = delivery.frame
+            delay = (
+                self._phy.serialization_ns(delivered)
+                + self._latency.sample_ns(self._rng)
+                + delivery.extra_delay_ns
+            )
+            if obs_on:
+                registry.histogram(
+                    "sacha_net_latency_seconds",
+                    "One-way frame delivery latency (serialization + latency model)",
+                    labels=("direction",),
+                    buckets=(1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1.0),
+                ).observe(delay / 1e9, direction=direction)
+            self._simulator.schedule(
+                delay,
+                lambda f=delivered: peer.deliver(f),
+                label=f"deliver {direction}",
+            )

@@ -8,6 +8,7 @@ regenerated bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Sequence, TypeVar
 
@@ -35,8 +36,14 @@ class DeterministicRng:
 
         Forking keeps subsystems (e.g. PUF noise vs channel jitter)
         decoupled: adding draws to one does not perturb the other.
+
+        The derivation must be stable across processes — Python's
+        built-in ``hash()`` is salted per interpreter, which would make
+        two CLI invocations of the same seed disagree — so the child
+        seed is taken from a SHA-256 of (seed, label).
         """
-        derived = hash((self._seed, label)) & 0xFFFFFFFFFFFFFFFF
+        material = f"{self._seed}:{label}".encode()
+        derived = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
         return DeterministicRng(derived)
 
     def randbytes(self, count: int) -> bytes:
