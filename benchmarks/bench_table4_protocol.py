@@ -9,7 +9,6 @@ Two levels:
   scales the same way (readback-dominated, network-dominated totals).
 """
 
-import pytest
 
 from repro.analysis.experiments import e3_table4
 from repro.core.protocol import SessionOptions, run_attestation

@@ -38,7 +38,6 @@ from repro.timing.model import (
 from repro.timing.network import LAB_NETWORK, NetworkModel
 from repro.timing.report import (
     PAPER_MEASURED_S,
-    PAPER_TABLE3_NS,
     PAPER_TABLE4_COUNTS,
     PAPER_THEORETICAL_S,
     table3_rows,

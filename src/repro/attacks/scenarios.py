@@ -15,7 +15,7 @@ Every scenario returns an :class:`AttackOutcome`; the security benchmark
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.attacks.base import AttackOutcome
 from repro.attacks.provers import HoardingProver, SkippingProver, WrongKeyProver

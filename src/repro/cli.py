@@ -142,6 +142,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SACHa: self-attestation of configurable hardware",
     )
+    perf = parser.add_argument_group("performance (before the subcommand)")
+    perf.add_argument(
+        "--aes-backend",
+        default=None,
+        choices=["auto", "reference", "table", "native"],
+        help="AES implementation for the MAC chain "
+        "(default: REPRO_AES_BACKEND or auto)",
+    )
+    perf.add_argument(
+        "--swarm-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread-pool size for swarm sweeps; 0/1 = sequential "
+        "(default: REPRO_SWARM_WORKERS)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     attest = commands.add_parser("attest", help="run one attestation")
@@ -388,16 +404,31 @@ _HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    scope = _setup_obs(args)
+    from repro.errors import ReproError
+    from repro.perf import configured
+
+    overrides = {}
+    if args.aes_backend is not None:
+        overrides["aes_backend"] = args.aes_backend
+    if args.swarm_workers is not None:
+        overrides["swarm_workers"] = args.swarm_workers
     try:
-        status = _HANDLERS[args.command](args)
-    finally:
-        try:
-            _finish_obs(args, scope)
-        except OSError as exc:
-            print(f"repro: error writing observability output: {exc}",
-                  file=sys.stderr)
-            return 1
+        with configured(**overrides):
+            scope = _setup_obs(args)
+            try:
+                status = _HANDLERS[args.command](args)
+            finally:
+                try:
+                    _finish_obs(args, scope)
+                except OSError as exc:
+                    print(
+                        f"repro: error writing observability output: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+    except ReproError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
     return status
 
 

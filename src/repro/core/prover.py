@@ -12,6 +12,8 @@ from __future__ import annotations
 import abc
 from typing import Optional, Union
 
+import numpy as np
+
 from repro.crypto.cmac import AesCmac
 from repro.errors import ProtocolError
 from repro.fpga.board import Board
@@ -175,15 +177,19 @@ class SachaProver:
     def handle_readback_range(self, start_index: int, count: int) -> bytes:
         """Batched readback: ``count`` consecutive frames, one response.
 
-        Each frame still gets its own ICAP readback and MAC update — the
-        batching only amortizes the command/response round trips.
+        The ICAP performs one bulk sweep over the range and the MAC folds
+        the whole buffer in one update — byte-identical to ``count``
+        per-frame readback/update steps, without materializing ``count``
+        separate frame copies.
         """
         if count < 1:
             raise ProtocolError(f"batch count must be positive, got {count}")
-        chunks = []
-        for frame_index in range(start_index, start_index + count):
-            chunks.append(self.handle_readback(frame_index))
-        return b"".join(chunks)
+        if self._mac is None:
+            self._mac = self._new_checksum()
+        data = self.board.fpga.icap.readback_range(start_index, count)
+        self._mac.update(data)
+        self.readbacks_handled += count
+        return data
 
     def handle_readback_masked(self, frame_index: int, mask: bytes) -> None:
         """The Section-6.1 alternative: mask before the MAC step.
@@ -200,11 +206,9 @@ class SachaProver:
                 f"mask of {len(mask)} bytes does not match the "
                 f"{len(data)}-byte frame"
             )
-        masked = bytes(
-            frame_byte & ~mask_byte & 0xFF
-            for frame_byte, mask_byte in zip(data, mask)
-        )
-        self._mac.update(masked)
+        words = np.frombuffer(data, dtype=">u4")
+        keep = np.bitwise_not(np.frombuffer(mask, dtype=">u4"))
+        self._mac.update((words & keep).astype(">u4").tobytes())
         self.readbacks_handled += 1
 
     def handle_checksum(self) -> bytes:

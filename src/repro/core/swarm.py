@@ -10,6 +10,7 @@ down to their mismatching frames.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -124,11 +125,41 @@ class SwarmAttestation:
     def __len__(self) -> int:
         return len(self._members)
 
+    def _attest_member(
+        self,
+        member: SwarmMember,
+        member_rng: DeterministicRng,
+        options: SessionOptions,
+    ) -> AttestationReport:
+        """One member's run, with failures folded into the report."""
+        try:
+            return run_attestation(
+                member.prover, member.verifier, member_rng, options
+            ).report
+        except ReproError as exc:
+            # A half-finished run leaves incremental MAC state in the
+            # prover; reset it so the failure cannot bleed into the next
+            # member or sweep.
+            member.prover.abort_run()
+            _log.warning(
+                "swarm_member_failed",
+                device_id=member.device_id,
+                error=str(exc),
+            )
+            return AttestationReport.make_inconclusive(
+                FailureReason(
+                    stage="member",
+                    kind=type(exc).__name__,
+                    detail=str(exc),
+                )
+            )
+
     def run(
         self,
         rng: DeterministicRng,
         options: Optional[SessionOptions] = None,
         on_result: Optional[Callable[[str, AttestationReport], None]] = None,
+        max_workers: Optional[int] = None,
     ) -> SwarmReport:
         """Attest every member; independent nonces and readback orders.
 
@@ -136,48 +167,49 @@ class SwarmAttestation:
         by member; ``parallel_ns`` models per-device verifiers running
         concurrently (the slowest member bounds the sweep).
 
+        ``max_workers`` > 1 runs member attestations on a thread pool
+        (default: :class:`repro.perf.ReproConfig` ``swarm_workers``).
+        Each member's RNG is forked from its device id *before* the
+        sweep, so verdicts, nonces, and reports are byte-identical to
+        the sequential sweep regardless of completion order; results and
+        ``on_result`` callbacks are delivered in member order.
+
         A member whose run raises (dead link, crashing prover) is
         recorded with an ``inconclusive`` report; the sweep always
         completes and the report covers every member.
         """
         options = options if options is not None else SessionOptions()
+        if max_workers is None:
+            from repro.perf import get_config
+
+            max_workers = get_config().swarm_workers
+        workers = min(max(max_workers, 1), len(self._members))
         report = SwarmReport()
         durations: List[float] = []
         sweep_clock = lambda: sum(durations)  # noqa: E731 — sequential sweep time
+        member_rngs = [rng.fork(member.device_id) for member in self._members]
+        def record(member: SwarmMember, member_report: AttestationReport) -> None:
+            report.results[member.device_id] = member_report
+            durations.append(
+                member_report.timing.total_ns if member_report.timing else 0.0
+            )
+            if on_result is not None:
+                on_result(member.device_id, member_report)
+
         with span("swarm_sweep", clock=sweep_clock, members=len(self._members)):
-            for member in self._members:
-                try:
-                    result = run_attestation(
-                        member.prover,
-                        member.verifier,
-                        rng.fork(member.device_id),
-                        options,
-                    )
-                    member_report = result.report
-                except ReproError as exc:
-                    # A half-finished run leaves incremental MAC state in
-                    # the prover; reset it so the failure cannot bleed
-                    # into the next member or sweep.
-                    member.prover.abort_run()
-                    member_report = AttestationReport.make_inconclusive(
-                        FailureReason(
-                            stage="member",
-                            kind=type(exc).__name__,
-                            detail=str(exc),
+            if workers > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    member_reports = list(
+                        pool.map(
+                            lambda pair: self._attest_member(*pair, options),
+                            zip(self._members, member_rngs),
                         )
                     )
-                    _log.warning(
-                        "swarm_member_failed",
-                        device_id=member.device_id,
-                        error=str(exc),
-                    )
-                report.results[member.device_id] = member_report
-                duration = (
-                    member_report.timing.total_ns if member_report.timing else 0.0
-                )
-                durations.append(duration)
-                if on_result is not None:
-                    on_result(member.device_id, member_report)
+                for member, member_report in zip(self._members, member_reports):
+                    record(member, member_report)
+            else:
+                for member, member_rng in zip(self._members, member_rngs):
+                    record(member, self._attest_member(member, member_rng, options))
         report.sequential_ns = sum(durations)
         report.parallel_ns = max(durations) if durations else 0.0
         registry = get_registry()

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.crypto.cmac import AesCmac
 from repro.design.sacha_design import SachaSystemDesign
 from repro.errors import VerificationError
@@ -154,8 +156,7 @@ class SachaVerifier:
     ) -> bytes:
         """H_Vrf: the MAC over the configuration *as received*."""
         mac = AesCmac(self._key)
-        for response in responses:
-            mac.update(response.data)
+        mac.update_frames(response.data for response in responses)
         return mac.finalize()
 
     def _check_authenticity(
@@ -184,10 +185,17 @@ class SachaVerifier:
         golden = self.system.golden_memory(nonce)
         mask = self.system.combined_mask()
         mac = AesCmac(self._key)
-        for frame_index in plan:
-            mac.update(
-                mask.apply_to_frame(frame_index, golden.read_frame(frame_index))
-            )
+        from repro.perf import get_config
+
+        if get_config().frame_fastpath:
+            indices = np.asarray(plan, dtype=np.intp)
+            masked = mask.apply_to_sweep(golden.frames_array()[indices], plan)
+            mac.update(masked.astype(">u4").tobytes())
+        else:
+            for frame_index in plan:
+                mac.update(
+                    mask.apply_to_frame(frame_index, golden.read_frame(frame_index))
+                )
         return mac.finalize()
 
     def evaluate_masked(
@@ -260,17 +268,52 @@ class SachaVerifier:
         # the extension needs expected-state tracking.
         golden = self.system.golden_memory(nonce)
         mask = self.system.combined_mask()
-        mismatched: List[int] = []
-        for response in responses:
-            expected = mask.apply_to_frame(
-                response.frame_index, golden.read_frame(response.frame_index)
+        from repro.perf import get_config
+
+        if get_config().frame_fastpath:
+            mismatched = self._mismatched_frames_vectorized(
+                golden, mask, responses
             )
-            received = response.data
-            if not self.attest_live_state:
-                received = mask.apply_to_frame(response.frame_index, received)
-            if expected != received and response.frame_index not in mismatched:
-                mismatched.append(response.frame_index)
-        report.mismatched_frames = sorted(mismatched)
+        else:
+            mismatched = []
+            for response in responses:
+                expected = mask.apply_to_frame(
+                    response.frame_index, golden.read_frame(response.frame_index)
+                )
+                received = response.data
+                if not self.attest_live_state:
+                    received = mask.apply_to_frame(response.frame_index, received)
+                if expected != received and response.frame_index not in mismatched:
+                    mismatched.append(response.frame_index)
+        report.mismatched_frames = sorted(set(mismatched))
         report.config_match = not mismatched
         _observe_verdict(report)
         return report
+
+    def _mismatched_frames_vectorized(
+        self,
+        golden,
+        mask,
+        responses: Sequence[ReadbackResponse],
+    ) -> List[int]:
+        """Frame indices whose masked readback differs from the golden.
+
+        One vectorized pass over the whole sweep: received frames are
+        joined into a ``(n, words_per_frame)`` big-endian array, golden
+        rows gathered by index, both masked with the cached keep bits,
+        and the row-wise comparison yields the mismatch set — identical
+        semantics to the per-frame loop.
+        """
+        if not responses:
+            return []
+        words_per_frame = self.system.device.words_per_frame
+        plan_indices = [response.frame_index for response in responses]
+        received = np.frombuffer(
+            b"".join(response.data for response in responses), dtype=">u4"
+        ).reshape(len(responses), words_per_frame)
+        indices = np.asarray(plan_indices, dtype=np.intp)
+        expected = mask.apply_to_sweep(golden.frames_array()[indices], plan_indices)
+        if not self.attest_live_state:
+            received = mask.apply_to_sweep(received, plan_indices)
+        rows = np.nonzero(np.any(expected != received, axis=1))[0]
+        return [plan_indices[row] for row in rows]

@@ -110,6 +110,34 @@ def _rot_word(word: int) -> int:
     return ((word << 8) | (word >> 24)) & 0xFFFFFFFF
 
 
+def expand_round_keys(key: bytes) -> List[int]:
+    """The AES key schedule as ``4 * (rounds + 1)`` big-endian words.
+
+    Shared by :class:`Aes` and the alternative cipher backends in
+    :mod:`repro.perf.backends`, so every backend runs the identical
+    schedule.
+    """
+    if len(key) not in (16, 24, 32):
+        raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+    nk = len(key) // 4
+    rounds = nk + 6
+    total = 4 * (rounds + 1)
+    words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(nk)]
+    for i in range(nk, total):
+        temp = words[i - 1]
+        if i % nk == 0:
+            temp = _sub_word(_rot_word(temp)) ^ (_RCON[i // nk - 1] << 24)
+        elif nk > 6 and i % nk == 4:
+            temp = _sub_word(temp)
+        words.append(words[i - nk] ^ temp)
+    return words
+
+
+def encryption_tables() -> Tuple[List[int], List[int], List[int], List[int]]:
+    """The four encryption T-tables (for the table backend's fold)."""
+    return _TE0, _TE1, _TE2, _TE3
+
+
 class Aes:
     """AES-128/192/256 with precomputed round keys.
 
@@ -122,25 +150,12 @@ class Aes:
             raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
         self._key_words = len(key) // 4
         self._rounds = self._key_words + 6
-        self._round_keys = self._expand_key(key)
+        self._round_keys = expand_round_keys(key)
         self._dec_round_keys = self._invert_key_schedule(self._round_keys)
 
     @property
     def rounds(self) -> int:
         return self._rounds
-
-    def _expand_key(self, key: bytes) -> List[int]:
-        nk = self._key_words
-        total = 4 * (self._rounds + 1)
-        words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(nk)]
-        for i in range(nk, total):
-            temp = words[i - 1]
-            if i % nk == 0:
-                temp = _sub_word(_rot_word(temp)) ^ (_RCON[i // nk - 1] << 24)
-            elif nk > 6 and i % nk == 4:
-                temp = _sub_word(temp)
-            words.append(words[i - nk] ^ temp)
-        return words
 
     def _invert_key_schedule(self, round_keys: Sequence[int]) -> List[int]:
         """Equivalent decryption schedule (InvMixColumns on middle keys)."""

@@ -4,15 +4,25 @@ The SACHa prover computes the MAC of the configuration memory in 28,488
 per-frame steps: ``Init MAC_K``, one ``Update MAC_K`` per frame read back,
 and a ``finalize MAC_K`` when the verifier sends the ``MAC_checksum``
 command (Figure 9).  :class:`AesCmac` mirrors exactly that structure.
+
+The chain itself runs on a pluggable block-cipher backend (see
+:mod:`repro.perf.backends`): the from-scratch ``reference`` model, the
+pure-Python ``table`` fast path, or the platform-AES ``native`` fold.
+All are byte-identical; the active one comes from
+:class:`repro.perf.ReproConfig` unless a backend is named explicitly.
 """
 
 from __future__ import annotations
 
-from repro.crypto.aes import BLOCK_SIZE, Aes
+from typing import Iterable, Optional, Union
+
+from repro.crypto.aes import BLOCK_SIZE
 from repro.utils.bitops import xor_bytes
 
 _MSB = 0x80
 _RB = 0x87  # the constant R_128 from RFC 4493
+
+BytesLike = Union[bytes, bytearray, memoryview]
 
 
 def _double(block: bytes) -> bytes:
@@ -35,28 +45,62 @@ class AesCmac:
 
     ``update`` may be called with arbitrary-length chunks; the result is
     identical to one-shot CMAC over the concatenation (a property test in
-    ``tests/crypto`` checks this).
+    ``tests/crypto`` checks this).  ``update_frames`` folds a whole
+    readback sweep in one pass — same tag, none of the per-frame
+    buffering.
+
+    ``backend`` selects the block-cipher implementation by name
+    (``reference`` / ``table`` / ``native``); when omitted, the process
+    :class:`repro.perf.ReproConfig` decides.
     """
 
-    def __init__(self, key: bytes) -> None:
-        self._aes = Aes(key)
-        zero = self._aes.encrypt_block(bytes(BLOCK_SIZE))
+    def __init__(self, key: bytes, backend: Optional[str] = None) -> None:
+        from repro.perf.backends import get_cipher
+
+        self._cipher = get_cipher(key, backend)
+        zero = self._cipher.encrypt_block(bytes(BLOCK_SIZE))
         self._k1 = _double(zero)
         self._k2 = _double(self._k1)
         self._state = bytes(BLOCK_SIZE)
         self._buffer = b""
         self._finalized = False
 
-    def update(self, data: bytes) -> "AesCmac":
+    @property
+    def backend(self) -> str:
+        """The concrete backend name this instance runs on."""
+        return self._cipher.name
+
+    def update(self, data: BytesLike) -> "AesCmac":
         if self._finalized:
             raise ValueError("CMAC already finalized; create a new instance")
-        self._buffer += data
+        buffer = self._buffer + bytes(data)
         # Keep at least one byte buffered: the final block needs subkey
         # treatment, so we may only absorb a block once we know more data
         # follows it.
-        while len(self._buffer) > BLOCK_SIZE:
-            block, self._buffer = self._buffer[:BLOCK_SIZE], self._buffer[BLOCK_SIZE:]
-            self._state = self._aes.encrypt_block(xor_bytes(self._state, block))
+        if len(buffer) > BLOCK_SIZE:
+            keep = len(buffer) % BLOCK_SIZE or BLOCK_SIZE
+            foldable = len(buffer) - keep
+            self._state = self._cipher.fold(
+                self._state, memoryview(buffer)[:foldable]
+            )
+            buffer = buffer[foldable:]
+        self._buffer = buffer
+        return self
+
+    def update_frames(self, frames: Iterable[BytesLike]) -> "AesCmac":
+        """Fold a whole frame sweep: one join, one chain fold.
+
+        Equivalent to calling :meth:`update` once per frame, without the
+        28,488 intermediate buffer mutations of a full-device readback.
+        """
+        if self._finalized:
+            raise ValueError("CMAC already finalized; create a new instance")
+        from repro.perf.backends import fold_frames
+
+        self._state, tail = fold_frames(
+            self._cipher, self._state, self._buffer, list(frames)
+        )
+        self._buffer = bytes(tail)
         return self
 
     def finalize(self) -> bytes:
@@ -69,9 +113,9 @@ class AesCmac:
         else:
             padded = block + b"\x80" + bytes(BLOCK_SIZE - len(block) - 1)
             last = xor_bytes(padded, self._k2)
-        return self._aes.encrypt_block(xor_bytes(self._state, last))
+        return self._cipher.encrypt_block(xor_bytes(self._state, last))
 
 
-def aes_cmac(key: bytes, message: bytes) -> bytes:
+def aes_cmac(key: bytes, message: bytes, backend: Optional[str] = None) -> bytes:
     """One-shot AES-CMAC of ``message`` under ``key``."""
-    return AesCmac(key).update(message).finalize()
+    return AesCmac(key, backend=backend).update(message).finalize()

@@ -22,7 +22,7 @@ from repro.crypto.sha256 import sha256
 from repro.design.netlist import Design, Instance
 from repro.errors import PlacementError
 from repro.fpga.device import DevicePart
-from repro.fpga.fabric import Fabric, ResourceCount
+from repro.fpga.fabric import Fabric
 from repro.fpga.registers import RegisterBit
 
 

@@ -8,7 +8,7 @@ floorplan, and derives every quantity of Table 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.design.bitgen import Implementation, implement, nonce_frame_content
@@ -19,7 +19,6 @@ from repro.design.cores import (
     NONCE_REGISTER,
     PUF_CORE,
     STATIC_CORES,
-    static_resources,
 )
 from repro.design.netlist import Design, design_from_cores
 from repro.errors import PlacementError
@@ -102,6 +101,15 @@ class SachaSystemDesign:
     static_impl: Implementation
     app_impl: Implementation
     nonce_bytes: int = 8
+    #: Nonce-independent golden image (static + application applied, no
+    #: nonce yet), built once — each golden_memory() call copies it and
+    #: writes the nonce frames instead of replaying both implementations.
+    _golden_template: Optional[ConfigurationMemory] = field(
+        default=None, repr=False, compare=False
+    )
+    _combined_mask: Optional[MaskFile] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def static_design(self) -> Design:
@@ -115,9 +123,12 @@ class SachaSystemDesign:
 
     def golden_memory(self, nonce: bytes) -> ConfigurationMemory:
         """The intended full configuration for a given nonce."""
-        memory = ConfigurationMemory(self.device)
-        self.static_impl.apply_to(memory)
-        self.app_impl.apply_to(memory)
+        if self._golden_template is None:
+            template = ConfigurationMemory(self.device)
+            self.static_impl.apply_to(template)
+            self.app_impl.apply_to(template)
+            self._golden_template = template
+        memory = self._golden_template.copy()
         self.write_nonce(memory, nonce)
         return memory
 
@@ -130,8 +141,17 @@ class SachaSystemDesign:
             memory.write_frame(frame_index, nonce_frame_content(nonce, self.device))
 
     def combined_mask(self) -> MaskFile:
-        """``Msk`` covering static + application storage elements."""
-        return self.static_impl.mask().union(self.app_impl.mask())
+        """``Msk`` covering static + application storage elements.
+
+        The union is computed once and cached — the implementations'
+        register maps are fixed once placed, and callers treat the mask
+        as read-only.
+        """
+        if self._combined_mask is None:
+            self._combined_mask = self.static_impl.mask().union(
+                self.app_impl.mask()
+            )
+        return self._combined_mask
 
     # -- boot image -----------------------------------------------------------
 

@@ -5,9 +5,10 @@ data stored here determine the functionality of the configurable fabric,
 and the whole attestation argument rests on every frame of it being
 readable and writable through the ICAP.
 
-Frames are stored as a NumPy ``uint32`` array of shape
-``(total_frames, words_per_frame)``; the byte view (big-endian words) is
-what travels over the wire and into the MAC.
+Frames are stored as a NumPy big-endian ``>u4`` array of shape
+``(total_frames, words_per_frame)``, matching the wire byte order, so
+per-frame reads and whole-sweep reads are plain buffer copies with no
+byte-order conversion on the hot path.
 """
 
 from __future__ import annotations
@@ -22,12 +23,17 @@ from repro.utils.rng import DeterministicRng
 
 
 class ConfigurationMemory:
-    """Frame-addressable SRAM configuration memory."""
+    """Frame-addressable SRAM configuration memory.
+
+    Frames are stored big-endian (``>u4``) — the wire byte order — so a
+    frame's bytes are one zero-conversion ``tobytes`` away and a whole
+    readback sweep is a single contiguous buffer slice.
+    """
 
     def __init__(self, device: DevicePart) -> None:
         self._device = device
         self._frames = np.zeros(
-            (device.total_frames, device.words_per_frame), dtype=np.uint32
+            (device.total_frames, device.words_per_frame), dtype=">u4"
         )
 
     @property
@@ -58,12 +64,32 @@ class ConfigurationMemory:
                 f"frame data must be {self._device.frame_bytes} bytes, "
                 f"got {len(data)}"
             )
-        self._frames[frame_index] = np.frombuffer(data, dtype=">u4").astype(np.uint32)
+        self._frames[frame_index] = np.frombuffer(data, dtype=">u4")
 
     def read_frame(self, frame_index: int) -> bytes:
         """Read one frame as big-endian word bytes."""
         self._check_index(frame_index)
-        return self._frames[frame_index].astype(">u4").tobytes()
+        return self._frames[frame_index].tobytes()
+
+    def read_frames(self, start_index: int, count: int) -> bytes:
+        """``count`` consecutive frames as one contiguous byte buffer.
+
+        One copy for the whole range — the bulk-readback primitive.
+        """
+        if count < 1:
+            raise ConfigMemoryError(f"frame count must be positive, got {count}")
+        self._check_index(start_index)
+        self._check_index(start_index + count - 1)
+        return self._frames[start_index : start_index + count].tobytes()
+
+    def frames_array(self) -> np.ndarray:
+        """The raw ``(total_frames, words_per_frame)`` big-endian array.
+
+        Zero-copy view for bulk operations (mask application, vectorized
+        golden comparison).  Treat as read-only unless you *are* the
+        memory's owner.
+        """
+        return self._frames
 
     def read_frame_words(self, frame_index: int) -> List[int]:
         self._check_index(frame_index)
@@ -114,7 +140,7 @@ class ConfigurationMemory:
 
     def snapshot(self) -> bytes:
         """The whole configuration memory as bytes, frame-major."""
-        return self._frames.astype(">u4").tobytes()
+        return self._frames.tobytes()
 
     def load_snapshot(self, data: bytes) -> None:
         expected = self._device.configuration_bytes()
@@ -124,8 +150,8 @@ class ConfigurationMemory:
             )
         self._frames = (
             np.frombuffer(data, dtype=">u4")
-            .astype(np.uint32)
             .reshape(self._device.total_frames, self._device.words_per_frame)
+            .copy()
         )
 
     def zeroize(self, frame_indices: Optional[Iterable[int]] = None) -> None:

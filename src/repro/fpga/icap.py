@@ -13,7 +13,7 @@ frame bytes and tallies the 32-bit-word transactions it would take on the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.errors import IcapError
 from repro.fpga.config_memory import ConfigurationMemory
@@ -109,12 +109,54 @@ class Icap:
         self.stats.record(f"read[{frame_index}]")
         return data
 
+    def readback_range(self, start_index: int, count: int) -> bytes:
+        """Read ``count`` consecutive frames as one contiguous buffer.
+
+        Equivalent to concatenating :meth:`readback_frame` results for the
+        range — same bytes, same transaction accounting — but the sweep is
+        a single bulk copy out of the configuration memory with register
+        overlays patched in place, instead of ``count`` separate frame
+        copies.
+        """
+        if count < 1:
+            raise IcapError(f"readback count must be positive, got {count}")
+        buffer = bytearray(self._memory.read_frames(start_index, count))
+        if self._registers is not None:
+            frame_bytes = self._memory.device.frame_bytes
+            for frame_index in self._registers.frames_with_registers():
+                if start_index <= frame_index < start_index + count:
+                    self._registers.overlay_into(
+                        frame_index,
+                        buffer,
+                        (frame_index - start_index) * frame_bytes,
+                    )
+        self.stats.frames_read += count
+        self.stats.words_read += count * (
+            self._memory.device.words_per_frame + READBACK_OVERHEAD_WORDS
+        )
+        self.stats.record(f"read[{start_index}..{start_index + count - 1}]")
+        return bytes(buffer)
+
+    def iter_readback(
+        self, start_index: int = 0, count: Optional[int] = None
+    ) -> Iterator[memoryview]:
+        """Yield frames in ascending order without materializing the sweep.
+
+        One bulk :meth:`readback_range` backs the iteration; each yielded
+        item is a read-only ``memoryview`` slice of that buffer, so a
+        full-device sweep costs one allocation rather than one ``bytes``
+        object per frame.
+        """
+        if count is None:
+            count = self._memory.total_frames - start_index
+        data = memoryview(self.readback_range(start_index, count))
+        frame_bytes = self._memory.device.frame_bytes
+        for offset in range(count):
+            yield data[offset * frame_bytes : (offset + 1) * frame_bytes]
+
     def readback_all(self) -> List[bytes]:
         """Read every frame in ascending order (Figure 4)."""
-        return [
-            self.readback_frame(frame_index)
-            for frame_index in range(self._memory.total_frames)
-        ]
+        return [bytes(frame) for frame in self.iter_readback()]
 
     # -- cycle accounting -------------------------------------------------------
 

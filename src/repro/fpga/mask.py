@@ -13,7 +13,7 @@ Xilinx readback-verify convention).
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,17 +23,29 @@ from repro.fpga.registers import LiveRegisterFile, RegisterBit
 
 
 class MaskFile:
-    """Per-frame bit mask over the whole configuration memory."""
+    """Per-frame bit mask over the whole configuration memory.
+
+    The complement (``keep`` bits) is cached as a big-endian array so
+    applying the mask — per frame or over a whole sweep — is a single
+    vectorized AND with no per-call table rebuilds.
+    """
 
     def __init__(self, device: DevicePart) -> None:
         self._device = device
         self._bits = np.zeros(
-            (device.total_frames, device.words_per_frame), dtype=np.uint32
+            (device.total_frames, device.words_per_frame), dtype=">u4"
         )
+        self._keep: Optional[np.ndarray] = None  # cached ~mask, lazily built
 
     @property
     def device(self) -> DevicePart:
         return self._device
+
+    def _keep_bits(self) -> np.ndarray:
+        """Cached complement of the mask (1 = compare this bit)."""
+        if self._keep is None:
+            self._keep = np.bitwise_not(self._bits)
+        return self._keep
 
     def set_positions(self, positions: Iterable[RegisterBit]) -> None:
         """Mark the given bit positions as masked."""
@@ -42,6 +54,7 @@ class MaskFile:
             self._bits[position.frame_index, position.word_index] |= np.uint32(
                 1 << position.bit_index
             )
+        self._keep = None
 
     def masked_bit_count(self) -> int:
         """Total number of masked bits."""
@@ -55,7 +68,7 @@ class MaskFile:
     def frame_mask(self, frame_index: int) -> bytes:
         if not 0 <= frame_index < self._device.total_frames:
             raise ConfigMemoryError(f"frame {frame_index} out of range")
-        return self._bits[frame_index].astype(">u4").tobytes()
+        return self._bits[frame_index].tobytes()
 
     def apply_to_frame(self, frame_index: int, data: bytes) -> bytes:
         """Clear every masked bit in one frame's data."""
@@ -64,9 +77,11 @@ class MaskFile:
                 f"frame data must be {self._device.frame_bytes} bytes, "
                 f"got {len(data)}"
             )
-        mask = self._bits[frame_index]
-        words = np.frombuffer(data, dtype=">u4").astype(np.uint32)
-        return (words & ~mask).astype(">u4").tobytes()
+        keep = self._keep_bits()[frame_index]
+        words = np.frombuffer(data, dtype=">u4")
+        # numpy bitwise ops return native byte order; cast back before
+        # serializing so the wire order is preserved.
+        return (words & keep).astype(">u4").tobytes()
 
     def apply_to_frames(self, frames: List[bytes], frame_indices: List[int]) -> List[bytes]:
         """Mask a list of frames addressed by their indices."""
@@ -79,12 +94,30 @@ class MaskFile:
             for index, data in zip(frame_indices, frames)
         ]
 
+    def apply_to_sweep(
+        self, frames: np.ndarray, frame_indices: Sequence[int]
+    ) -> np.ndarray:
+        """Mask a whole readback sweep in one vectorized AND.
+
+        ``frames`` is a ``(len(frame_indices), words_per_frame)`` array in
+        readback order; rows are masked with the mask rows addressed by
+        ``frame_indices``.
+        """
+        if frames.shape != (len(frame_indices), self._device.words_per_frame):
+            raise ConfigMemoryError(
+                f"sweep shape {frames.shape} does not match "
+                f"{len(frame_indices)} frames of "
+                f"{self._device.words_per_frame} words"
+            )
+        indices = np.asarray(frame_indices, dtype=np.intp)
+        return frames & self._keep_bits()[indices]
+
     def union(self, other: "MaskFile") -> "MaskFile":
         """Combine two masks (bits masked in either)."""
         if other.device != self._device:
             raise ConfigMemoryError("cannot combine masks for different devices")
         combined = MaskFile(self._device)
-        combined._bits = self._bits | other._bits
+        combined._bits = (self._bits | other._bits).astype(">u4")
         return combined
 
 

@@ -45,11 +45,19 @@ class RegisterBit:
 
 
 class LiveRegisterFile:
-    """Current values of all declared storage elements of a design."""
+    """Current values of all declared storage elements of a design.
+
+    Declarations are indexed per frame: the attestation hot path touches
+    registers frame by frame (one overlay per readback, one drop per
+    partial reconfiguration), so both operations must cost the declared
+    bits *of that frame*, not a sweep over the whole device's register
+    map.
+    """
 
     def __init__(self, device: DevicePart) -> None:
         self._device = device
-        self._values: Dict[RegisterBit, int] = {}
+        self._frames: Dict[int, Dict[RegisterBit, int]] = {}
+        self._count = 0
 
     @property
     def device(self) -> DevicePart:
@@ -61,56 +69,70 @@ class LiveRegisterFile:
             raise ConfigMemoryError(f"initial value must be 0 or 1, got {initial}")
         for bit in bits:
             bit.validate(self._device)
-            if bit in self._values:
+            frame = self._frames.setdefault(bit.frame_index, {})
+            if bit in frame:
                 raise ConfigMemoryError(f"register bit {bit} declared twice")
-            self._values[bit] = initial
+            frame[bit] = initial
+            self._count += 1
 
     def forget_frame(self, frame_index: int) -> None:
         """Drop declarations within one frame (partial reconfiguration
         replaces the logic there, so old state bits vanish)."""
-        self._values = {
-            bit: value
-            for bit, value in self._values.items()
-            if bit.frame_index != frame_index
-        }
+        dropped = self._frames.pop(frame_index, None)
+        if dropped:
+            self._count -= len(dropped)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._count
 
     def __iter__(self) -> Iterator[Tuple[RegisterBit, int]]:
-        return iter(sorted(self._values.items()))
+        items = [
+            (bit, value)
+            for frame in self._frames.values()
+            for bit, value in frame.items()
+        ]
+        return iter(sorted(items))
 
     def positions(self) -> List[RegisterBit]:
-        return sorted(self._values)
+        return sorted(
+            bit for frame in self._frames.values() for bit in frame
+        )
 
     def get(self, bit: RegisterBit) -> int:
         try:
-            return self._values[bit]
+            return self._frames[bit.frame_index][bit]
         except KeyError:
             raise ConfigMemoryError(f"register bit {bit} is not declared") from None
 
     def set(self, bit: RegisterBit, value: int) -> None:
         if value not in (0, 1):
             raise ConfigMemoryError(f"register value must be 0 or 1, got {value}")
-        if bit not in self._values:
+        frame = self._frames.get(bit.frame_index)
+        if frame is None or bit not in frame:
             raise ConfigMemoryError(f"register bit {bit} is not declared")
-        self._values[bit] = value
+        frame[bit] = value
 
     def scramble(self, rng: DeterministicRng) -> None:
         """Simulate application activity: randomize every live register.
 
         Readback taken before and after a ``scramble`` differs exactly in
         masked positions — the invariant the mask tests check.
+
+        Draw order is the sorted position order, so the scrambled values
+        for a given RNG stream do not depend on declaration order.
         """
-        for bit in self._values:
-            self._values[bit] = rng.randint(0, 1)
+        for bit in self.positions():
+            self._frames[bit.frame_index][bit] = rng.randint(0, 1)
 
     def bits_in_frame(self, frame_index: int) -> List[Tuple[RegisterBit, int]]:
-        return sorted(
-            (bit, value)
-            for bit, value in self._values.items()
-            if bit.frame_index == frame_index
-        )
+        frame = self._frames.get(frame_index)
+        if not frame:
+            return []
+        return sorted(frame.items())
+
+    def frames_with_registers(self) -> List[int]:
+        """Indices of frames holding at least one declared register."""
+        return sorted(index for index, frame in self._frames.items() if frame)
 
     def overlay_frame(self, frame_index: int, frame_data: bytes) -> bytes:
         """Substitute live values into a frame's configuration bytes.
@@ -119,16 +141,35 @@ class LiveRegisterFile:
         bits everywhere except at declared register positions, which carry
         the current application state.
         """
-        bits = self.bits_in_frame(frame_index)
-        if not bits:
+        frame = self._frames.get(frame_index)
+        if not frame:
             return frame_data
         words = bytearray(frame_data)
-        for bit, value in bits:
-            offset = bit.word_index * 4
-            word = int.from_bytes(words[offset : offset + 4], "big")
+        self._overlay_into(frame, words, 0)
+        return bytes(words)
+
+    def overlay_into(
+        self, frame_index: int, buffer: bytearray, offset: int
+    ) -> None:
+        """In-place overlay for one frame at ``offset`` of a sweep buffer.
+
+        The buffer-reuse variant behind bulk readback: no per-frame byte
+        string is materialized when the frame has no declared registers,
+        and at most one when it does.
+        """
+        frame = self._frames.get(frame_index)
+        if frame:
+            self._overlay_into(frame, buffer, offset)
+
+    @staticmethod
+    def _overlay_into(
+        frame: Dict[RegisterBit, int], buffer: bytearray, base: int
+    ) -> None:
+        for bit, value in frame.items():
+            offset = base + bit.word_index * 4
+            word = int.from_bytes(buffer[offset : offset + 4], "big")
             if value:
                 word |= 1 << bit.bit_index
             else:
                 word &= ~(1 << bit.bit_index)
-            words[offset : offset + 4] = word.to_bytes(4, "big")
-        return bytes(words)
+            buffer[offset : offset + 4] = word.to_bytes(4, "big")

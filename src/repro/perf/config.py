@@ -1,0 +1,131 @@
+"""Runtime performance configuration.
+
+One process-wide :class:`ReproConfig` controls which AES-CMAC backend the
+crypto layer instantiates and how much parallelism the swarm sweep may
+use.  The defaults come from the environment so CLI runs and CI jobs can
+switch backends without code changes::
+
+    REPRO_AES_BACKEND=reference   # reference | table | native | auto
+    REPRO_SWARM_WORKERS=4         # 0/1 = sequential sweep
+    REPRO_FRAME_FASTPATH=0        # disable bulk/vectorized frame handling
+
+``auto`` (the default) picks ``native`` when the optional ``cryptography``
+package is importable and falls back to the pure-Python ``table`` backend
+otherwise, so a bare install still runs everywhere — just slower.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+
+#: Recognized values for :attr:`ReproConfig.aes_backend`.
+AES_BACKEND_CHOICES = ("auto", "reference", "table", "native")
+
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Process-wide performance knobs.
+
+    The object is immutable; use :func:`set_config`, :func:`configured`
+    or :meth:`with_overrides` to install a changed copy.
+    """
+
+    #: AES-CMAC backend name: ``auto``, ``reference``, ``table``, ``native``.
+    aes_backend: str = "auto"
+    #: Thread workers for independent swarm-member attestations.
+    #: ``0`` or ``1`` keeps the sweep sequential (byte-identical telemetry
+    #: ordering); higher values attest members concurrently.
+    swarm_workers: int = 0
+    #: Master switch for the bulk/vectorized frame paths (ICAP sweeps,
+    #: cached mask application, vectorized verifier compare).  Exists so a
+    #: regression in the fast path can be ruled out in one env flip.
+    frame_fastpath: bool = True
+
+    def __post_init__(self) -> None:
+        if self.aes_backend not in AES_BACKEND_CHOICES:
+            raise ReproError(
+                f"unknown AES backend {self.aes_backend!r}; "
+                f"choose from {', '.join(AES_BACKEND_CHOICES)}"
+            )
+        if self.swarm_workers < 0:
+            raise ReproError(
+                f"swarm_workers must be non-negative, got {self.swarm_workers}"
+            )
+
+    def with_overrides(self, **changes: object) -> "ReproConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_env(cls, environ: Optional[dict] = None) -> "ReproConfig":
+        """Build a config from ``REPRO_*`` environment variables."""
+        env = os.environ if environ is None else environ
+        backend = env.get("REPRO_AES_BACKEND", "auto").strip().lower() or "auto"
+        workers_raw = env.get("REPRO_SWARM_WORKERS", "0").strip() or "0"
+        try:
+            workers = int(workers_raw)
+        except ValueError:
+            raise ReproError(
+                f"REPRO_SWARM_WORKERS must be an integer, got {workers_raw!r}"
+            ) from None
+        fastpath_raw = env.get("REPRO_FRAME_FASTPATH", "1").strip().lower() or "1"
+        if fastpath_raw in _TRUTHY:
+            fastpath = True
+        elif fastpath_raw in _FALSY:
+            fastpath = False
+        else:
+            raise ReproError(
+                f"REPRO_FRAME_FASTPATH must be a boolean flag, got {fastpath_raw!r}"
+            )
+        return cls(
+            aes_backend=backend,
+            swarm_workers=workers,
+            frame_fastpath=fastpath,
+        )
+
+
+_config: Optional[ReproConfig] = None
+
+
+def get_config() -> ReproConfig:
+    """The active configuration (lazily initialized from the environment)."""
+    global _config
+    if _config is None:
+        _config = ReproConfig.from_env()
+    return _config
+
+
+def set_config(config: Optional[ReproConfig]) -> Optional[ReproConfig]:
+    """Install ``config`` as the active one; returns the previous value.
+
+    Passing ``None`` resets to lazy re-initialization from the
+    environment (used by tests).
+    """
+    global _config
+    previous = _config
+    _config = config
+    return previous
+
+
+@contextlib.contextmanager
+def configured(**overrides: object) -> Iterator[ReproConfig]:
+    """Temporarily override configuration fields::
+
+        with configured(aes_backend="reference"):
+            ...
+    """
+    current = get_config()
+    replaced = current.with_overrides(**overrides)
+    previous = set_config(replaced)
+    try:
+        yield replaced
+    finally:
+        set_config(previous)

@@ -1,35 +1,48 @@
-"""AES tests against the FIPS-197 vectors plus structural checks."""
+"""AES tests against the FIPS-197 vectors plus structural checks.
+
+The known-answer vectors run against every available backend
+(``reference`` always; ``table`` always; ``native`` when the
+``cryptography`` package is installed) — all must produce the
+FIPS-197 ciphertexts bit for bit.
+"""
 
 import pytest
 
 from repro.crypto.aes import BLOCK_SIZE, Aes, INV_SBOX, SBOX
+from repro.perf.backends import available_backends, get_cipher
 
 PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
 
+BACKENDS = available_backends()
+
+#: (key hex, expected ciphertext hex) — FIPS-197 appendix C.
+FIPS197_VECTORS = [
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
 
 class TestFips197Vectors:
-    def test_aes128(self):
-        aes = Aes(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
-        assert aes.encrypt_block(PLAINTEXT).hex() == (
-            "69c4e0d86a7b0430d8cdb78070b4c55a"
-        )
+    @pytest.mark.parametrize("key_hex,expected", FIPS197_VECTORS)
+    def test_reference_class(self, key_hex, expected):
+        aes = Aes(bytes.fromhex(key_hex))
+        assert aes.encrypt_block(PLAINTEXT).hex() == expected
 
-    def test_aes192(self):
-        aes = Aes(bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617"))
-        assert aes.encrypt_block(PLAINTEXT).hex() == (
-            "dda97ca4864cdfe06eaf70a0ec0d7191"
-        )
-
-    def test_aes256(self):
-        aes = Aes(
-            bytes.fromhex(
-                "000102030405060708090a0b0c0d0e0f"
-                "101112131415161718191a1b1c1d1e1f"
-            )
-        )
-        assert aes.encrypt_block(PLAINTEXT).hex() == (
-            "8ea2b7ca516745bfeafc49904b496089"
-        )
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("key_hex,expected", FIPS197_VECTORS)
+    def test_every_backend(self, backend, key_hex, expected):
+        cipher = get_cipher(bytes.fromhex(key_hex), backend)
+        assert cipher.encrypt_block(PLAINTEXT).hex() == expected
 
     @pytest.mark.parametrize("key_len", [16, 24, 32])
     def test_decrypt_inverts_encrypt(self, key_len):

@@ -1,8 +1,14 @@
-"""AES-CMAC tests against the RFC 4493 vectors and incremental semantics."""
+"""AES-CMAC tests against the RFC 4493 vectors and incremental semantics.
+
+The NIST SP 800-38B / RFC 4493 known answers run against every
+available MAC backend — the reference model, the pure-Python table
+fast path, and (when installed) the platform-AES native fold.
+"""
 
 import pytest
 
 from repro.crypto.cmac import AesCmac, aes_cmac
+from repro.perf.backends import available_backends
 
 RFC_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 RFC_MSG = bytes.fromhex(
@@ -12,25 +18,31 @@ RFC_MSG = bytes.fromhex(
     "f69f2445df4f9b17ad2b417be66c3710"
 )
 
+BACKENDS = available_backends()
 
+#: (message length, expected tag hex) — RFC 4493 section 4.
+RFC4493_VECTORS = [
+    (0, "bb1d6929e95937287fa37d129b756746"),
+    (16, "070a16b46b4d4144f79bdd9dd04a287c"),
+    (40, "dfa66747de9ae63030ca32611497c827"),
+    (64, "51f0bebf7e3b9d92fc49741779363cfe"),
+]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestRfc4493Vectors:
-    def test_empty_message(self):
-        assert aes_cmac(RFC_KEY, b"").hex() == "bb1d6929e95937287fa37d129b756746"
+    @pytest.mark.parametrize("length,expected", RFC4493_VECTORS)
+    def test_known_answer(self, backend, length, expected):
+        assert aes_cmac(RFC_KEY, RFC_MSG[:length], backend=backend).hex() == expected
 
-    def test_one_block(self):
-        assert aes_cmac(RFC_KEY, RFC_MSG[:16]).hex() == (
-            "070a16b46b4d4144f79bdd9dd04a287c"
-        )
+    @pytest.mark.parametrize("length,expected", RFC4493_VECTORS)
+    def test_known_answer_via_update_frames(self, backend, length, expected):
+        mac = AesCmac(RFC_KEY, backend=backend)
+        mac.update_frames([RFC_MSG[:length]])
+        assert mac.finalize().hex() == expected
 
-    def test_partial_block_40_bytes(self):
-        assert aes_cmac(RFC_KEY, RFC_MSG[:40]).hex() == (
-            "dfa66747de9ae63030ca32611497c827"
-        )
-
-    def test_four_blocks(self):
-        assert aes_cmac(RFC_KEY, RFC_MSG).hex() == (
-            "51f0bebf7e3b9d92fc49741779363cfe"
-        )
+    def test_backend_name_reported(self, backend):
+        assert AesCmac(RFC_KEY, backend=backend).backend == backend
 
 
 class TestIncremental:

@@ -1,0 +1,75 @@
+"""Parallel swarm sweeps are deterministic and identical to sequential."""
+
+from repro.core.provisioning import provision_device
+from repro.core.swarm import SwarmAttestation, SwarmMember
+from repro.core.verifier import SachaVerifier
+from repro.design.sacha_design import build_sacha_system
+from repro.fpga.device import SIM_SMALL
+from repro.perf import configured
+from repro.utils.rng import DeterministicRng
+
+
+def _fleet(size, compromise_index=None):
+    members = []
+    for index in range(size):
+        system = build_sacha_system(SIM_SMALL)
+        provisioned, record = provision_device(
+            system, f"par-{index}", seed=7300 + index
+        )
+        if index == compromise_index:
+            frame = system.partition.static_frame_list()[0]
+            provisioned.board.fpga.memory.flip_bit(frame, 0, 0)
+        verifier = SachaVerifier(
+            record.system, record.mac_key, DeterministicRng(7400 + index)
+        )
+        members.append(SwarmMember(f"par-{index}", provisioned.prover, verifier))
+    return SwarmAttestation(members)
+
+
+def _sweep(max_workers, compromise_index=None):
+    return _fleet(4, compromise_index).run(
+        DeterministicRng(99), max_workers=max_workers
+    )
+
+
+def test_parallel_verdicts_equal_sequential():
+    serial = _sweep(max_workers=1, compromise_index=2)
+    parallel = _sweep(max_workers=4, compromise_index=2)
+    assert parallel.compromised == serial.compromised == ["par-2"]
+    assert parallel.healthy == serial.healthy
+    for device_id, serial_report in serial.results.items():
+        parallel_report = parallel.results[device_id]
+        assert parallel_report.accepted == serial_report.accepted
+        assert parallel_report.mismatched_frames == serial_report.mismatched_frames
+        assert parallel_report.nonce == serial_report.nonce
+
+
+def test_parallel_timings_equal_sequential():
+    serial = _sweep(max_workers=1)
+    parallel = _sweep(max_workers=4)
+    assert parallel.sequential_ns == serial.sequential_ns
+    assert parallel.parallel_ns == serial.parallel_ns
+
+
+def test_on_result_delivered_in_member_order():
+    seen = []
+    _fleet(4).run(
+        DeterministicRng(99),
+        on_result=lambda device_id, report: seen.append(device_id),
+        max_workers=4,
+    )
+    assert seen == [f"par-{i}" for i in range(4)]
+
+
+def test_worker_count_from_config():
+    with configured(swarm_workers=3):
+        report = _fleet(3).run(DeterministicRng(5))
+    assert report.all_healthy
+
+
+def test_member_failure_stays_isolated_in_parallel():
+    fleet = _fleet(3)
+    fleet._members[1].prover.board.power_off()
+    report = fleet.run(DeterministicRng(11), max_workers=3)
+    assert report.inconclusive == ["par-1"]
+    assert sorted(report.healthy) == ["par-0", "par-2"]
