@@ -13,6 +13,8 @@ Commands:
 * ``experiment <ID>`` — run one registered experiment (E1-table2, ...);
 * ``metrics [--device PART]`` — observability demo: attest with metrics,
   spans and structured logging enabled, print the collected evidence;
+* ``lint [PATHS] [--format json] [--write-baseline]`` — run sachalint,
+  the domain-aware static analysis pass (see docs/STATIC_ANALYSIS.md);
 * ``list`` — list devices and experiments.
 
 ``attest``, ``trace``, ``experiment`` and ``metrics`` take observability
@@ -222,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=2019)
     _add_obs_options(metrics)
 
+    lint = commands.add_parser(
+        "lint",
+        help="run sachalint, the domain-aware static analysis pass",
+    )
+    from repro.lint import cli as lint_cli
+
+    lint_cli.add_arguments(lint)
+
     commands.add_parser("list", help="list devices and experiments")
     return parser
 
@@ -377,6 +387,12 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0 if accepted else 1
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def _command_list(_: argparse.Namespace) -> int:
     print("devices:")
     for name in catalog():
@@ -398,6 +414,7 @@ _HANDLERS = {
     "trace": _command_trace,
     "experiment": _command_experiment,
     "metrics": _command_metrics,
+    "lint": _command_lint,
     "list": _command_list,
 }
 

@@ -17,7 +17,7 @@ the ``MAC_checksum`` response, at 288 instead of 16 bytes).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.crypto.schnorr import (
     SchnorrKeyPair,
@@ -36,6 +36,9 @@ from repro.errors import ProvisioningError
 from repro.fpga.board import Board
 from repro.net.messages import ReadbackResponse
 from repro.utils.rng import DeterministicRng
+
+if TYPE_CHECKING:
+    from repro.core.provisioning import ProvisionedDevice, VerifierRecord
 
 SIGNATURE_DOMAIN = b"sacha/signature-ext/v1"
 
@@ -94,7 +97,7 @@ class SignatureVerifier(SachaVerifier):
         public_key: SchnorrPublicKey,
         rng: DeterministicRng,
         order: Optional[ReadbackOrder] = None,
-        policy: VerifierPolicy = VerifierPolicy(),
+        policy: Optional[VerifierPolicy] = None,
     ) -> None:
         super().__init__(system, bytes(16), rng, order=order, policy=policy)
         self._public_key = public_key
@@ -112,7 +115,9 @@ class SignatureVerifier(SachaVerifier):
         return verify(self._public_key, digest.digest(), signature)
 
 
-def upgrade_to_signatures(provisioned, record) -> tuple:
+def upgrade_to_signatures(
+    provisioned: ProvisionedDevice, record: VerifierRecord
+) -> Tuple[SigningProver, SchnorrPublicKey]:
     """Convert a provisioned (device, record) pair to signature mode.
 
     Returns ``(SigningProver, SchnorrPublicKey)``; the verifier should

@@ -8,6 +8,7 @@ masked golden-configuration comparison (Figure 9, right-hand side).
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -15,10 +16,16 @@ import numpy as np
 
 from repro.crypto.cmac import AesCmac
 from repro.design.sacha_design import SachaSystemDesign
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.mask import MaskFile
 from repro.errors import VerificationError
 from repro.core.orders import ReadbackOrder, default_order
 from repro.core.report import AttestationReport
-from repro.net.messages import IcapConfigCommand, ReadbackResponse
+from repro.net.messages import (
+    IcapConfigCommand,
+    IcapReadbackMaskedCommand,
+    ReadbackResponse,
+)
 from repro.obs import log as obs_log
 from repro.obs.metrics import get_registry
 from repro.utils.rng import DeterministicRng
@@ -87,7 +94,7 @@ class SachaVerifier:
         key: bytes,
         rng: DeterministicRng,
         order: Optional[ReadbackOrder] = None,
-        policy: VerifierPolicy = VerifierPolicy(),
+        policy: Optional[VerifierPolicy] = None,
         attest_live_state: bool = False,
     ) -> None:
         if len(key) != 16:
@@ -96,7 +103,7 @@ class SachaVerifier:
         self._key = bytes(key)
         self._rng = rng
         self._order = order or default_order(rng.fork("readback-order"))
-        self._policy = policy
+        self._policy = policy if policy is not None else VerifierPolicy()
         #: Future-work mode (Section 8): attest the live register state
         #: too — no mask is applied, and the verifier must know the
         #: expected register values.
@@ -164,14 +171,14 @@ class SachaVerifier:
     ) -> bool:
         """H_Prv == H_Vrf.  Subclasses may substitute another mechanism
         (e.g. the Section-8 signature extension)."""
-        return self.expected_mac(responses) == tag
+        return hmac.compare_digest(self.expected_mac(responses), tag)
 
     # -- masked-readback variant (Section 6.1 alternative) --------------------
 
-    def masked_readback_commands(self, plan: Sequence[int]):
+    def masked_readback_commands(
+        self, plan: Sequence[int]
+    ) -> List[IcapReadbackMaskedCommand]:
         """The ``ICAP_readback(frame, Msk)`` commands of the variant."""
-        from repro.net.messages import IcapReadbackMaskedCommand
-
         mask = self.system.combined_mask()
         return [
             IcapReadbackMaskedCommand(
@@ -214,7 +221,7 @@ class SachaVerifier:
             nonce=nonce,
             readback_steps=len(plan),
         )
-        matched = self.expected_masked_mac(nonce, plan) == tag
+        matched = hmac.compare_digest(self.expected_masked_mac(nonce, plan), tag)
         report.mac_valid = matched
         report.config_match = matched
         if not matched:
@@ -292,8 +299,8 @@ class SachaVerifier:
 
     def _mismatched_frames_vectorized(
         self,
-        golden,
-        mask,
+        golden: ConfigurationMemory,
+        mask: MaskFile,
         responses: Sequence[ReadbackResponse],
     ) -> List[int]:
         """Frame indices whose masked readback differs from the golden.

@@ -192,7 +192,7 @@ def _virtex6_columns() -> Tuple[ColumnSpec, ...]:
     cfg = ColumnSpec(TileType.CFG, tiles=0, frames=153)
 
     columns: List[ColumnSpec] = [iob]
-    for group in range(13):
+    for _group in range(13):
         columns.extend([clb] * 12)
         columns.append(bram)
     columns.append(clb)  # 13*12 + 1 = 157 CLB columns

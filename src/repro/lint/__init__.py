@@ -1,0 +1,46 @@
+"""``sachalint`` — domain-aware static analysis for the SACHa reproduction.
+
+The Python type system cannot see the invariants SACHa's security
+argument rests on: attestation runs must be bit-for-bit reproducible
+across processes, MAC comparisons must not leak timing, and the crypto
+layer must stay free of network or observability dependencies.  Each of
+those has already bitten this repo (``DeterministicRng.fork`` once used
+the per-process salted ``hash()``; the verifier compared tags with
+``==``), so the checks live here as AST rules rather than in reviewers'
+heads.
+
+Five rule families ship by default:
+
+* ``SACHA001`` determinism — no wall clock or unseeded randomness;
+* ``SACHA002`` constant-time crypto — tags compared via ``compare_digest``;
+* ``SACHA003`` mutable defaults — the ``SessionOptions`` bug class;
+* ``SACHA004`` import layering — the declared layer DAG;
+* ``SACHA005`` threading discipline — executors confined to the swarm.
+
+Entry points: ``repro lint`` on the command line, :func:`run_lint` from
+code, and :func:`lint_source` for checking a snippet (used by the
+fixture tests).
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import LintResult, lint_file, lint_source, run_lint
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, get_rule
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,126 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline lets the linter be adopted on a tree with pre-existing
+findings: current violations are recorded once (``repro lint
+--write-baseline``) and only *new* findings fail the build.  Entries are
+keyed by :attr:`Finding.fingerprint` — rule id + path + offending line
+text — so they survive renumbering but expire as soon as the flagged
+line is edited, ratcheting the debt down over time.
+
+The shipped tree is clean, so the committed ``.sachalint-baseline.json``
+carries an empty finding list; the machinery exists for future
+grandfathering and is exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".sachalint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (``count`` collapses duplicates)."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    message: str
+    count: int = 1
+
+
+class Baseline:
+    """A multiset of grandfathered fingerprints."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: Counter = Counter(finding.fingerprint for finding in findings)
+        by_fingerprint: Dict[str, Finding] = {}
+        for finding in findings:
+            by_fingerprint.setdefault(finding.fingerprint, finding)
+        entries = [
+            BaselineEntry(
+                fingerprint=fingerprint,
+                rule=by_fingerprint[fingerprint].rule,
+                path=by_fingerprint[fingerprint].path,
+                message=by_fingerprint[fingerprint].message,
+                count=count,
+            )
+            for fingerprint, count in sorted(counts.items())
+        ]
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                fingerprint=entry["fingerprint"],
+                rule=entry["rule"],
+                path=entry["path"],
+                message=entry.get("message", ""),
+                count=int(entry.get("count", 1)),
+            )
+            for entry in payload.get("findings", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "message": entry.message,
+                    "count": entry.count,
+                }
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.fingerprint)
+                )
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+        """Split findings into (new, baselined_count, stale_entries).
+
+        Matching is multiset-wise per fingerprint: a baseline entry with
+        ``count=2`` absorbs at most two findings with that fingerprint; a
+        third is new.  Entries whose fingerprint no longer occurs at all
+        are *stale* — the debt was paid and the baseline should be
+        regenerated to shrink.
+        """
+        budget: Counter = Counter()
+        for entry in self.entries:
+            budget[entry.fingerprint] += entry.count
+        seen: Counter = Counter()
+        new: List[Finding] = []
+        for finding in sorted(findings):
+            seen[finding.fingerprint] += 1
+            if budget[finding.fingerprint] > 0:
+                budget[finding.fingerprint] -= 1
+            else:
+                new.append(finding)
+        stale = [entry for entry in self.entries if seen[entry.fingerprint] == 0]
+        baselined = len(findings) - len(new)
+        return new, baselined, stale

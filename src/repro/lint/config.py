@@ -1,0 +1,117 @@
+"""Lint configuration: the layer DAG and per-rule scoping.
+
+Everything domain-specific the rules need is declared here rather than
+hard-coded in the rule bodies, so adding a package or approving a new
+threading site is a one-line, reviewable change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+#: The declared import DAG, by top-level package under ``repro``.
+#: ``LAYER_DAG[layer]`` is the set of *other* repro layers that layer may
+#: import (importing within your own layer is always allowed); ``None``
+#: means unrestricted (the CLI and the public facade compose everything).
+#: A layer absent from the map is unrestricted — new top-level packages
+#: should be added here deliberately.
+LAYER_DAG: Mapping[str, Optional[FrozenSet[str]]] = {
+    # foundations — import nothing from repro
+    "utils": frozenset(),
+    "errors": frozenset(),
+    "sim": frozenset(),
+    # crypto is pure math plus the pluggable AES backends that repro.perf
+    # provides (a deliberate, lazily-imported inversion).  It must never
+    # see the network, the observability layer, or the simulator.
+    "crypto": frozenset({"utils", "perf"}),
+    "fpga": frozenset({"crypto", "utils", "errors"}),
+    "design": frozenset({"crypto", "errors", "fpga", "utils"}),
+    "obs": frozenset({"errors", "sim"}),
+    "net": frozenset({"errors", "obs", "sim", "utils"}),
+    "perf": frozenset({"crypto", "errors", "obs", "utils"}),
+    "timing": frozenset({"fpga", "utils"}),
+    "baselines": frozenset({"crypto", "errors", "fpga", "utils"}),
+    "core": frozenset(
+        {
+            "crypto",
+            "design",
+            "errors",
+            "fpga",
+            "net",
+            "obs",
+            "perf",
+            "sim",
+            "timing",
+            "utils",
+        }
+    ),
+    "system": frozenset({"core", "crypto", "errors", "utils"}),
+    "attacks": frozenset(
+        {"baselines", "core", "crypto", "design", "errors", "fpga", "utils"}
+    ),
+    "analysis": frozenset(
+        {"attacks", "core", "design", "errors", "fpga", "sim", "timing", "utils"}
+    ),
+    # the linter itself stays at the bottom of the stack
+    "lint": frozenset({"errors", "utils"}),
+    # composition roots — unrestricted
+    "cli": None,
+    "__main__": None,
+    "repro": None,  # the package facade (repro/__init__.py)
+}
+
+#: Standard-library modules a layer must never import, SACHA004's second
+#: axis.  The simulator is single-threaded by construction — event order
+#: IS the reproducibility guarantee — so threading anywhere under
+#: ``repro.sim`` is a determinism bug, not a style issue.
+FORBIDDEN_STDLIB: Mapping[str, FrozenSet[str]] = {
+    "sim": frozenset({"threading", "concurrent", "multiprocessing"}),
+    "crypto": frozenset({"threading", "concurrent", "multiprocessing"}),
+}
+
+#: Modules allowed to use ``threading`` / ``concurrent.futures``
+#: (SACHA005).  The swarm executor owns parallelism; the metrics
+#: registry holds the lock that makes its counters safe to update from
+#: swarm workers.
+THREADING_APPROVED: Tuple[str, ...] = (
+    "repro/core/swarm.py",
+    "repro/obs/metrics.py",
+)
+
+#: Paths where SACHA001 does not apply: the one sanctioned wall-clock
+#: accessor (export metadata only — never span timing or protocol state).
+DETERMINISM_EXEMPT: Tuple[str, ...] = ("repro/obs/wallclock.py",)
+
+#: Path prefixes where SACHA002 applies.  MAC/tag/digest equality in
+#: these trees must go through ``hmac.compare_digest``.  The baselines
+#: package deliberately reproduces *other papers'* protocols and is out
+#: of scope.
+CONSTANT_TIME_PATHS: Tuple[str, ...] = (
+    "repro/crypto/",
+    "repro/core/",
+    "repro/net/arq.py",
+    "repro/system/",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable configuration for one lint run."""
+
+    select: FrozenSet[str] = frozenset()  #: rule ids to run; empty = all
+    layer_dag: Mapping[str, Optional[FrozenSet[str]]] = field(
+        default_factory=lambda: LAYER_DAG
+    )
+    forbidden_stdlib: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: FORBIDDEN_STDLIB
+    )
+    threading_approved: Tuple[str, ...] = THREADING_APPROVED
+    determinism_exempt: Tuple[str, ...] = DETERMINISM_EXEMPT
+    constant_time_paths: Tuple[str, ...] = CONSTANT_TIME_PATHS
+
+    def selects(self, rule_id: str) -> bool:
+        return not self.select or rule_id in self.select
+
+
+DEFAULT_CONFIG = LintConfig()

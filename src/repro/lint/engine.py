@@ -1,0 +1,130 @@
+"""File collection, rule dispatch, suppression and baseline filtering."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.registry import FileContext, all_rules
+from repro.lint.suppressions import Suppressions
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, after suppressions and baseline."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def source_relpath(path: Path) -> str:
+    """Path relative to the ``repro`` source root, as posix.
+
+    The engine anchors on the last path component named ``repro`` so it
+    works for the installed tree (``src/repro/...``), a checkout scanned
+    from anywhere, and the temporary ``<tmp>/repro/...`` trees the tests
+    build.  Files outside any ``repro`` root keep their filename only
+    (module-scoped rules skip them).
+    """
+    parts = path.as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return parts[-1]
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Lint one source string as if it lived at ``relpath``.
+
+    Inline suppressions are honoured; the baseline is a run-level
+    concern and is not applied here.
+    """
+    findings, _ = _lint_source_counted(source, relpath, config)
+    return findings
+
+
+def _lint_source_counted(source, relpath, config):
+    """(kept findings, suppressed count) for one source string."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        parse_failure = Finding(
+            path=relpath,
+            line=exc.lineno or 1,
+            column=(exc.offset or 0) + 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"could not parse: {exc.msg}",
+        )
+        return [parse_failure], 0
+    ctx = FileContext(relpath, source, tree, config)
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if not config.selects(rule.id):
+            continue
+        if not rule.applies_to(ctx):
+            continue
+        findings.extend(rule.check(ctx))
+    kept, suppressed = Suppressions(source).apply(findings)
+    return sorted(kept), suppressed
+
+
+def lint_file(path: Path, config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    return lint_source(
+        path.read_text(encoding="utf-8"), source_relpath(path), config
+    )
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand directories into sorted ``*.py`` files."""
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        else:
+            collected.append(path)
+    return collected
+
+
+def run_lint(
+    paths: Sequence[Path],
+    config: LintConfig = DEFAULT_CONFIG,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) and filter via ``baseline``."""
+    result = LintResult()
+    raw: List[Finding] = []
+    for path in collect_files(paths):
+        source = path.read_text(encoding="utf-8")
+        relpath = source_relpath(path)
+        file_findings, suppressed = _lint_source_counted(source, relpath, config)
+        raw.extend(file_findings)
+        result.suppressed += suppressed
+        result.files_scanned += 1
+    if baseline is not None:
+        new, baselined, stale = baseline.apply(raw)
+        result.findings = new
+        result.baselined = baselined
+        result.stale_baseline = stale
+    else:
+        result.findings = sorted(raw)
+    return result

@@ -1,0 +1,133 @@
+"""Rule base class, the per-file context, and the rule registry."""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(
+        self,
+        relpath: str,
+        source: str,
+        tree: ast.AST,
+        config: LintConfig,
+    ) -> None:
+        self.relpath = relpath  #: posix path from the source root ("repro/...")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+
+    @property
+    def module(self) -> Optional[str]:
+        """Dotted module name, e.g. ``repro.core.verifier``; ``None`` when
+        the file does not live under a ``repro`` root."""
+        parts = self.relpath.split("/")
+        if parts[0] != "repro":
+            return None
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts = parts[:-1] + [parts[-1][:-3]]
+        return ".".join(parts)
+
+    @property
+    def layer(self) -> Optional[str]:
+        """Top-level layer under ``repro``: ``repro/core/x.py`` → ``core``,
+        ``repro/errors.py`` → ``errors``, ``repro/__init__.py`` → ``repro``."""
+        module = self.module
+        if module is None:
+            return None
+        segments = module.split(".")
+        return segments[1] if len(segments) > 1 else segments[0]
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def finding(
+        self, node: ast.AST, rule: str, message: str, hint: str = ""
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.relpath,
+            line=line,
+            column=column,
+            rule=rule,
+            message=message,
+            hint=hint,
+            line_text=self.line_text(line),
+        )
+
+
+class Rule(abc.ABC):
+    """One invariant, checked file-by-file over the AST.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` is surfaced by ``repro lint --list-rules`` and in the
+    docs so the *why* travels with the rule.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Override to scope the rule to part of the tree."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: type) -> type:
+    """Class decorator: instantiate and index the rule by id."""
+    rule = rule_class()
+    if not rule.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    _ensure_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtin_rules()
+    return _REGISTRY[rule_id]
+
+
+def _ensure_builtin_rules() -> None:
+    """Import the built-in rule modules (registration is a side effect)."""
+    import repro.lint.rules  # noqa: F401
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,62 @@
+"""Text and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict
+
+from repro.lint.engine import LintResult
+
+
+def render_text(result: LintResult, show_hints: bool = True) -> str:
+    """Human-readable report: one line per finding, a summary footer."""
+    lines = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        if show_hints and finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry.rule} {entry.path} "
+            f"({entry.fingerprint}) — fixed; regenerate with --write-baseline"
+        )
+    tallies = [f"{result.files_scanned} file(s) scanned"]
+    if result.suppressed:
+        tallies.append(f"{result.suppressed} suppressed inline")
+    if result.baselined:
+        tallies.append(f"{result.baselined} baselined")
+    if result.findings:
+        by_rule = Counter(finding.rule for finding in result.findings)
+        breakdown = ", ".join(
+            f"{rule}×{count}" for rule, count in sorted(by_rule.items())
+        )
+        tallies.append(f"{len(result.findings)} finding(s): {breakdown}")
+    else:
+        tallies.append("clean")
+    lines.append("sachalint: " + "; ".join(tallies))
+    return "\n".join(lines)
+
+
+def to_dict(result: LintResult) -> Dict[str, object]:
+    by_rule = Counter(finding.rule for finding in result.findings)
+    return {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "stale_baseline": [
+            {
+                "fingerprint": entry.fingerprint,
+                "rule": entry.rule,
+                "path": entry.path,
+            }
+            for entry in result.stale_baseline
+        ],
+        "summary": dict(sorted(by_rule.items())),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_dict(result), indent=2) + "\n"

@@ -1,0 +1,15 @@
+"""Built-in sachalint rules.  Importing this package registers them."""
+
+from repro.lint.rules.constant_time import ConstantTimeRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.mutable_defaults import MutableDefaultsRule
+from repro.lint.rules.threads import ThreadingRule
+
+__all__ = [
+    "ConstantTimeRule",
+    "DeterminismRule",
+    "LayeringRule",
+    "MutableDefaultsRule",
+    "ThreadingRule",
+]

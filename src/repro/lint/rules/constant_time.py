@@ -1,0 +1,91 @@
+"""SACHA002: MAC/tag/digest comparisons must be constant-time.
+
+``==`` on ``bytes`` short-circuits at the first differing byte, so the
+time a verifier takes to reject a forged tag reveals how long a correct
+prefix the attacker has — the classic remote-timing oracle against MAC
+verification (Lawson/Nelson 2009 era; still routinely rediscovered).
+Inside the scoped trees (the crypto layer, the verifier, the ARQ frame
+check, and the combined FPGA+processor system) every equality on a
+tag-typed value must go through :func:`hmac.compare_digest`.
+
+The rule is lexical about what "tag-typed" means: either comparand is an
+identifier (or a call to one) whose snake_case words include ``tag``,
+``mac``, ``digest``, ``hmac``, ``cmac``, ``sig`` or ``signature``.
+ALL-CAPS names are exempt — those are protocol constants (opcodes), and
+comparing an opcode is dispatch, not verification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+
+_TAG_WORDS = frozenset(
+    {"tag", "mac", "digest", "hmac", "cmac", "sig", "signature"}
+)
+
+_HINT = (
+    "use hmac.compare_digest(a, b) — it examines every byte regardless "
+    "of where the first mismatch is"
+)
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    """The identifier a comparand answers to, if any."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_tag_typed(node: ast.AST) -> bool:
+    identifier = _identifier(node)
+    if identifier is None or identifier.isupper():
+        return False
+    words = identifier.lower().split("_")
+    return any(word in _TAG_WORDS for word in words)
+
+
+@register
+class ConstantTimeRule(Rule):
+    id = "SACHA002"
+    title = "constant-time MAC/tag/digest comparison"
+    rationale = (
+        "== on bytes short-circuits, turning MAC rejection latency into "
+        "a byte-by-byte forgery oracle; hmac.compare_digest does not"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return any(
+            ctx.relpath.startswith(prefix)
+            for prefix in ctx.config.constant_time_paths
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                tagged = next(
+                    (side for side in (left, right) if _is_tag_typed(side)), None
+                )
+                if tagged is None:
+                    continue
+                operator = "==" if isinstance(op, ast.Eq) else "!="
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"{operator} on {_identifier(tagged)!r} leaks timing; "
+                    "MAC-typed values must be compared in constant time",
+                    _HINT,
+                )

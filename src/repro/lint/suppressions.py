@@ -1,0 +1,62 @@
+"""Inline suppression directives.
+
+Two forms, both comments:
+
+* ``# sachalint: disable=SACHA001`` — suppresses the named rules (comma
+  separated, or ``all``) on that physical line.  For a multi-line
+  statement the directive goes on the line the finding points at (the
+  statement's first line).
+* ``# sachalint: disable-file=SACHA005`` — suppresses the named rules
+  for the whole file, wherever the directive appears.
+
+A suppression hides the finding but is counted, so reporters can show
+how much is being waved through.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+from repro.lint.findings import Finding
+
+_DIRECTIVE = re.compile(
+    r"#\s*sachalint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+ALL = "all"
+
+
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    def __init__(self, source: str) -> None:
+        self.by_line: Dict[int, FrozenSet[str]] = {}
+        file_rules = set()
+        for line_number, text in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(text)
+            if not match:
+                continue
+            rules = frozenset(
+                rule.strip().upper() if rule.strip().lower() != ALL else ALL
+                for rule in match.group("rules").split(",")
+            )
+            if match.group("scope") == "disable-file":
+                file_rules.update(rules)
+            else:
+                self.by_line[line_number] = self.by_line.get(
+                    line_number, frozenset()
+                ) | rules
+        self.file_level: FrozenSet[str] = frozenset(file_rules)
+
+    def suppresses(self, finding: Finding) -> bool:
+        for rules in (self.file_level, self.by_line.get(finding.line, frozenset())):
+            if ALL in rules or finding.rule in rules:
+                return True
+        return False
+
+    def apply(self, findings: Sequence[Finding]):
+        """Split ``findings`` into (kept, suppressed_count)."""
+        kept = [finding for finding in findings if not self.suppresses(finding)]
+        return kept, len(findings) - len(kept)

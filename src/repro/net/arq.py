@@ -31,6 +31,7 @@ opaque payloads — so it slots under the unmodified SACHa session.
 
 from __future__ import annotations
 
+import hmac
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Optional
@@ -107,7 +108,7 @@ def _decode(data: bytes):
     if len(data) < _HEADER_BYTES + _CRC_BYTES:
         raise NetworkError("truncated ARQ frame")
     body, crc = data[:-_CRC_BYTES], data[-_CRC_BYTES:]
-    if Crc32().update(body).digest_bytes() != crc:
+    if not hmac.compare_digest(Crc32().update(body).digest_bytes(), crc):
         raise NetworkError("ARQ frame CRC mismatch")
     return body[0], int.from_bytes(body[1:5], "big"), body[5:]
 

@@ -90,8 +90,8 @@ class Channel:
     def __init__(
         self,
         simulator: Simulator,
-        latency: LatencyModel = LatencyModel(),
-        phy: GigabitPhy = GigabitPhy(),
+        latency: Optional[LatencyModel] = None,
+        phy: Optional[GigabitPhy] = None,
         loss_probability: float = 0.0,
         rng: Optional[DeterministicRng] = None,
         fault_model: Optional[FaultModel] = None,
@@ -104,8 +104,8 @@ class Channel:
                 "model would silently never fire"
             )
         self._simulator = simulator
-        self._latency = latency
-        self._phy = phy
+        self._latency = latency if latency is not None else LatencyModel()
+        self._phy = phy if phy is not None else GigabitPhy()
         self._loss_probability = loss_probability
         self._rng = rng
         self._fault_model = fault_model

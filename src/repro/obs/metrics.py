@@ -319,7 +319,10 @@ def get_registry() -> MetricsRegistry:
 
 def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     """Install ``registry`` as the active one; returns the previous."""
-    global _ACTIVE
+    # Registry installation happens on the main thread before a sweep
+    # starts; workers only read _ACTIVE and update instruments under
+    # the per-registry lock.
+    global _ACTIVE  # sachalint: disable=SACHA005
     previous = _ACTIVE
     _ACTIVE = registry
     return previous

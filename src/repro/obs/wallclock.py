@@ -1,0 +1,29 @@
+"""The one sanctioned wall-clock accessor (SACHA001's only exemption).
+
+Everything that participates in an attestation run — span timing,
+protocol state, RNG seeding, exporter *content* — takes time from the
+simulation clock so transcripts stay bit-for-bit reproducible.  The
+single legitimate use of real time is side-channel-free *metadata* an
+operator may want on an exported artifact (e.g. "when was this report
+generated"), which by definition is not part of the reproducible
+payload.
+
+Such callers import :func:`wall_clock_ns` from here and nowhere else;
+``repro lint`` (rule SACHA001) flags any other wall-clock read in the
+tree.  Keeping the accessor in one module makes every nondeterministic
+timestamp greppable and keeps the exemption list in
+:data:`repro.lint.config.DETERMINISM_EXEMPT` one line long.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_clock_ns() -> int:
+    """Nanoseconds since the Unix epoch, from the real clock.
+
+    Never mix this into span timing, protocol traces, or anything else
+    covered by the reproducibility guarantee.
+    """
+    return time.time_ns()

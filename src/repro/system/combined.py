@@ -18,6 +18,7 @@ The model also shows the failure the paper motivates with: skipping step
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass
 from typing import Optional
 
@@ -127,9 +128,10 @@ class CombinedAttestation:
         self,
         rng: DeterministicRng,
         skip_self_attestation: bool = False,
-        options: SessionOptions = SessionOptions(),
+        options: Optional[SessionOptions] = None,
     ) -> CombinedReport:
         """Step 1 (SACHa), then step 2 (software MAC)."""
+        options = options if options is not None else SessionOptions()
         fpga_report: Optional[AttestationReport] = None
         if skip_self_attestation:
             fpga_attested = True  # blind trust — the unsound shortcut
@@ -143,7 +145,9 @@ class CombinedAttestation:
         if fpga_attested:
             nonce = rng.fork("software-nonce").randbytes(16)
             received = self._trust_module.attest_software(nonce)
-            software_attested = received == self.expected_software_mac(nonce)
+            software_attested = hmac.compare_digest(
+                received, self.expected_software_mac(nonce)
+            )
 
         return CombinedReport(
             fpga_report=fpga_report,

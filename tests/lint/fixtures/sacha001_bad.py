@@ -1,0 +1,25 @@
+"""Known-bad fixture for SACHA001: every call below breaks reproducibility."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def timestamped_report():
+    started = time.time()
+    stamp = datetime.now()
+    return started, stamp
+
+
+def unseeded_draws():
+    jitter = random.random()
+    generator = random.Random()
+    noise = np.random.randint(0, 10)
+    rng = np.random.default_rng()
+    return jitter, generator, noise, rng
+
+
+def salted_fork(seed, label):
+    return hash((seed, label))

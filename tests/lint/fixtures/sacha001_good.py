@@ -1,0 +1,22 @@
+"""Known-good fixture for SACHA001: seeded, sim-clocked, hashlib-derived."""
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def sim_clocked_report(clock):
+    return clock()  # time comes from the simulator, not the OS
+
+
+def seeded_draws(seed):
+    generator = random.Random(seed)
+    np_generator = np.random.Generator(np.random.Philox(key=seed))
+    fresh = np.random.default_rng(seed)
+    return generator.random(), np_generator, fresh
+
+
+def stable_fork(seed, label):
+    material = f"{seed}:{label}".encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")

@@ -1,0 +1,11 @@
+"""Known-bad fixture for SACHA002 (linted as if under repro/crypto/)."""
+
+
+def verify_tag(expected_mac, tag):
+    return expected_mac == tag
+
+
+def reject_digest(received_digest, reference):
+    if received_digest != reference:
+        return False
+    return True

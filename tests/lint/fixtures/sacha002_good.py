@@ -1,0 +1,18 @@
+"""Known-good fixture for SACHA002: constant-time comparison throughout."""
+
+import hmac
+
+OPCODE_MAC_CHECKSUM = 0x4D
+
+
+def verify_tag(expected_mac, tag):
+    return hmac.compare_digest(expected_mac, tag)
+
+
+def dispatch(opcode):
+    # comparing a protocol constant is dispatch, not verification
+    return opcode == OPCODE_MAC_CHECKSUM
+
+
+def sane_lengths(tag):
+    return len(tag) == 16

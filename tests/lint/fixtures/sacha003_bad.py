@@ -1,0 +1,19 @@
+"""Known-bad fixture for SACHA003: shared mutable defaults."""
+
+from dataclasses import dataclass, field
+
+
+def collect(frame, seen=[]):
+    seen.append(frame)
+    return seen
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass
+class Options:
+    retries: int = 3
+    labels: dict = field(default={})

@@ -1,0 +1,16 @@
+"""Known-good fixture for SACHA003: None sentinels and default factories."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+def collect(frame, seen: Optional[list] = None):
+    seen = seen if seen is not None else []
+    seen.append(frame)
+    return seen
+
+
+@dataclass
+class Options:
+    retries: int = 3
+    labels: List[str] = field(default_factory=list)

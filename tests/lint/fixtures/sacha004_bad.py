@@ -1,0 +1,13 @@
+"""Known-bad fixture for SACHA004 (linted as if under repro/crypto/).
+
+The crypto layer reaching for the network stack is exactly the
+dependency the layer DAG exists to forbid.
+"""
+
+from repro.net.channel import Channel  # noqa: F401
+
+
+def leak_through_the_stack():
+    import repro.obs.metrics  # function-level imports are checked too
+
+    return repro.obs.metrics

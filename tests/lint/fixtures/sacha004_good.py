@@ -1,0 +1,8 @@
+"""Known-good fixture for SACHA004 (linted as if under repro/crypto/)."""
+
+from repro.crypto.sha256 import sha256  # noqa: F401  (own layer)
+from repro.utils.bitops import xor_bytes  # noqa: F401  (declared dependency)
+
+
+def derive(material):
+    return sha256(xor_bytes(material, material))

@@ -1,0 +1,16 @@
+"""Known-bad fixture for SACHA005 (linted as if under repro/fpga/)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_RESULTS = []
+
+
+def sweep(items):
+    def worker(item):
+        global _RESULTS  # shared module state written under threading
+        _RESULTS = _RESULTS + [item]
+
+    with ThreadPoolExecutor() as pool:
+        pool.map(worker, items)
+    return _RESULTS, threading.active_count()

@@ -1,0 +1,6 @@
+"""Known-good fixture for SACHA005 (linted as if under repro/fpga/)."""
+
+
+def sweep(items, attest):
+    # sequential by construction; parallelism belongs to repro.core.swarm
+    return [attest(item) for item in items]

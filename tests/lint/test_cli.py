@@ -1,0 +1,102 @@
+"""``repro lint`` end to end: exit codes, formats, baseline writing."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from tests.lint.conftest import FIXTURE_PATHS, fixture_source
+
+
+@pytest.fixture
+def violating_tree(tmp_path) -> Path:
+    """One violation of each rule, at each rule's scoped location."""
+    for rule_id, relpath in FIXTURE_PATHS.items():
+        target = tmp_path / Path(relpath).parent / f"{rule_id.lower()}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(fixture_source(rule_id, "bad"))
+    return tmp_path
+
+
+def test_exits_nonzero_on_a_tree_with_every_rule_violated(
+    violating_tree, capsys
+):
+    status = main(["lint", str(violating_tree), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert status == 1
+    for rule_id in FIXTURE_PATHS:
+        assert rule_id in out, f"{rule_id} missing from the report"
+
+
+def test_exits_zero_on_the_shipped_tree(capsys):
+    import repro
+
+    status = main(["lint", str(Path(repro.__file__).parent)])
+    assert status == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_report(violating_tree, tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    status = main(
+        [
+            "lint",
+            str(violating_tree),
+            "--no-baseline",
+            "--format",
+            "json",
+            "--output",
+            str(report_path),
+        ]
+    )
+    assert status == 1
+    payload = json.loads(report_path.read_text())
+    assert payload["version"] == 1
+    assert set(payload["summary"]) == set(FIXTURE_PATHS)
+    assert all("fingerprint" in finding for finding in payload["findings"])
+
+
+def test_select_narrows_the_run(violating_tree, capsys):
+    status = main(
+        ["lint", str(violating_tree), "--no-baseline", "--select", "SACHA003"]
+    )
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "SACHA003" in out
+    assert "SACHA002" not in out
+
+
+def test_write_baseline_then_clean(violating_tree, tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "lint",
+                str(violating_tree),
+                "--baseline",
+                str(baseline_path),
+                "--write-baseline",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    status = main(
+        ["lint", str(violating_tree), "--baseline", str(baseline_path)]
+    )
+    assert status == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in FIXTURE_PATHS:
+        assert rule_id in out
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert main(["lint", "does/not/exist"]) == 2

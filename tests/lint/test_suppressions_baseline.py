@@ -1,0 +1,118 @@
+"""Inline suppressions and the baseline: round trips and ratcheting."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Baseline, lint_source, run_lint
+from repro.lint.baseline import BaselineEntry
+
+BAD_CT = "def check(mac, tag):\n    return mac == tag\n"
+CT_PATH = "repro/crypto/fixture.py"
+
+
+class TestInlineSuppressions:
+    def test_disable_on_the_offending_line(self):
+        source = (
+            "def check(mac, tag):\n"
+            "    return mac == tag  # sachalint: disable=SACHA002\n"
+        )
+        assert lint_source(source, CT_PATH) == []
+
+    def test_disable_all(self):
+        source = (
+            "def check(mac, tag):\n"
+            "    return mac == tag  # sachalint: disable=all\n"
+        )
+        assert lint_source(source, CT_PATH) == []
+
+    def test_disable_other_rule_does_not_suppress(self):
+        source = (
+            "def check(mac, tag):\n"
+            "    return mac == tag  # sachalint: disable=SACHA001\n"
+        )
+        assert len(lint_source(source, CT_PATH)) == 1
+
+    def test_disable_file_scope(self):
+        source = "# sachalint: disable-file=SACHA002\n" + BAD_CT
+        assert lint_source(source, CT_PATH) == []
+
+    def test_suppressed_findings_are_counted(self, tmp_path):
+        tree = tmp_path / "repro" / "crypto"
+        tree.mkdir(parents=True)
+        (tree / "bad.py").write_text(
+            "# sachalint: disable-file=SACHA002\n" + BAD_CT
+        )
+        result = run_lint([tmp_path])
+        assert result.clean
+        assert result.suppressed == 1
+
+
+def _seed_tree(tmp_path: Path) -> Path:
+    tree = tmp_path / "repro" / "crypto"
+    tree.mkdir(parents=True)
+    (tree / "legacy.py").write_text(BAD_CT)
+    return tmp_path
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_existing_findings(self, tmp_path):
+        root = _seed_tree(tmp_path)
+        first = run_lint([root])
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / ".sachalint-baseline.json"
+        Baseline.from_findings(first.findings).save(baseline_path)
+        reloaded = Baseline.load(baseline_path)
+
+        second = run_lint([root], baseline=reloaded)
+        assert second.clean
+        assert second.baselined == 1
+
+    def test_new_finding_is_not_absorbed(self, tmp_path):
+        root = _seed_tree(tmp_path)
+        baseline = Baseline.from_findings(run_lint([root]).findings)
+
+        extra = root / "repro" / "crypto" / "fresh.py"
+        extra.write_text("def fresh(digest, ref):\n    return digest == ref\n")
+        result = run_lint([root], baseline=baseline)
+        assert len(result.findings) == 1
+        assert result.findings[0].path.endswith("fresh.py")
+        assert result.baselined == 1
+
+    def test_editing_the_flagged_line_expires_the_entry(self, tmp_path):
+        root = _seed_tree(tmp_path)
+        baseline = Baseline.from_findings(run_lint([root]).findings)
+
+        legacy = root / "repro" / "crypto" / "legacy.py"
+        legacy.write_text("def check(mac, tag, n):\n    return mac == tag[:n]\n")
+        result = run_lint([root], baseline=baseline)
+        # the edited comparison is a *new* finding (fingerprint changed) …
+        assert len(result.findings) == 1
+        # … and the old entry is reported stale so the baseline shrinks
+        assert len(result.stale_baseline) == 1
+
+    def test_fixing_the_finding_leaves_a_stale_entry(self, tmp_path):
+        root = _seed_tree(tmp_path)
+        baseline = Baseline.from_findings(run_lint([root]).findings)
+
+        legacy = root / "repro" / "crypto" / "legacy.py"
+        legacy.write_text(
+            "import hmac\n\n"
+            "def check(mac, tag):\n"
+            "    return hmac.compare_digest(mac, tag)\n"
+        )
+        result = run_lint([root], baseline=baseline)
+        assert result.clean
+        assert len(result.stale_baseline) == 1
+
+    def test_count_bounds_duplicate_fingerprints(self):
+        findings = run_lint([]).findings
+        assert findings == []
+        entry = BaselineEntry(
+            fingerprint="00" * 8, rule="SACHA002", path="x.py", message="m", count=2
+        )
+        baseline = Baseline([entry])
+        new, absorbed, stale = baseline.apply([])
+        assert (new, absorbed) == ([], 0)
+        assert stale == [entry]
