@@ -46,6 +46,7 @@ SUITES = [
     "benchmarks/bench_crypto.py",
     "benchmarks/bench_table4_protocol.py",
     "benchmarks/bench_swarm_scaling.py",
+    "benchmarks/bench_net_attestation.py",
 ]
 
 

@@ -160,6 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool size for swarm sweeps; 0/1 = sequential "
         "(default: REPRO_SWARM_WORKERS)",
     )
+    perf.add_argument(
+        "--arq-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ARQ sliding-window size for networked runs; 1 = stop-and-wait "
+        "(default: REPRO_ARQ_WINDOW or 8)",
+    )
+    perf.add_argument(
+        "--readback-batch-frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="readback frames per batched command; 1 = per-frame lockstep "
+        "(default: REPRO_READBACK_BATCH_FRAMES or 256)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     attest = commands.add_parser("attest", help="run one attestation")
@@ -284,6 +300,11 @@ def _attest_over_network(args, provisioned, verifier) -> int:
     channel = Channel(
         simulator, LatencyModel(base_ns=5_000.0), fault_model=fault_model
     )
+    from repro.perf import get_config
+
+    # ArqTuning.window would shadow the configured default (the session
+    # prefers an explicit tuning), so thread the config through here —
+    # it already carries any --arq-window / REPRO_ARQ_WINDOW override.
     session = NetworkAttestationSession(
         simulator,
         channel,
@@ -291,7 +312,10 @@ def _attest_over_network(args, provisioned, verifier) -> int:
         verifier,
         rng.fork("session"),
         reliable=True,
-        arq_tuning=ArqTuning(backoff_factor=args.arq_backoff),
+        arq_tuning=ArqTuning(
+            backoff_factor=args.arq_backoff,
+            window=get_config().arq_window,
+        ),
         max_attempts=args.max_attempts,
     )
     result = session.run()
@@ -429,6 +453,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["aes_backend"] = args.aes_backend
     if args.swarm_workers is not None:
         overrides["swarm_workers"] = args.swarm_workers
+    if args.arq_window is not None:
+        overrides["arq_window"] = args.arq_window
+    if args.readback_batch_frames is not None:
+        overrides["readback_batch_frames"] = args.readback_batch_frames
     try:
         with configured(**overrides):
             scope = _setup_obs(args)

@@ -9,6 +9,26 @@ verifier is a state machine driven by deliveries.  Adversary taps on the
 channel see (and may rewrite) every frame — this is the path the
 man-in-the-middle attacks use.
 
+Two transport shapes exist:
+
+* the **legacy lockstep** loop (``readback_batch_frames <= 1``, or any
+  raw ``reliable=False`` channel): one readback command per response
+  round trip, preserved byte-identically so seeded determinism tests
+  pin it;
+* the **pipelined** path (the default over ARQ): configuration and readback
+  commands are batched to the MTU (``repro.net.batch``) and all streamed
+  ahead of the responses, the sliding-window ARQ keeps several payloads
+  in flight, and the verifier folds the expected MAC incrementally as
+  response fragments arrive.  The readback sweep is order-insensitive on
+  the verifier side (Section 6.1), which is what makes pipelining safe:
+  the plan-ordered fragment cursor keeps the MAC stream aligned.
+
+Pipelining *requires* the reliable transport: the raw channel delivers
+each frame after its own serialization delay, so a burst of mixed-size
+frames arrives out of order (a small checksum command overtakes a large
+readback batch).  The ARQ layer restores in-order delivery; without it
+the session silently stays lockstep.
+
 The session degrades gracefully instead of raising out of the event
 loop.  Undecodable frames (bit corruption or truncation from the fault
 model) are dropped and counted; duplicated or late responses are
@@ -24,7 +44,7 @@ gets a verdict: ``accept``, ``reject``, or ``inconclusive``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.errors import NetworkError, ProtocolError
@@ -32,13 +52,16 @@ from repro.core.prover import SachaProver
 from repro.core.report import AttestationReport, FailureReason
 from repro.core.verifier import SachaVerifier
 from repro.net.arq import ArqTuning
+from repro.net.batch import pack_config_commands, pack_readback_plan
 from repro.net.channel import Channel, Endpoint
 from repro.net.ethernet import ETHERTYPE_SACHA, EthernetFrame, MacAddress
 from repro.net.messages import (
+    IcapConfigBatchCommand,
     IcapConfigCommand,
     IcapReadbackCommand,
     MacChecksumCommand,
     MacChecksumResponse,
+    ReadbackBatchResponse,
     ReadbackResponse,
     decode_command,
     decode_response,
@@ -46,6 +69,7 @@ from repro.net.messages import (
 from repro.obs import log as obs_log
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
+from repro.perf import get_config
 from repro.sim.events import Simulator
 from repro.utils.rng import DeterministicRng
 
@@ -76,6 +100,10 @@ class NetworkRunResult:
 class NetworkAttestationSession:
     """One attestation run as network traffic on a channel."""
 
+    # Expected-MAC folds are batched to this many buffered response bytes
+    # (CMAC chunking-invariance makes the tag independent of the split).
+    _MAC_FOLD_CHUNK_BYTES = 1 << 20
+
     def __init__(
         self,
         simulator: Simulator,
@@ -88,11 +116,14 @@ class NetworkAttestationSession:
         arq_tuning: Optional[ArqTuning] = None,
         arq_max_retries: int = 25,
         max_attempts: int = 1,
+        arq_window: Optional[int] = None,
+        readback_batch_frames: Optional[int] = None,
     ) -> None:
         if max_attempts < 1:
             raise ProtocolError(
                 f"session needs at least one attempt, got {max_attempts}"
             )
+        self._check_fault_compatibility(channel, reliable)
         self._simulator = simulator
         self._channel = channel
         self._prover = prover
@@ -103,6 +134,23 @@ class NetworkAttestationSession:
         self._arq_tuning = arq_tuning
         self._arq_max_retries = arq_max_retries
         self._max_attempts = max_attempts
+        config = get_config()
+        if arq_window is not None:
+            if arq_window < 1:
+                raise ProtocolError(f"ARQ window must be >= 1, got {arq_window}")
+            self._arq_window = arq_window
+        elif arq_tuning is not None:
+            self._arq_window = arq_tuning.window
+        else:
+            self._arq_window = config.arq_window
+        if readback_batch_frames is not None:
+            if readback_batch_frames < 1:
+                raise ProtocolError(
+                    f"readback batch must be >= 1, got {readback_batch_frames}"
+                )
+            self._batch_frames = readback_batch_frames
+        else:
+            self._batch_frames = config.readback_batch_frames
 
         self.verifier_endpoint = Endpoint("vrf", VERIFIER_MAC)
         self.prover_endpoint = Endpoint("prv", PROVER_MAC)
@@ -115,8 +163,15 @@ class NetworkAttestationSession:
         self._nonce = b""
         self._plan: List[int] = []
         self._plan_cursor = 0
+        self._config_steps = 0
         self._responses: List[ReadbackResponse] = []
         self._tag: Optional[bytes] = None
+        self._expected_tag: Optional[bytes] = None
+        self._rx_buffers: List[bytes] = []
+        self._rx_slot = 0
+        self._mac_stream = None
+        self._mac_pending: List[bytes] = []
+        self._mac_pending_bytes = 0
         self._start_ns = 0.0
         self._end_ns = 0.0
         self._link_failure: Optional[NetworkError] = None
@@ -124,7 +179,53 @@ class NetworkAttestationSession:
         self.unexpected_frames = 0
         self.total_retransmissions = 0
 
+    @staticmethod
+    def _check_fault_compatibility(channel: Channel, reliable: bool) -> None:
+        """Refuse fault profiles that silently break the raw transport.
+
+        On a non-reliable channel a duplicated or reordered readback
+        response desynchronizes the incremental MAC between prover and
+        verifier, turning an honest device into a *false reject* — a
+        fail-unsafe outcome.  The ARQ layer (``reliable=True``) restores
+        exactly-once in-order delivery, so these faults are only legal
+        there.  Loss, corruption and truncation stay allowed raw: they
+        fail towards ``inconclusive`` (a drained simulation), never
+        towards a wrong verdict.
+        """
+        model = channel.fault_model
+        if reliable or model is None:
+            return
+        profile = model.profile
+        offending = []
+        if profile.duplication_probability > 0:
+            offending.append("duplication")
+        if profile.reorder_probability > 0:
+            offending.append("reordering")
+        if offending:
+            raise ProtocolError(
+                f"fault profile injects {' and '.join(offending)} on a raw "
+                "(reliable=False) channel: duplicated/reordered readbacks "
+                "desynchronize the incremental MAC into a false reject. "
+                "Run with reliable=True (ARQ restores exactly-once in-order "
+                "delivery) or drop these faults from the profile."
+            )
+
     # -- transport plumbing --------------------------------------------------------
+
+    @property
+    def _pipelined(self) -> bool:
+        """Batching only streams safely over the in-order ARQ transport;
+        a raw channel reorders mixed-size bursts, so it stays lockstep."""
+        return self._batch_frames > 1 and self._reliable
+
+    def _effective_tuning(self) -> ArqTuning:
+        tuning = self._arq_tuning or ArqTuning(
+            initial_timeout_ns=self._arq_timeout_ns,
+            min_timeout_ns=min(self._arq_timeout_ns, ArqTuning.min_timeout_ns),
+        )
+        if tuning.window != self._arq_window:
+            tuning = replace(tuning, window=self._arq_window)
+        return tuning
 
     def _install_ports(self) -> None:
         """(Re)create the transport for one attempt.
@@ -137,13 +238,14 @@ class NetworkAttestationSession:
         if self._reliable:
             from repro.net.arq import ArqLink
 
+            tuning = self._effective_tuning()
             self._verifier_port = ArqLink(
                 self._simulator,
                 self.verifier_endpoint,
                 PROVER_MAC,
                 self._arq_timeout_ns,
                 self._arq_max_retries,
-                tuning=self._arq_tuning,
+                tuning=tuning,
                 rng=self._rng.fork("arq-vrf"),
                 on_give_up=self._on_link_failure,
             )
@@ -153,11 +255,14 @@ class NetworkAttestationSession:
                 VERIFIER_MAC,
                 self._arq_timeout_ns,
                 self._arq_max_retries,
-                tuning=self._arq_tuning,
+                tuning=tuning,
                 rng=self._rng.fork("arq-prv"),
                 on_give_up=self._on_link_failure,
             )
-        self._verifier_port.handler = self._on_verifier_delivery
+        if self._pipelined:
+            self._verifier_port.handler = self._on_verifier_delivery_pipelined
+        else:
+            self._verifier_port.handler = self._on_verifier_delivery
         self._prover_port.handler = self._on_prover_delivery
 
     def _on_link_failure(self, error: NetworkError) -> None:
@@ -223,12 +328,16 @@ class NetworkAttestationSession:
                 attempts=attempts,
             )
             report = AttestationReport.make_inconclusive(failure, self._nonce)
-            report.config_steps = len(self._verifier.config_commands(self._nonce))
+            report.config_steps = self._config_steps
         else:
             report = self._verifier.evaluate(
-                self._nonce, self._plan, self._responses, self._tag or b""
+                self._nonce,
+                self._plan,
+                self._responses,
+                self._tag or b"",
+                expected_tag=self._expected_tag,
             )
-            report.config_steps = len(self._verifier.config_commands(self._nonce))
+            report.config_steps = self._config_steps
             report.nonce = self._nonce
         self._count(
             "sacha_session_outcomes_total",
@@ -250,20 +359,20 @@ class NetworkAttestationSession:
         self._responses = []
         self._plan_cursor = 0
         self._tag = None
+        self._expected_tag = None
+        self._rx_buffers = []
+        self._rx_slot = 0
+        self._mac_stream = None
+        self._mac_pending = []
+        self._mac_pending_bytes = 0
         self._prover.abort_run()
         self._install_ports()
         self._phase = _Phase.CONFIG
 
-        # Fire-and-forget configuration commands; in-order delivery on the
-        # point-to-point channel guarantees they are applied before the
-        # readbacks that follow.
-        self._nonce = self._verifier.new_nonce()
-        for command in self._verifier.config_commands(self._nonce):
-            self._send_to_prover(command.encode())
-
-        self._plan = self._verifier.readback_plan()
-        self._phase = _Phase.READBACK
-        self._send_next_readback()
+        if self._pipelined:
+            self._run_attempt_pipelined()
+        else:
+            self._run_attempt_lockstep()
 
         self._simulator.run()
         self._harvest_retransmissions()
@@ -280,7 +389,95 @@ class NetworkAttestationSession:
                 detail="simulation drained before the checksum exchange; "
                 "a message was lost",
             )
+        if self._pipelined:
+            self._finish_pipelined()
         return None
+
+    def _run_attempt_lockstep(self) -> None:
+        """The legacy per-frame loop: one readback in flight at a time.
+
+        Byte- and telemetry-identical to the original stop-and-wait
+        session; seeded determinism fingerprints pin it.
+        """
+        # Fire-and-forget configuration commands; in-order delivery on the
+        # point-to-point channel guarantees they are applied before the
+        # readbacks that follow.
+        self._nonce = self._verifier.new_nonce()
+        commands = self._verifier.config_commands(self._nonce)
+        self._config_steps = len(commands)
+        for command in commands:
+            self._send_to_prover(command.encode())
+
+        self._plan = self._verifier.readback_plan()
+        self._phase = _Phase.READBACK
+        self._send_next_readback()
+
+    def _run_attempt_pipelined(self) -> None:
+        """Stream every command up front; responses fold as they arrive.
+
+        In-order delivery (ARQ, or the lossless point-to-point channel)
+        guarantees the prover sees config → readbacks → checksum in
+        order, so the whole command schedule can be enqueued before the
+        first response returns — the sliding window keeps the pipe full.
+        """
+        self._nonce = self._verifier.new_nonce()
+        self._mac_stream = self._verifier.mac_stream()
+        registry = get_registry()
+        config_commands = self._verifier.config_commands(self._nonce)
+        self._config_steps = len(config_commands)
+        config_batches = pack_config_commands(config_commands)
+        self._plan = self._verifier.readback_plan()
+        self._phase = _Phase.READBACK
+        readback_batches = pack_readback_plan(self._plan, self._batch_frames)
+        # One burst carries the whole command schedule: config, readbacks,
+        # checksum.  The ARQ layer sees the burst's tail, so a window's
+        # worth of commands costs one cumulative ACK.
+        payloads = [batch.encode() for batch in config_batches]
+        payloads.extend(batch.encode() for batch in readback_batches)
+        payloads.append(MacChecksumCommand().encode())
+        self._send_burst_to_prover(payloads)
+        if registry.enabled:
+            counter = registry.counter(
+                "sacha_net_batch_frames_total",
+                "Frames moved through batched commands, by kind",
+                labels=("kind",),
+            )
+            counter.inc(
+                sum(len(b.frame_indices) for b in config_batches), kind="config"
+            )
+            counter.inc(len(self._plan), kind="readback")
+            registry.histogram(
+                "sacha_net_batch_size_frames",
+                "Frames per batched readback command",
+                buckets=(1, 4, 16, 64, 256, 1024, 4096),
+            ).observe(
+                float(max((len(b.frame_indices) for b in readback_batches), default=0))
+            )
+
+    def _finish_pipelined(self) -> None:
+        """Materialize per-frame responses from the reassembled sweep.
+
+        Each response's ``data`` is a zero-copy ``memoryview`` slice of
+        the joined sweep buffer — the verifier only reads the bytes (and
+        rejoins them for the vectorized comparison), so no per-frame copy
+        is needed.
+        """
+        data = b"".join(self._rx_buffers)
+        frame_bytes = self._verifier.system.device.frame_bytes
+        view = memoryview(data)
+        self._responses = [
+            ReadbackResponse(
+                frame_index=frame_index,
+                data=view[slot * frame_bytes : (slot + 1) * frame_bytes],
+            )
+            for slot, frame_index in enumerate(self._plan)
+        ]
+        if self._mac_stream is not None:
+            if self._mac_pending:
+                self._mac_stream.update(b"".join(self._mac_pending))
+                self._mac_pending = []
+                self._mac_pending_bytes = 0
+            self._expected_tag = self._mac_stream.finalize()
 
     def _harvest_retransmissions(self) -> None:
         for port in (self._verifier_port, self._prover_port):
@@ -341,6 +538,67 @@ class NetworkAttestationSession:
             return
         self.unexpected_frames += 1
 
+    def _on_verifier_delivery_pipelined(self, frame: EthernetFrame) -> None:
+        try:
+            response = decode_response(frame.payload)
+        except NetworkError:
+            self.undecodable_frames += 1
+            self._count(
+                "sacha_session_undecodable_frames_total",
+                "Frames the session dropped because they failed to decode",
+                side="verifier",
+            )
+            return
+        if isinstance(response, ReadbackBatchResponse):
+            if (
+                self._phase is not _Phase.READBACK
+                or response.base_slot != self._rx_slot
+                or response.frame_count < 1
+                or self._rx_slot + response.frame_count > len(self._plan)
+            ):
+                # The plan-position cursor rejects anything but the next
+                # contiguous fragment, keeping the MAC stream aligned.
+                self.unexpected_frames += 1
+                self._count(
+                    "sacha_session_unexpected_frames_total",
+                    "Out-of-phase or duplicate responses the session ignored",
+                    side="verifier",
+                )
+                return
+            self._rx_buffers.append(response.data)
+            self._rx_slot += response.frame_count
+            if self._mac_stream is not None:
+                # Fold in coarse chunks: CMAC is chunking-invariant, and
+                # each backend fold call has fixed setup cost, so folding
+                # per ~MiB instead of per fragment keeps the stream
+                # incremental (bounded memory) at a fraction of the calls.
+                self._mac_pending.append(response.data)
+                self._mac_pending_bytes += len(response.data)
+                if self._mac_pending_bytes >= self._MAC_FOLD_CHUNK_BYTES:
+                    self._mac_stream.update(b"".join(self._mac_pending))
+                    self._mac_pending = []
+                    self._mac_pending_bytes = 0
+            if self._rx_slot == len(self._plan):
+                self._phase = _Phase.CHECKSUM
+            return
+        if isinstance(response, MacChecksumResponse):
+            # The tag only counts once the sweep is complete: a tag over
+            # missing data must fail towards inconclusive (drained), not
+            # towards a false reject.
+            if self._phase is not _Phase.CHECKSUM:
+                self.unexpected_frames += 1
+                self._count(
+                    "sacha_session_unexpected_frames_total",
+                    "Out-of-phase or duplicate responses the session ignored",
+                    side="verifier",
+                )
+                return
+            self._tag = response.tag
+            self._phase = _Phase.DONE
+            self._end_ns = self._simulator.now_ns
+            return
+        self.unexpected_frames += 1
+
     def _send_to_prover(self, payload: bytes) -> None:
         if self._link_failure is not None:
             return
@@ -356,7 +614,33 @@ class NetworkAttestationSession:
         except NetworkError as error:
             self._on_link_failure(error)
 
+    def _send_burst_to_prover(self, payloads: List[bytes]) -> None:
+        if self._link_failure is not None:
+            return
+        try:
+            self._verifier_port.send_many(
+                EthernetFrame(
+                    destination=PROVER_MAC,
+                    source=VERIFIER_MAC,
+                    ethertype=ETHERTYPE_SACHA,
+                    payload=payload,
+                )
+                for payload in payloads
+            )
+        except NetworkError as error:
+            self._on_link_failure(error)
+
     # -- prover side ---------------------------------------------------------------
+
+    def _scramble_after_app_config(self) -> None:
+        """A configured application starts running: declare/refresh its
+        storage elements once the last application frame arrives."""
+        self._verifier.system.app_impl.declare_registers(
+            self._prover.board.fpga.registers
+        )
+        self._prover.board.fpga.registers.scramble(
+            self._rng.fork("net-app-activity")
+        )
 
     def _on_prover_delivery(self, frame: EthernetFrame) -> None:
         try:
@@ -369,32 +653,41 @@ class NetworkAttestationSession:
                 side="prover",
             )
             return
+        app_frames = self._verifier.system.app_impl.region_frames
         if isinstance(command, IcapConfigCommand):
             self._prover.handle_command(command)
-            # A configured application starts running: declare/refresh its
-            # storage elements once the last application frame arrives.
-            app_frames = self._verifier.system.app_impl.region_frames
             if command.frame_index == app_frames[-1]:
-                self._verifier.system.app_impl.declare_registers(
-                    self._prover.board.fpga.registers
-                )
-                self._prover.board.fpga.registers.scramble(
-                    self._rng.fork("net-app-activity")
-                )
+                self._scramble_after_app_config()
             return
-        response = self._prover.handle_command(command)
-        if response is None:
+        if isinstance(command, IcapConfigBatchCommand):
+            self._prover.handle_command(command)
+            if app_frames and app_frames[-1] in command.frame_indices:
+                self._scramble_after_app_config()
+            return
+        result = self._prover.handle_command(command)
+        if result is None:
             return
         if self._link_failure is not None:
             return
         try:
-            self._prover_port.send(
-                EthernetFrame(
-                    destination=VERIFIER_MAC,
-                    source=PROVER_MAC,
-                    ethertype=ETHERTYPE_SACHA,
-                    payload=response.encode(),
+            if isinstance(result, list):
+                self._prover_port.send_many(
+                    EthernetFrame(
+                        destination=VERIFIER_MAC,
+                        source=PROVER_MAC,
+                        ethertype=ETHERTYPE_SACHA,
+                        payload=response.encode(),
+                    )
+                    for response in result
                 )
-            )
+            else:
+                self._prover_port.send(
+                    EthernetFrame(
+                        destination=VERIFIER_MAC,
+                        source=PROVER_MAC,
+                        ethertype=ETHERTYPE_SACHA,
+                        payload=result.encode(),
+                    )
+                )
         except NetworkError as error:
             self._on_link_failure(error)

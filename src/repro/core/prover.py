@@ -10,7 +10,7 @@ the verifier, exactly as in the paper.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,9 +18,13 @@ from repro.crypto.cmac import AesCmac
 from repro.errors import ProtocolError
 from repro.fpga.board import Board
 from repro.fpga.puf import PufKeySlot, SramPuf
+from repro.net.batch import contiguous_runs, fragment_readback_data
+from repro.net.ethernet import MAX_PAYLOAD
 from repro.net.messages import (
     Command,
+    IcapConfigBatchCommand,
     IcapConfigCommand,
+    IcapReadbackBatchCommand,
     IcapReadbackCommand,
     IcapReadbackMaskedCommand,
     IcapReadbackRangeCommand,
@@ -128,8 +132,15 @@ class SachaProver:
     def mac_in_progress(self) -> bool:
         return self._mac is not None
 
-    def handle_command(self, command: Command) -> Optional[Response]:
-        """Dispatch one verifier command; returns the response, if any."""
+    def handle_command(
+        self, command: Command
+    ) -> Union[Response, List[Response], None]:
+        """Dispatch one verifier command.
+
+        Returns the response, a list of responses (batched readback
+        answers fragment to the MTU), or ``None`` for fire-and-forget
+        commands.
+        """
         if not self.board.powered_on:
             raise ProtocolError("prover board is not powered on")
         registry = get_registry()
@@ -142,9 +153,16 @@ class SachaProver:
         if isinstance(command, IcapConfigCommand):
             self.handle_config(command.frame_index, command.data)
             return None
+        if isinstance(command, IcapConfigBatchCommand):
+            self.handle_config_batch(command.frame_indices, command.data)
+            return None
         if isinstance(command, IcapReadbackCommand):
             data = self.handle_readback(command.frame_index)
             return ReadbackResponse(frame_index=command.frame_index, data=data)
+        if isinstance(command, IcapReadbackBatchCommand):
+            return self.handle_readback_batch(
+                command.base_slot, command.frame_indices
+            )
         if isinstance(command, IcapReadbackMaskedCommand):
             self.handle_readback_masked(command.frame_index, command.mask)
             return MaskedReadbackAck(frame_index=command.frame_index)
@@ -190,6 +208,50 @@ class SachaProver:
         self._mac.update(data)
         self.readbacks_handled += count
         return data
+
+    def handle_config_batch(
+        self, frame_indices: Sequence[int], data: bytes
+    ) -> None:
+        """Batched ICAP_config: several frames in one vectorized write."""
+        if not frame_indices or len(data) % len(frame_indices):
+            raise ProtocolError(
+                f"config batch of {len(data)} bytes does not split over "
+                f"{len(frame_indices)} frames"
+            )
+        self.board.fpga.icap.write_frames(frame_indices, data)
+        self.configs_handled += len(frame_indices)
+
+    def handle_readback_batch(
+        self,
+        base_slot: int,
+        frame_indices: Sequence[int],
+        max_payload: int = MAX_PAYLOAD,
+    ) -> List[Response]:
+        """Batched readback: bulk ICAP sweeps, one MAC fold, MTU fragments.
+
+        The index vector is split into maximal contiguous runs, each
+        served by one bulk :meth:`~repro.fpga.icap.Icap.readback_range`;
+        the concatenated buffer folds into the MAC in a single update —
+        byte-identical to per-frame readback/update steps because CMAC is
+        invariant to chunk boundaries — and is sliced into MTU-sized
+        :class:`ReadbackBatchResponse` fragments.
+        """
+        if not frame_indices:
+            raise ProtocolError("readback batch must name at least one frame")
+        if self._mac is None:
+            self._mac = self._new_checksum()
+        icap = self.board.fpga.icap
+        buffers = [
+            icap.readback_range(run.start, len(run))
+            for run in contiguous_runs(frame_indices)
+        ]
+        data = buffers[0] if len(buffers) == 1 else b"".join(buffers)
+        self._mac.update(data)
+        self.readbacks_handled += len(frame_indices)
+        frame_bytes = self.board.fpga.device.frame_bytes
+        return list(
+            fragment_readback_data(base_slot, data, frame_bytes, max_payload)
+        )
 
     def handle_readback_masked(self, frame_index: int, mask: bytes) -> None:
         """The Section-6.1 alternative: mask before the MAC step.

@@ -102,8 +102,18 @@ class SignatureVerifier(SachaVerifier):
         super().__init__(system, bytes(16), rng, order=order, policy=policy)
         self._public_key = public_key
 
+    def mac_stream(self) -> None:
+        """Signatures cannot be pre-folded into an expected tag: the
+        check verifies the prover's signature over the digest instead of
+        recomputing a shared-key MAC, so the pipelined session falls back
+        to the full :meth:`_check_authenticity` pass."""
+        return None
+
     def _check_authenticity(
-        self, responses: Sequence[ReadbackResponse], tag: bytes
+        self,
+        responses: Sequence[ReadbackResponse],
+        tag: bytes,
+        expected_tag: Optional[bytes] = None,
     ) -> bool:
         digest = Sha256().update(SIGNATURE_DOMAIN)
         for response in responses:

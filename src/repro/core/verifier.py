@@ -166,12 +166,29 @@ class SachaVerifier:
         mac.update_frames(response.data for response in responses)
         return mac.finalize()
 
+    def mac_stream(self) -> Optional[AesCmac]:
+        """An incremental H_Vrf accumulator for pipelined transports.
+
+        The pipelined session folds readback batches into this as they
+        arrive and passes the finalized tag to :meth:`evaluate` as
+        ``expected_tag``, avoiding a second full-sweep MAC at verdict
+        time.  Returns ``None`` when the authenticity check cannot be
+        streamed (the Section-8 signature extension verifies a signature
+        instead of recomputing a MAC).
+        """
+        return AesCmac(self._key)
+
     def _check_authenticity(
-        self, responses: Sequence[ReadbackResponse], tag: bytes
+        self,
+        responses: Sequence[ReadbackResponse],
+        tag: bytes,
+        expected_tag: Optional[bytes] = None,
     ) -> bool:
         """H_Prv == H_Vrf.  Subclasses may substitute another mechanism
         (e.g. the Section-8 signature extension)."""
-        return hmac.compare_digest(self.expected_mac(responses), tag)
+        if expected_tag is None:
+            expected_tag = self.expected_mac(responses)
+        return hmac.compare_digest(expected_tag, tag)
 
     # -- masked-readback variant (Section 6.1 alternative) --------------------
 
@@ -238,8 +255,14 @@ class SachaVerifier:
         plan: Sequence[int],
         responses: Sequence[ReadbackResponse],
         tag: bytes,
+        expected_tag: Optional[bytes] = None,
     ) -> AttestationReport:
-        """The two comparisons of Figure 9 plus policy checks."""
+        """The two comparisons of Figure 9 plus policy checks.
+
+        ``expected_tag`` is the incrementally folded H_Vrf from a
+        :meth:`mac_stream` accumulator, when the transport streamed the
+        sweep; without it the MAC is recomputed from ``responses``.
+        """
         report = AttestationReport(
             mac_valid=False,
             config_match=False,
@@ -264,7 +287,7 @@ class SachaVerifier:
                     return report
 
         # Check 1: H_Prv == H_Vrf over the received data.
-        report.mac_valid = self._check_authenticity(responses, tag)
+        report.mac_valid = self._check_authenticity(responses, tag, expected_tag)
 
         # Check 2: masked received configuration == masked golden.  In
         # live-state mode (Section 8 future work) the received data stays

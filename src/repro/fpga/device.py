@@ -59,6 +59,8 @@ class DevicePart:
     icap_count: int = 1
     bram_kbits: int = 18
     _column_frame_offsets: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _frames_per_row: int = field(init=False, repr=False, compare=False)
+    _total_frames: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.rows <= 0:
@@ -73,16 +75,22 @@ class DevicePart:
             offsets.append(total)
             total += column.frames
         object.__setattr__(self, "_column_frame_offsets", tuple(offsets))
+        # Geometry totals are immutable once the columns are fixed; cache
+        # them — frame_coordinates() and the per-frame ICAP paths consult
+        # them on every frame, and re-summing the column tuple dominated
+        # profiles of full-device networked runs.
+        object.__setattr__(self, "_frames_per_row", total)
+        object.__setattr__(self, "_total_frames", self.rows * total)
 
     # -- frame geometry ----------------------------------------------------
 
     @property
     def frames_per_row(self) -> int:
-        return sum(column.frames for column in self.columns)
+        return self._frames_per_row
 
     @property
     def total_frames(self) -> int:
-        return self.rows * self.frames_per_row
+        return self._total_frames
 
     @property
     def frame_words(self) -> int:

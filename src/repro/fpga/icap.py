@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
+import numpy as np
+
 from repro.errors import IcapError
 from repro.fpga.config_memory import ConfigurationMemory
 from repro.fpga.registers import LiveRegisterFile
@@ -91,6 +93,43 @@ class Icap:
         self.stats.words_written += self._memory.device.words_per_frame
         self.stats.words_written += WRITE_OVERHEAD_WORDS
         self.stats.record(f"write[{frame_index}]")
+
+    def write_frames(self, frame_indices, data: bytes) -> None:
+        """Write several equal-sized frames in one vectorized store.
+
+        Equivalent to calling :meth:`write_frame` for each index in order
+        — same memory contents, same register invalidation, same word
+        accounting — but the frame contents land in the configuration
+        array as a single fancy-indexed assignment instead of one
+        reshape/copy per frame.
+        """
+        indices = np.asarray(frame_indices, dtype=np.intp)
+        count = len(indices)
+        device = self._memory.device
+        if count == 0:
+            return
+        if len(data) != count * device.frame_bytes:
+            raise IcapError(
+                f"{len(data)} bytes do not hold {count} frames of "
+                f"{device.frame_bytes} bytes"
+            )
+        if int(indices.min()) < 0 or int(indices.max()) >= device.total_frames:
+            raise IcapError("frame index out of range in bulk write")
+        if self._protected_frames:
+            for frame_index in indices:
+                if int(frame_index) in self._protected_frames:
+                    raise IcapError(f"frame {frame_index} is write-protected")
+        self._memory.frames_array()[indices] = np.frombuffer(
+            data, dtype=">u4"
+        ).reshape(count, device.words_per_frame)
+        if self._registers is not None:
+            for frame_index in indices:
+                self._registers.forget_frame(int(frame_index))
+        self.stats.frames_written += count
+        self.stats.words_written += count * (
+            device.words_per_frame + WRITE_OVERHEAD_WORDS
+        )
+        self.stats.record(f"write[batch x{count}]")
 
     # -- configuration readback -----------------------------------------------
 

@@ -1,27 +1,42 @@
-"""Stop-and-wait ARQ: reliable, exactly-once delivery over a faulty link.
+"""Sliding-window ARQ: reliable, exactly-once, in-order delivery.
 
 The SACHa protocol is a strict command/response sequence; a single lost
 Ethernet frame deadlocks a naive run.  ``ArqLink`` wraps a channel
-endpoint with a classic stop-and-wait automatic-repeat-request layer:
+endpoint with a selective-repeat automatic-repeat-request layer:
 
 * every payload goes out as ``DATA(seq)`` and is retransmitted on a
-  timeout until the matching ``ACK(seq)`` arrives;
+  per-sequence timeout until an ``ACK`` covering it arrives; up to
+  ``ArqTuning.window`` payloads are in flight at once (window=1 is the
+  classic stop-and-wait this layer grew out of, and stays byte- and
+  telemetry-identical to it);
+* ``ACK(n)`` is *cumulative* — it acknowledges every sequence number up
+  to and including ``n`` — and at window > 1 the receiver only answers
+  frames whose sender marked them ack-soliciting (the last frame of
+  each window-filling or queue-draining burst), so a full pipe costs
+  roughly one ACK per window instead of one per frame.  Duplicates and
+  out-of-order arrivals are always answered immediately to unstick a
+  stalled sender.  At window = 1 every frame solicits, which is exactly
+  the stop-and-wait exchange;
 * a CRC-32 trailer covers every ARQ frame, so corrupted or truncated
   frames (the fault model's bit flips) are detected and dropped — the
   retransmission path then recovers them like losses;
-* the receiver delivers each sequence number exactly once (duplicates
-  from lost ACKs or channel duplication are re-acknowledged but not
-  re-delivered);
-* ordering is preserved (stop-and-wait never reorders).
+* the receiver delivers each sequence number exactly once and in order:
+  out-of-order arrivals within the window are buffered until the gap
+  fills, duplicates are re-acknowledged but not re-delivered;
+* frames beyond the receive window are dropped *without* an ACK, so a
+  sender whose window outruns the receiver simply retransmits until the
+  receiver catches up (the two ends of a link must be tuned with the
+  same window — the session guarantees this).
 
 The retransmission timer is adaptive: each clean (non-retransmitted)
-round trip feeds a Jacobson/Karels SRTT/RTTVAR estimator, and the
-retransmission timeout backs off exponentially with deterministic
-jitter while a payload keeps timing out.  When ``max_retries`` is
-exhausted the link declares itself down: with an ``on_give_up``
-callback installed it reports the failure and goes quiescent (so the
-session above can degrade to an ``inconclusive`` verdict); without one
-it raises, preserving the fail-fast behaviour of simple tests.
+round trip feeds a Jacobson/Karels SRTT/RTTVAR estimator, and each
+payload's retransmission timeout backs off exponentially with
+deterministic jitter while it keeps timing out.  When ``max_retries``
+is exhausted for any payload the link declares itself down: with an
+``on_give_up`` callback installed it reports the failure and goes
+quiescent (so the session above can degrade to an ``inconclusive``
+verdict); without one it raises, preserving the fail-fast behaviour of
+simple tests.
 
 Exactly-once, in-order delivery is precisely what the attestation needs:
 a duplicated ``ICAP_readback`` would desynchronize the incremental MAC
@@ -32,9 +47,9 @@ opaque payloads — so it slots under the unmodified SACHa session.
 from __future__ import annotations
 
 import hmac
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Dict, Iterable, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.net.channel import Endpoint
@@ -52,19 +67,29 @@ ETHERTYPE_ARQ = 0x88B6
 
 _TYPE_DATA = 0x01
 _TYPE_ACK = 0x02
+#: DATA that solicits an immediate cumulative ACK (window > 1 only; at
+#: window = 1 plain DATA solicits implicitly, keeping the stop-and-wait
+#: wire format byte-identical).
+_TYPE_DATA_SOLICIT = 0x03
 
 _HEADER_BYTES = 5  # type(1) + sequence(4)
 _CRC_BYTES = 4
 
+#: Per-frame ARQ framing cost; the batch codec subtracts this from the
+#: Ethernet MTU when sizing payloads.
+ARQ_OVERHEAD_BYTES = _HEADER_BYTES + _CRC_BYTES
+
 
 @dataclass(frozen=True)
 class ArqTuning:
-    """Retransmission-timer parameters of one :class:`ArqLink`.
+    """Window and retransmission-timer parameters of one :class:`ArqLink`.
 
     Defaults follow the classic TCP values: SRTT gain 1/8, RTTVAR gain
     1/4, RTO = SRTT + 4·RTTVAR, doubled per consecutive timeout with up
     to ``jitter_fraction`` deterministic jitter to break retransmission
-    synchronization between the two directions of a link.
+    synchronization between the two directions of a link.  ``window``
+    bounds how many payloads may be unacknowledged at once; 1 reproduces
+    stop-and-wait exactly.
     """
 
     initial_timeout_ns: float = 2_000_000.0
@@ -75,6 +100,7 @@ class ArqTuning:
     srtt_gain: float = 1.0 / 8.0
     rttvar_gain: float = 1.0 / 4.0
     rttvar_weight: float = 4.0
+    window: int = 1
 
     def __post_init__(self) -> None:
         if self.initial_timeout_ns <= 0:
@@ -94,6 +120,8 @@ class ArqTuning:
             raise NetworkError(
                 f"jitter fraction {self.jitter_fraction} out of range [0, 1)"
             )
+        if self.window < 1:
+            raise NetworkError(f"ARQ window must be >= 1, got {self.window}")
 
     def clamp(self, timeout_ns: float) -> float:
         return min(max(timeout_ns, self.min_timeout_ns), self.max_timeout_ns)
@@ -111,6 +139,18 @@ def _decode(data: bytes):
     if not hmac.compare_digest(Crc32().update(body).digest_bytes(), crc):
         raise NetworkError("ARQ frame CRC mismatch")
     return body[0], int.from_bytes(body[1:5], "big"), body[5:]
+
+
+class _InFlight:
+    """One unacknowledged DATA payload: its wire bytes and timer state."""
+
+    __slots__ = ("encoded", "retries", "timeout_event", "last_tx_ns")
+
+    def __init__(self, encoded: bytes) -> None:
+        self.encoded = encoded
+        self.retries = 0
+        self.timeout_event: Optional[Event] = None
+        self.last_tx_ns = 0.0
 
 
 class ArqLink:
@@ -144,6 +184,7 @@ class ArqLink:
             initial_timeout_ns=timeout_ns,
             min_timeout_ns=min(timeout_ns, ArqTuning.min_timeout_ns),
         )
+        self._window = self._tuning.window
         self._max_retries = max_retries
         self._rng = rng
         self.on_give_up = on_give_up
@@ -152,11 +193,14 @@ class ArqLink:
         self.handler: Optional[Callable[[EthernetFrame], None]] = None
         self._send_queue: Deque[bytes] = deque()
         self._next_tx_sequence = 0
-        self._in_flight: Optional[bytes] = None
-        self._in_flight_retries = 0
-        self._timeout_event: Optional[Event] = None
+        # Selective repeat: every unacknowledged payload keeps its own
+        # encoded bytes, retry count and timeout event, keyed by sequence
+        # number in transmit order.
+        self._in_flight: "OrderedDict[int, _InFlight]" = OrderedDict()
         self._expected_rx_sequence = 0
-        self._last_tx_ns = 0.0
+        # Out-of-order arrivals within the receive window, awaiting the
+        # gap-filling sequence number: sequence -> (payload, solicited).
+        self._rx_buffer: Dict[int, Tuple[bytes, bool]] = {}
         self._failed: Optional[NetworkError] = None
 
         # Jacobson/Karels estimator state; RTO starts at the configured
@@ -170,6 +214,14 @@ class ArqLink:
         self.duplicates_dropped = 0
         self.corrupt_frames_dropped = 0
         self.backoff_events = 0
+
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "sacha_arq_window",
+                "Configured ARQ send-window size, by endpoint",
+                labels=("endpoint",),
+            ).set(float(self._window), endpoint=self._endpoint.name)
 
     @property
     def failed(self) -> Optional[NetworkError]:
@@ -186,6 +238,16 @@ class ArqLink:
         """The smoothed round-trip-time estimate, once sampled."""
         return self._srtt_ns
 
+    @property
+    def window(self) -> int:
+        """The configured send-window size."""
+        return self._window
+
+    @property
+    def in_flight_count(self) -> int:
+        """Unacknowledged payloads currently outstanding."""
+        return len(self._in_flight)
+
     # -- sending -----------------------------------------------------------------
 
     def send(self, frame: EthernetFrame) -> None:
@@ -197,51 +259,95 @@ class ArqLink:
         self._send_queue.append(frame.payload)
         self._pump()
 
-    def _pump(self) -> None:
-        if self._in_flight is not None or not self._send_queue:
-            return
-        payload = self._send_queue.popleft()
-        self._in_flight = _encode(_TYPE_DATA, self._next_tx_sequence, payload)
-        self._in_flight_retries = 0
-        self.payloads_sent += 1
-        self._transmit_in_flight()
+    def send_many(self, frames: Iterable[EthernetFrame]) -> None:
+        """Queue a burst of payloads, then start transmitting.
 
-    def _current_timeout_ns(self) -> float:
+        Enqueueing the whole burst before the first transmission lets the
+        pump see the burst's true tail, so only window-filling frames and
+        the final frame solicit ACKs — one cumulative ACK per window's
+        worth of traffic instead of one per frame.
+        """
+        if self._failed is not None:
+            raise NetworkError(
+                f"ARQ link from {self._endpoint.name} is down: {self._failed}"
+            )
+        self._send_queue.extend(frame.payload for frame in frames)
+        self._pump()
+
+    def _pump(self) -> None:
+        pumped = False
+        while self._send_queue and len(self._in_flight) < self._window:
+            payload = self._send_queue.popleft()
+            sequence = self._next_tx_sequence
+            self._next_tx_sequence += 1
+            if self._window == 1:
+                frame_type = _TYPE_DATA
+            else:
+                # Solicit an ACK from the frame that fills the window or
+                # drains the queue — the burst cannot grow past it, so
+                # one cumulative ACK covers the whole burst.
+                filling = len(self._in_flight) + 1 >= self._window
+                frame_type = (
+                    _TYPE_DATA_SOLICIT
+                    if filling or not self._send_queue
+                    else _TYPE_DATA
+                )
+            entry = _InFlight(_encode(frame_type, sequence, payload))
+            self._in_flight[sequence] = entry
+            self.payloads_sent += 1
+            self._transmit(sequence, entry)
+            pumped = True
+        if pumped:
+            self._observe_in_flight()
+
+    def _observe_in_flight(self) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "sacha_arq_in_flight",
+                "Unacknowledged ARQ payloads currently outstanding, by endpoint",
+                labels=("endpoint",),
+            ).set(float(len(self._in_flight)), endpoint=self._endpoint.name)
+
+    def _current_timeout_ns(self, retries: int) -> float:
         """RTO backed off for the current retry, with deterministic jitter."""
-        timeout = self._rto_ns * (
-            self._tuning.backoff_factor ** self._in_flight_retries
-        )
+        timeout = self._rto_ns * (self._tuning.backoff_factor**retries)
         if self._tuning.jitter_fraction and self._rng is not None:
             timeout *= 1.0 + self._tuning.jitter_fraction * self._rng.random()
         return self._tuning.clamp(timeout)
 
-    def _transmit_in_flight(self) -> None:
-        assert self._in_flight is not None
-        self._last_tx_ns = self._simulator.now_ns
+    def _transmit(self, sequence: int, entry: _InFlight) -> None:
+        entry.last_tx_ns = self._simulator.now_ns
         self._endpoint.send(
             EthernetFrame(
                 destination=self._peer_mac,
                 source=self._endpoint.mac,
                 ethertype=ETHERTYPE_ARQ,
-                payload=self._in_flight,
+                payload=entry.encoded,
             )
         )
-        self._timeout_event = self._simulator.schedule(
-            self._current_timeout_ns(), self._on_timeout, label="arq-timeout"
+        entry.timeout_event = self._simulator.schedule(
+            self._current_timeout_ns(entry.retries),
+            lambda: self._on_timeout(sequence),
+            label="arq-timeout",
         )
 
-    def _on_timeout(self) -> None:
-        if self._in_flight is None or self._failed is not None:
+    def _on_timeout(self, sequence: int) -> None:
+        entry = self._in_flight.get(sequence)
+        if entry is None or self._failed is not None:
             return
-        self._in_flight_retries += 1
+        entry.retries += 1
         registry = get_registry()
-        if self._in_flight_retries > self._max_retries:
+        if entry.retries > self._max_retries:
             error = NetworkError(
                 f"ARQ gave up after {self._max_retries} retransmissions "
                 f"(link from {self._endpoint.name} is down?)"
             )
             self._failed = error
-            self._in_flight = None
+            for pending in self._in_flight.values():
+                if pending.timeout_event is not None:
+                    pending.timeout_event.cancel()
+            self._in_flight.clear()
             self._send_queue.clear()
             if registry.enabled:
                 registry.counter(
@@ -268,7 +374,7 @@ class ArqLink:
                 "sacha_arq_backoff_events_total",
                 "Retransmission timeouts that grew the backoff window",
             ).inc()
-        self._transmit_in_flight()
+        self._transmit(sequence, entry)
 
     # -- receiving ----------------------------------------------------------------
 
@@ -291,10 +397,56 @@ class ArqLink:
         if frame_type == _TYPE_ACK:
             self._on_ack(sequence)
             return
-        if frame_type != _TYPE_DATA:
+        if frame_type not in (_TYPE_DATA, _TYPE_DATA_SOLICIT):
             self.corrupt_frames_dropped += 1
             return
-        # Always acknowledge — the sender may have missed a previous ACK.
+        solicit = frame_type == _TYPE_DATA_SOLICIT or self._window == 1
+        if sequence >= self._expected_rx_sequence + self._window:
+            # Beyond the receive window: we cannot buffer it, and an ACK
+            # would let the sender forget a payload we never stored.  Stay
+            # silent; the sender retransmits once the window advances.
+            self.duplicates_dropped += 1
+            return
+        if sequence < self._expected_rx_sequence:
+            # Already delivered: the sender missed an ACK.  Echo the
+            # duplicate's own sequence — cumulatively it confirms only
+            # frames below the delivered prefix, and it is byte-identical
+            # to the stop-and-wait ACK the window=1 fingerprints pin.
+            self._send_ack(sequence)
+            self.duplicates_dropped += 1
+            return
+        if sequence in self._rx_buffer:
+            # Buffered but not yet delivered: echoing its sequence would
+            # cumulatively confirm the undelivered gap below it, so only
+            # the delivered prefix (if any) may be re-confirmed.
+            if self._expected_rx_sequence > 0:
+                self._send_ack(self._expected_rx_sequence - 1)
+            self.duplicates_dropped += 1
+            return
+        if sequence != self._expected_rx_sequence:
+            # In-window but out of order: hold it until the gap fills,
+            # and re-confirm the prefix so the sender keeps only the gap
+            # on its timers' critical path.
+            if self._expected_rx_sequence > 0:
+                self._send_ack(self._expected_rx_sequence - 1)
+            self._rx_buffer[sequence] = (payload, solicit)
+            return
+        # In order.  The ACK must precede delivery (the delivery handler
+        # may transmit follow-up traffic; stop-and-wait put the ACK on
+        # the wire first and the seeded fingerprints pin that order), so
+        # scan the contiguous run this frame completes before delivering.
+        run_end = sequence
+        while run_end + 1 in self._rx_buffer:
+            run_end += 1
+            solicit = solicit or self._rx_buffer[run_end][1]
+        if solicit:
+            self._send_ack(run_end)
+        self._deliver(payload)
+        while self._expected_rx_sequence <= run_end:
+            self._deliver(self._rx_buffer.pop(self._expected_rx_sequence)[0])
+
+    def _send_ack(self, sequence: int) -> None:
+        """Cumulative ACK: confirms every sequence number <= ``sequence``."""
         self._endpoint.send(
             EthernetFrame(
                 destination=self._peer_mac,
@@ -303,9 +455,8 @@ class ArqLink:
                 payload=_encode(_TYPE_ACK, sequence),
             )
         )
-        if sequence != self._expected_rx_sequence:
-            self.duplicates_dropped += 1
-            return
+
+    def _deliver(self, payload: bytes) -> None:
         self._expected_rx_sequence += 1
         if self.handler is not None:
             # Strip trailing padding ambiguity by re-wrapping: upper
@@ -341,20 +492,31 @@ class ArqLink:
             ).set(self._rto_ns / 1e9, endpoint=self._endpoint.name)
 
     def _on_ack(self, sequence: int) -> None:
-        if self._in_flight is None or sequence != self._next_tx_sequence:
+        if sequence >= self._next_tx_sequence:
+            return  # acknowledges something we never sent: bogus/stale
+        # Cumulative: retire every in-flight payload up to the acked
+        # sequence (the map iterates in transmit = sequence order).
+        acked = False
+        while self._in_flight:
+            first = next(iter(self._in_flight))
+            if first > sequence:
+                break
+            entry = self._in_flight.pop(first)
+            if entry.timeout_event is not None:
+                entry.timeout_event.cancel()
+                entry.timeout_event = None
+            # Karn's algorithm: only sample RTT for a never-retransmitted
+            # payload this ACK names directly (an ACK of a retransmission
+            # or an implicit confirmation is ambiguous).
+            if first == sequence and entry.retries == 0:
+                self._update_rtt(self._simulator.now_ns - entry.last_tx_ns)
+            acked = True
+        if not acked:
             return  # stale ACK
-        if self._timeout_event is not None:
-            self._timeout_event.cancel()
-            self._timeout_event = None
-        # Karn's algorithm: only sample RTT for never-retransmitted
-        # payloads (an ACK of a retransmission is ambiguous).
-        if self._in_flight_retries == 0:
-            self._update_rtt(self._simulator.now_ns - self._last_tx_ns)
-        self._in_flight = None
-        self._next_tx_sequence += 1
+        self._observe_in_flight()
         self._pump()
 
     @property
     def idle(self) -> bool:
         """Nothing in flight and nothing queued."""
-        return self._in_flight is None and not self._send_queue
+        return not self._in_flight and not self._send_queue

@@ -20,7 +20,9 @@ Every message is self-delimiting: 1 opcode byte, fixed-size fields, and a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Tuple, Union
+
+import numpy as np
 
 from repro.errors import WireFormatError
 
@@ -29,28 +31,64 @@ OPCODE_ICAP_READBACK = 0x02
 OPCODE_MAC_CHECKSUM = 0x03
 OPCODE_ICAP_READBACK_MASKED = 0x04
 OPCODE_ICAP_READBACK_RANGE = 0x05
+OPCODE_ICAP_READBACK_BATCH = 0x06
+OPCODE_ICAP_CONFIG_BATCH = 0x07
 OPCODE_CONFIG_ACK = 0x80
 OPCODE_READBACK_RESPONSE = 0x81
 OPCODE_MAC_RESPONSE = 0x82
 OPCODE_MASKED_READBACK_ACK = 0x83
 OPCODE_READBACK_RANGE_RESPONSE = 0x84
+OPCODE_READBACK_BATCH_RESPONSE = 0x85
+
+_OPCODE_NAMES = {
+    OPCODE_ICAP_CONFIG: "ICAP_config",
+    OPCODE_ICAP_READBACK: "ICAP_readback",
+    OPCODE_MAC_CHECKSUM: "MAC_checksum",
+    OPCODE_ICAP_READBACK_MASKED: "ICAP_readback_masked",
+    OPCODE_ICAP_READBACK_RANGE: "ICAP_readback_range",
+    OPCODE_ICAP_READBACK_BATCH: "ICAP_readback_batch",
+    OPCODE_ICAP_CONFIG_BATCH: "ICAP_config_batch",
+    OPCODE_CONFIG_ACK: "ConfigAck",
+    OPCODE_READBACK_RESPONSE: "ReadbackResponse",
+    OPCODE_MAC_RESPONSE: "MacChecksumResponse",
+    OPCODE_MASKED_READBACK_ACK: "MaskedReadbackAck",
+    OPCODE_READBACK_RANGE_RESPONSE: "ReadbackRangeResponse",
+    OPCODE_READBACK_BATCH_RESPONSE: "ReadbackBatchResponse",
+}
 
 
+def _opcode_name(opcode: int) -> str:
+    name = _OPCODE_NAMES.get(opcode, "unknown message")
+    return f"{name} (opcode {opcode:#04x})"
 
-def _encode_blob(data: bytes) -> bytes:
+
+def _encode_blob(data: bytes, opcode: int) -> bytes:
     if len(data) > 0xFFFF:
-        raise WireFormatError(f"blob of {len(data)} bytes exceeds wire limit")
+        raise WireFormatError(
+            f"{_opcode_name(opcode)}: blob of {len(data)} bytes exceeds the "
+            f"16-bit wire limit of {0xFFFF}"
+        )
     return len(data).to_bytes(2, "big") + data
 
 
-def _decode_blob(data: bytes, offset: int) -> tuple:
+def _decode_blob(data: bytes, offset: int, opcode: int) -> tuple:
+    if offset < 0:
+        raise WireFormatError(
+            f"{_opcode_name(opcode)}: negative blob offset {offset}"
+        )
+    if offset > len(data):
+        raise WireFormatError(
+            f"{_opcode_name(opcode)}: blob offset {offset} beyond the "
+            f"{len(data)}-byte message"
+        )
     if offset + 2 > len(data):
-        raise WireFormatError("truncated length prefix")
+        raise WireFormatError(f"{_opcode_name(opcode)}: truncated length prefix")
     length = int.from_bytes(data[offset : offset + 2], "big")
     offset += 2
     if offset + length > len(data):
         raise WireFormatError(
-            f"truncated blob: need {length} bytes, have {len(data) - offset}"
+            f"{_opcode_name(opcode)}: truncated blob: need {length} bytes, "
+            f"have {len(data) - offset}"
         )
     return data[offset : offset + length], offset + length
 
@@ -68,7 +106,7 @@ class IcapConfigCommand:
         return (
             bytes([OPCODE_ICAP_CONFIG])
             + self.frame_index.to_bytes(4, "big")
-            + _encode_blob(self.data)
+            + _encode_blob(self.data, OPCODE_ICAP_CONFIG)
         )
 
 
@@ -110,7 +148,7 @@ class IcapReadbackMaskedCommand:
         return (
             bytes([OPCODE_ICAP_READBACK_MASKED])
             + self.frame_index.to_bytes(4, "big")
-            + _encode_blob(self.mask)
+            + _encode_blob(self.mask, OPCODE_ICAP_READBACK_MASKED)
         )
 
 
@@ -139,6 +177,81 @@ class IcapReadbackRangeCommand:
         )
 
 
+def _check_indices(indices: "np.ndarray", opcode: int) -> None:
+    if indices.size < 1 or indices.size > 0xFFFF:
+        raise WireFormatError(
+            f"{_opcode_name(opcode)}: batch of {indices.size} frames out of "
+            f"range 1..{0xFFFF}"
+        )
+    if indices.size and (int(indices.min()) < 0 or int(indices.max()) > 0xFFFFFFFF):
+        raise WireFormatError(
+            f"{_opcode_name(opcode)}: frame index out of 32-bit range"
+        )
+
+
+@dataclass(frozen=True)
+class IcapReadbackBatchCommand:
+    """Batched readback of arbitrary (not necessarily contiguous) frames.
+
+    The hot-path replacement for per-frame ``ICAP_readback`` round trips:
+    one command carries up to 65,535 frame indices as a packed big-endian
+    ``>u4`` vector, and the prover answers with MTU-sized
+    :class:`ReadbackBatchResponse` fragments.  ``base_slot`` is the
+    position of the batch's first frame within the verifier's readback
+    plan, so responses can be matched to the plan without echoing every
+    index back.
+    """
+
+    base_slot: int
+    frame_indices: Tuple[int, ...]
+
+    def encode(self) -> bytes:
+        if self.base_slot < 0 or self.base_slot > 0xFFFFFFFF:
+            raise WireFormatError(f"batch base slot {self.base_slot} out of range")
+        indices = np.asarray(self.frame_indices, dtype=np.int64)
+        _check_indices(indices, OPCODE_ICAP_READBACK_BATCH)
+        return (
+            bytes([OPCODE_ICAP_READBACK_BATCH])
+            + self.base_slot.to_bytes(4, "big")
+            + len(self.frame_indices).to_bytes(2, "big")
+            + indices.astype(">u4").tobytes()
+        )
+
+
+@dataclass(frozen=True)
+class IcapConfigBatchCommand:
+    """Batched configuration: several equal-sized frames in one message.
+
+    ``data`` is the concatenation of the frame contents, in index order;
+    the per-frame size is ``len(data) // len(frame_indices)``.  A 4-byte
+    length field sidesteps the 16-bit ``_encode_blob`` cap — the batch
+    packer bounds the total to one ARQ payload anyway.
+    """
+
+    frame_indices: Tuple[int, ...]
+    data: bytes
+
+    def frame_bytes(self) -> int:
+        if not self.frame_indices or len(self.data) % len(self.frame_indices):
+            raise WireFormatError(
+                f"ICAP_config_batch: {len(self.data)} data bytes do not "
+                f"split evenly over {len(self.frame_indices)} frames"
+            )
+        return len(self.data) // len(self.frame_indices)
+
+    def encode(self) -> bytes:
+        self.frame_bytes()
+        indices = np.asarray(self.frame_indices, dtype=np.int64)
+        _check_indices(indices, OPCODE_ICAP_CONFIG_BATCH)
+        return (
+            bytes([OPCODE_ICAP_CONFIG_BATCH])
+            + len(self.frame_indices).to_bytes(2, "big")
+            + indices.astype(">u4").tobytes()
+            + len(self.data).to_bytes(4, "big")
+            + self.data
+        )
+
+
 @dataclass(frozen=True)
 class ConfigAck:
     """Optional acknowledgement of an ``ICAP_config``."""
@@ -160,7 +273,7 @@ class ReadbackResponse:
         return (
             bytes([OPCODE_READBACK_RESPONSE])
             + self.frame_index.to_bytes(4, "big")
-            + _encode_blob(self.data)
+            + _encode_blob(self.data, OPCODE_READBACK_RESPONSE)
         )
 
 
@@ -193,18 +306,51 @@ class ReadbackRangeResponse:
 
 
 @dataclass(frozen=True)
+class ReadbackBatchResponse:
+    """One MTU-sized fragment of a batched readback.
+
+    ``base_slot`` is the plan position of the fragment's first frame;
+    ``frame_count`` frames of equal size are concatenated in ``data``.
+    The 4-byte length field (not ``_encode_blob``) keeps the format
+    future-proof for jumbo frames, though the prover's fragmenter never
+    exceeds one ARQ payload today.
+    """
+
+    base_slot: int
+    frame_count: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        if self.base_slot < 0 or self.base_slot > 0xFFFFFFFF:
+            raise WireFormatError(f"batch base slot {self.base_slot} out of range")
+        if not 1 <= self.frame_count <= 0xFFFF:
+            raise WireFormatError(
+                f"batch response count {self.frame_count} out of range"
+            )
+        return (
+            bytes([OPCODE_READBACK_BATCH_RESPONSE])
+            + self.base_slot.to_bytes(4, "big")
+            + self.frame_count.to_bytes(2, "big")
+            + len(self.data).to_bytes(4, "big")
+            + self.data
+        )
+
+
+@dataclass(frozen=True)
 class MacChecksumResponse:
     """The finalized MAC tag."""
 
     tag: bytes
 
     def encode(self) -> bytes:
-        return bytes([OPCODE_MAC_RESPONSE]) + _encode_blob(self.tag)
+        return bytes([OPCODE_MAC_RESPONSE]) + _encode_blob(self.tag, OPCODE_MAC_RESPONSE)
 
 
 Command = Union[
     IcapConfigCommand,
+    IcapConfigBatchCommand,
     IcapReadbackCommand,
+    IcapReadbackBatchCommand,
     IcapReadbackMaskedCommand,
     IcapReadbackRangeCommand,
     MacChecksumCommand,
@@ -212,6 +358,7 @@ Command = Union[
 Response = Union[
     ConfigAck,
     MaskedReadbackAck,
+    ReadbackBatchResponse,
     ReadbackRangeResponse,
     ReadbackResponse,
     MacChecksumResponse,
@@ -227,7 +374,7 @@ def decode_command(data: bytes) -> Command:
         if len(data) < 5:
             raise WireFormatError("truncated ICAP_config")
         frame_index = int.from_bytes(data[1:5], "big")
-        blob, _ = _decode_blob(data, 5)
+        blob, _ = _decode_blob(data, 5, OPCODE_ICAP_CONFIG)
         return IcapConfigCommand(frame_index, blob)
     if opcode == OPCODE_ICAP_READBACK:
         if len(data) < 5:
@@ -239,7 +386,7 @@ def decode_command(data: bytes) -> Command:
         if len(data) < 5:
             raise WireFormatError("truncated masked ICAP_readback")
         frame_index = int.from_bytes(data[1:5], "big")
-        blob, _ = _decode_blob(data, 5)
+        blob, _ = _decode_blob(data, 5, OPCODE_ICAP_READBACK_MASKED)
         return IcapReadbackMaskedCommand(frame_index, blob)
     if opcode == OPCODE_ICAP_READBACK_RANGE:
         if len(data) < 7:
@@ -247,6 +394,35 @@ def decode_command(data: bytes) -> Command:
         return IcapReadbackRangeCommand(
             start_index=int.from_bytes(data[1:5], "big"),
             count=int.from_bytes(data[5:7], "big"),
+        )
+    if opcode == OPCODE_ICAP_READBACK_BATCH:
+        if len(data) < 7:
+            raise WireFormatError("truncated batched ICAP_readback")
+        base_slot = int.from_bytes(data[1:5], "big")
+        count = int.from_bytes(data[5:7], "big")
+        if len(data) < 7 + 4 * count:
+            raise WireFormatError(
+                f"truncated batched ICAP_readback: {count} indices announced, "
+                f"{(len(data) - 7) // 4} present"
+            )
+        indices = np.frombuffer(data, dtype=">u4", count=count, offset=7)
+        return IcapReadbackBatchCommand(
+            base_slot=base_slot, frame_indices=tuple(int(i) for i in indices)
+        )
+    if opcode == OPCODE_ICAP_CONFIG_BATCH:
+        if len(data) < 3:
+            raise WireFormatError("truncated batched ICAP_config")
+        count = int.from_bytes(data[1:3], "big")
+        header_end = 3 + 4 * count
+        if len(data) < header_end + 4:
+            raise WireFormatError("truncated batched ICAP_config index vector")
+        indices = np.frombuffer(data, dtype=">u4", count=count, offset=3)
+        length = int.from_bytes(data[header_end : header_end + 4], "big")
+        if header_end + 4 + length > len(data):
+            raise WireFormatError("truncated batched ICAP_config payload")
+        return IcapConfigBatchCommand(
+            frame_indices=tuple(int(i) for i in indices),
+            data=data[header_end + 4 : header_end + 4 + length],
         )
     raise WireFormatError(f"unknown command opcode {opcode:#04x}")
 
@@ -264,7 +440,7 @@ def decode_response(data: bytes) -> Response:
         if len(data) < 5:
             raise WireFormatError("truncated readback response")
         frame_index = int.from_bytes(data[1:5], "big")
-        blob, _ = _decode_blob(data, 5)
+        blob, _ = _decode_blob(data, 5, OPCODE_READBACK_RESPONSE)
         return ReadbackResponse(frame_index, blob)
     if opcode == OPCODE_MASKED_READBACK_ACK:
         if len(data) < 5:
@@ -278,7 +454,16 @@ def decode_response(data: bytes) -> Response:
         if 9 + length > len(data):
             raise WireFormatError("truncated ranged readback payload")
         return ReadbackRangeResponse(start_index, data[9 : 9 + length])
+    if opcode == OPCODE_READBACK_BATCH_RESPONSE:
+        if len(data) < 11:
+            raise WireFormatError("truncated batched readback response")
+        base_slot = int.from_bytes(data[1:5], "big")
+        frame_count = int.from_bytes(data[5:7], "big")
+        length = int.from_bytes(data[7:11], "big")
+        if 11 + length > len(data):
+            raise WireFormatError("truncated batched readback payload")
+        return ReadbackBatchResponse(base_slot, frame_count, data[11 : 11 + length])
     if opcode == OPCODE_MAC_RESPONSE:
-        blob, _ = _decode_blob(data, 1)
+        blob, _ = _decode_blob(data, 1, OPCODE_MAC_RESPONSE)
         return MacChecksumResponse(blob)
     raise WireFormatError(f"unknown response opcode {opcode:#04x}")

@@ -8,6 +8,8 @@ switch backends without code changes::
     REPRO_AES_BACKEND=reference   # reference | table | native | auto
     REPRO_SWARM_WORKERS=4         # 0/1 = sequential sweep
     REPRO_FRAME_FASTPATH=0        # disable bulk/vectorized frame handling
+    REPRO_ARQ_WINDOW=8            # ARQ payloads in flight; 1 = stop-and-wait
+    REPRO_READBACK_BATCH_FRAMES=256  # frames per batched readback; 1 = per-frame
 
 ``auto`` (the default) picks ``native`` when the optional ``cryptography``
 package is importable and falls back to the pure-Python ``table`` backend
@@ -48,6 +50,15 @@ class ReproConfig:
     #: cached mask application, vectorized verifier compare).  Exists so a
     #: regression in the fast path can be ruled out in one env flip.
     frame_fastpath: bool = True
+    #: ARQ send-window size for networked sessions: how many payloads may
+    #: be unacknowledged at once.  ``1`` is the legacy stop-and-wait and
+    #: stays byte-identical to it.
+    arq_window: int = 8
+    #: Frames per batched readback command in the pipelined networked
+    #: session.  ``1`` keeps the legacy per-frame command/await/response
+    #: loop (byte-identical to it); larger values pack many frames per
+    #: ARQ payload and stream commands ahead of responses.
+    readback_batch_frames: int = 256
 
     def __post_init__(self) -> None:
         if self.aes_backend not in AES_BACKEND_CHOICES:
@@ -58,6 +69,15 @@ class ReproConfig:
         if self.swarm_workers < 0:
             raise ReproError(
                 f"swarm_workers must be non-negative, got {self.swarm_workers}"
+            )
+        if self.arq_window < 1:
+            raise ReproError(
+                f"arq_window must be >= 1, got {self.arq_window}"
+            )
+        if self.readback_batch_frames < 1:
+            raise ReproError(
+                f"readback_batch_frames must be >= 1, "
+                f"got {self.readback_batch_frames}"
             )
 
     def with_overrides(self, **changes: object) -> "ReproConfig":
@@ -76,6 +96,17 @@ class ReproConfig:
             raise ReproError(
                 f"REPRO_SWARM_WORKERS must be an integer, got {workers_raw!r}"
             ) from None
+        def _int_env(name: str, default: str) -> int:
+            raw = env.get(name, default).strip() or default
+            try:
+                return int(raw)
+            except ValueError:
+                raise ReproError(
+                    f"{name} must be an integer, got {raw!r}"
+                ) from None
+
+        window = _int_env("REPRO_ARQ_WINDOW", "8")
+        batch_frames = _int_env("REPRO_READBACK_BATCH_FRAMES", "256")
         fastpath_raw = env.get("REPRO_FRAME_FASTPATH", "1").strip().lower() or "1"
         if fastpath_raw in _TRUTHY:
             fastpath = True
@@ -89,6 +120,8 @@ class ReproConfig:
             aes_backend=backend,
             swarm_workers=workers,
             frame_fastpath=fastpath,
+            arq_window=window,
+            readback_batch_frames=batch_frames,
         )
 
 

@@ -93,9 +93,13 @@ class TestReliableSession:
         simulator = Simulator()
         channel = Channel(simulator, LatencyModel(base_ns=1_000.0))
         verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(51))
+        # Pin the lockstep shape (window=1, batch=1) so the comparison
+        # isolates transport overhead; the pipelined default would send
+        # *fewer* frames than the raw baseline by batching commands.
         reliable = NetworkAttestationSession(
             simulator, channel, provisioned.prover, verifier,
             DeterministicRng(52), reliable=True,
+            arq_window=1, readback_batch_frames=1,
         ).run()
         assert reliable.report.accepted == baseline.report.accepted is True
         # Reliable mode roughly doubles frame counts (one ACK per DATA).
@@ -146,3 +150,194 @@ class TestNetworkAdversaries:
         session.run()
         key = session._prover._key_provider.mac_key()
         assert all(key not in payload for payload in observed)
+
+
+def _reliable_session(
+    window, batch, seed=50, latency_ns=1_000.0, fault_profile=None,
+    reliable=True, max_attempts=1,
+):
+    from repro.net.faults import FaultModel, FaultProfile  # noqa: F401
+
+    system = build_sacha_system(SIM_SMALL)
+    provisioned, record = provision_device(system, "prv-pipe", seed=seed)
+    simulator = Simulator()
+    model = None
+    if fault_profile is not None:
+        model = FaultModel(fault_profile, DeterministicRng(seed + 9).fork("f"))
+    channel = Channel(
+        simulator, LatencyModel(base_ns=latency_ns), fault_model=model
+    )
+    verifier = SachaVerifier(
+        record.system, record.mac_key, DeterministicRng(seed + 1)
+    )
+    session = NetworkAttestationSession(
+        simulator,
+        channel,
+        provisioned.prover,
+        verifier,
+        DeterministicRng(seed + 2),
+        reliable=reliable,
+        max_attempts=max_attempts,
+        arq_window=window,
+        readback_batch_frames=batch,
+    )
+    return session, channel
+
+
+class TestPipelinedTransport:
+    def test_tags_identical_across_transport_shapes(self):
+        """The transport shape is invisible to the protocol crypto: any
+        (window, batch) combination produces byte-identical MAC tags and
+        nonces for the same seeds."""
+        results = {}
+        for shape in ((1, 1), (8, 256), (4, 64), (32, 1024), (1, 256), (8, 1)):
+            session, _ = _reliable_session(*shape)
+            result = session.run()
+            assert result.report.accepted, f"shape {shape} rejected"
+            results[shape] = (session._tag, result.report.nonce)
+        tags = {tag for tag, _ in results.values()}
+        nonces = {nonce for _, nonce in results.values()}
+        assert len(tags) == 1
+        assert len(nonces) == 1
+
+    def test_pipelined_moves_far_fewer_frames(self):
+        lockstep, _ = _reliable_session(1, 1)
+        pipelined, _ = _reliable_session(8, 256)
+        slow = lockstep.run()
+        fast = pipelined.run()
+        assert slow.report.accepted and fast.report.accepted
+        assert (
+            fast.frames_sent_by_verifier < slow.frames_sent_by_verifier / 4
+        )
+        assert fast.frames_sent_by_prover < slow.frames_sent_by_prover / 4
+
+    def test_raw_channel_falls_back_to_lockstep(self):
+        """Pipelining needs the ARQ's in-order guarantee; on a raw
+        channel the session must keep the legacy per-frame loop even
+        when batching is configured."""
+        session, _ = _reliable_session(8, 256, reliable=False)
+        assert not session._pipelined
+        result = session.run()
+        assert result.report.accepted
+        total_frames = SIM_SMALL.total_frames
+        dynamic = session._verifier.system.partition.dynamic_frame_count
+        assert result.frames_sent_by_verifier == dynamic + total_frames + 1
+
+    def test_out_of_plan_fragment_is_ignored(self):
+        """A fragment that is not the next contiguous plan slice cannot
+        touch the MAC stream."""
+        from repro.net.messages import ReadbackBatchResponse
+
+        session, _ = _reliable_session(8, 256)
+        result = session.run()
+        assert result.report.accepted
+        before = session.unexpected_frames
+        frame_bytes = session._verifier.system.device.frame_bytes
+        rogue = ReadbackBatchResponse(
+            base_slot=5, frame_count=1, data=bytes(frame_bytes)
+        )
+        session._on_verifier_delivery_pipelined(
+            EthernetFrame(
+                destination=session.verifier_endpoint.mac,
+                source=session.prover_endpoint.mac,
+                ethertype=0x88B5,
+                payload=rogue.encode(),
+            )
+        )
+        assert session.unexpected_frames == before + 1
+
+    def test_premature_checksum_response_is_ignored(self):
+        """A MAC tag arriving before the sweep completes must not be
+        trusted: a missing fragment fails towards inconclusive, never
+        towards a verdict over partial data."""
+        from repro.net.messages import MacChecksumResponse
+
+        session, _ = _reliable_session(8, 256)
+        session._phase = session._phase.__class__.READBACK
+        session._plan = [0, 1, 2, 3]
+        session._rx_slot = 0
+        before = session.unexpected_frames
+        session._on_verifier_delivery_pipelined(
+            EthernetFrame(
+                destination=session.verifier_endpoint.mac,
+                source=session.prover_endpoint.mac,
+                ethertype=0x88B5,
+                payload=MacChecksumResponse(tag=bytes(16)).encode(),
+            )
+        )
+        assert session.unexpected_frames == before + 1
+        assert session._tag is None
+
+
+class TestFaultCompatibility:
+    """Duplication/reorder faults on a raw channel would desynchronize
+    the incremental MAC into a false reject — the session must refuse
+    the configuration outright instead of failing unsafely later."""
+
+    def _channel_with(self, profile):
+        from repro.net.faults import FaultModel
+
+        simulator = Simulator()
+        model = FaultModel(profile, DeterministicRng(5).fork("f"))
+        channel = Channel(
+            simulator, LatencyModel(base_ns=1_000.0), fault_model=model
+        )
+        return simulator, channel
+
+    def _build(self, simulator, channel, reliable):
+        from repro.core.provisioning import provision_device
+
+        system = build_sacha_system(SIM_SMALL)
+        provisioned, record = provision_device(system, "prv-fc", seed=61)
+        verifier = SachaVerifier(
+            record.system, record.mac_key, DeterministicRng(62)
+        )
+        return NetworkAttestationSession(
+            simulator,
+            channel,
+            provisioned.prover,
+            verifier,
+            DeterministicRng(63),
+            reliable=reliable,
+        )
+
+    def test_duplication_on_raw_channel_rejected(self):
+        from repro.net.faults import FaultProfile
+
+        simulator, channel = self._channel_with(
+            FaultProfile(duplication_probability=0.1)
+        )
+        with pytest.raises(ProtocolError, match="duplication"):
+            self._build(simulator, channel, reliable=False)
+
+    def test_reorder_on_raw_channel_rejected(self):
+        from repro.net.faults import FaultProfile
+
+        simulator, channel = self._channel_with(
+            FaultProfile(reorder_probability=0.1, reorder_extra_ns=1e5)
+        )
+        with pytest.raises(ProtocolError, match="reordering"):
+            self._build(simulator, channel, reliable=False)
+
+    def test_same_faults_allowed_over_arq(self):
+        from repro.net.faults import FaultProfile
+
+        simulator, channel = self._channel_with(
+            FaultProfile(
+                duplication_probability=0.1,
+                reorder_probability=0.1,
+                reorder_extra_ns=1e5,
+            )
+        )
+        session = self._build(simulator, channel, reliable=True)
+        assert session.run().report.accepted
+
+    def test_loss_alone_allowed_raw(self):
+        """Loss fails towards inconclusive, never a wrong verdict, so it
+        stays legal on the raw transport."""
+        from repro.net.faults import FaultProfile
+
+        simulator, channel = self._channel_with(
+            FaultProfile(loss_probability=0.01)
+        )
+        self._build(simulator, channel, reliable=False)  # must not raise

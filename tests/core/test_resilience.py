@@ -42,7 +42,15 @@ def _faulty_session(
     arq_max_retries=25,
     tuning=None,
     needs_rng=None,
+    arq_window=1,
+    readback_batch_frames=1,
 ):
+    # These scenarios pin the lockstep (window=1, batch=1) path by
+    # default: their seeds were chosen so the stop-and-wait frame
+    # interleaving actually collides with the configured faults.  The
+    # pipelined defaults finish in far fewer frames, so the same seeds
+    # would sail past the fault windows — pipelined fault coverage gets
+    # its own scenario below.
     system = build_sacha_system(SIM_SMALL)
     provisioned, record = provision_device(system, "prv-faulty", seed=seed)
     simulator = Simulator()
@@ -65,6 +73,8 @@ def _faulty_session(
         arq_tuning=tuning,
         arq_max_retries=arq_max_retries,
         max_attempts=max_attempts,
+        arq_window=arq_window,
+        readback_batch_frames=readback_batch_frames,
     )
     return session, model
 
@@ -120,6 +130,49 @@ class TestAcceptanceScenario:
                 session.total_retransmissions,
                 result.report.verdict,
                 result.attempts,
+            )
+
+        assert run_once() == run_once()
+
+
+class TestPipelinedResilience:
+    """The pipelined defaults (window > 1, batched readback) must ride
+    out the same fault classes as the lockstep path."""
+
+    PIPELINED_PROFILE = FaultProfile(
+        loss_probability=0.15,
+        corruption_probability=0.05,
+        duplication_probability=0.05,
+    )
+
+    def _pipelined_session(self):
+        # arq_window/readback_batch_frames are left at their config
+        # defaults (8 / 256): this scenario exists precisely to run the
+        # pipelined path under faults.
+        return _faulty_session(
+            self.PIPELINED_PROFILE,
+            arq_window=None,
+            readback_batch_frames=None,
+        )
+
+    def test_pipelined_defaults_survive_faults(self):
+        session, model = self._pipelined_session()
+        result = session.run()
+        assert result.report.verdict is Verdict.ACCEPT
+        assert model.counters.lost > 0
+        assert session.total_retransmissions > 0
+
+    def test_pipelined_faulty_run_is_seed_reproducible(self):
+        def run_once():
+            session, model = self._pipelined_session()
+            result = session.run()
+            return (
+                model.counters.as_dict(),
+                session.total_retransmissions,
+                result.report.verdict,
+                result.attempts,
+                result.duration_ns,
+                result.report.nonce,
             )
 
         assert run_once() == run_once()

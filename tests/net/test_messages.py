@@ -84,3 +84,38 @@ class TestMalformedInput:
     def test_oversized_blob(self):
         with pytest.raises(WireFormatError):
             IcapConfigCommand(0, bytes(70_000)).encode()
+
+
+class TestBlobDiagnostics:
+    """Codec errors must name the message they belong to: a truncated
+    blob deep in a batched exchange is undebuggable as a bare offset."""
+
+    def test_oversized_blob_names_opcode(self):
+        with pytest.raises(WireFormatError, match="ICAP_config"):
+            IcapConfigCommand(0, bytes(70_000)).encode()
+        with pytest.raises(WireFormatError, match="MacChecksumResponse"):
+            MacChecksumResponse(tag=bytes(70_000)).encode()
+
+    def test_truncated_blob_names_opcode(self):
+        full = IcapConfigCommand(1, b"abcd").encode()
+        with pytest.raises(WireFormatError, match="ICAP_config"):
+            decode_command(full[:7])
+        response = ReadbackResponse(frame_index=3, data=bytes(64)).encode()
+        with pytest.raises(WireFormatError, match="ReadbackResponse"):
+            decode_response(response[:10])
+
+    def test_negative_offset_rejected(self):
+        from repro.net.messages import OPCODE_ICAP_CONFIG, _decode_blob
+
+        with pytest.raises(WireFormatError, match="negative"):
+            _decode_blob(b"\x00\x01x", -1, OPCODE_ICAP_CONFIG)
+
+    def test_offset_beyond_message_rejected(self):
+        from repro.net.messages import OPCODE_ICAP_CONFIG, _decode_blob
+
+        with pytest.raises(WireFormatError, match="beyond"):
+            _decode_blob(b"\x00\x01x", 99, OPCODE_ICAP_CONFIG)
+
+    def test_blob_at_exact_cap_round_trips(self):
+        command = IcapConfigCommand(0, bytes(0xFFFF))
+        assert decode_command(command.encode()) == command
