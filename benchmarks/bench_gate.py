@@ -47,7 +47,17 @@ SUITES = [
     "benchmarks/bench_table4_protocol.py",
     "benchmarks/bench_swarm_scaling.py",
     "benchmarks/bench_net_attestation.py",
+    "benchmarks/bench_obs_overhead.py",
 ]
+
+#: Max fractional slowdown of an obs-enabled attestation over the
+#: disabled baseline.  Compared within one run (same machine, same
+#: load), so no calibration is involved.
+OBS_OVERHEAD_LIMIT = 0.05
+OBS_OVERHEAD_PAIR = (
+    "benchmarks/bench_obs_overhead.py::test_attestation_obs_disabled",
+    "benchmarks/bench_obs_overhead.py::test_attestation_obs_enabled",
+)
 
 
 def calibrate() -> float:
@@ -171,6 +181,29 @@ def compare(
     return failures
 
 
+def check_obs_overhead(current: Dict[str, object]) -> List[str]:
+    """Enabled-vs-disabled observability overhead, within this run."""
+    benches: Dict[str, Dict[str, float]] = current["benchmarks"]  # type: ignore[assignment]
+    disabled_name, enabled_name = OBS_OVERHEAD_PAIR
+    disabled = benches.get(disabled_name)
+    enabled = benches.get(enabled_name)
+    if disabled is None or enabled is None:
+        return [
+            "MISSING  obs overhead pair: "
+            f"{disabled_name} / {enabled_name} did not both run"
+        ]
+    overhead = (
+        float(enabled["min_seconds"]) / float(disabled["min_seconds"]) - 1.0
+    )
+    marker = "FAIL" if overhead > OBS_OVERHEAD_LIMIT else "ok"
+    line = (
+        f"{marker:7s} obs overhead: enabled/disabled = "
+        f"{overhead:+.1%} (limit +{OBS_OVERHEAD_LIMIT:.0%})"
+    )
+    print(line)
+    return [line] if overhead > OBS_OVERHEAD_LIMIT else []
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -214,10 +247,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         Path(args.json).write_text(json.dumps(current, indent=2) + "\n")
         print(f"wrote {args.json}")
 
+    overhead_failures = check_obs_overhead(current)
+
     if args.update_baseline:
         BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
         print(f"updated {BASELINE_PATH}")
-        return 0
+        return 1 if overhead_failures else 0
 
     if baseline is None:
         print(
@@ -226,7 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    failures = compare(baseline, current)
+    failures = compare(baseline, current) + overhead_failures
     if failures:
         print(f"\nbench gate FAILED: {len(failures)} regression(s)")
         for failure in failures:

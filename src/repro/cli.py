@@ -15,12 +15,17 @@ Commands:
   spans and structured logging enabled, print the collected evidence;
 * ``lint [PATHS] [--format json] [--write-baseline]`` — run sachalint,
   the domain-aware static analysis pass (see docs/STATIC_ANALYSIS.md);
+* ``obs report|flame|health`` — offline telemetry analysis: merge span
+  dumps into a stitched profile report, export a collapsed-stack
+  flamegraph, or evaluate SLO health rules over registry snapshots;
 * ``list`` — list devices and experiments.
 
 ``attest``, ``trace``, ``experiment`` and ``metrics`` take observability
 options: ``--metrics-out FILE`` (Prometheus text exposition),
-``--spans-out FILE`` (JSON-lines span log), ``--log-json`` (structured
-JSON logs plus the span log on stderr) and ``--log-level``.
+``--spans-out FILE`` (JSON-lines span log), ``--snapshot-out FILE``
+(lossless JSON registry snapshot for ``obs health`` and offline
+merging), ``--log-json`` (structured JSON logs plus the span log on
+stderr) and ``--log-level``.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.experiments import (
@@ -75,6 +81,13 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
         help="write the structured span log to FILE as JSON lines",
     )
     group.add_argument(
+        "--snapshot-out",
+        metavar="FILE",
+        default=None,
+        help="write a lossless JSON registry snapshot to FILE "
+        "(consumed by 'repro obs health' and offline merging)",
+    )
+    group.add_argument(
         "--log-json",
         action="store_true",
         help="structured logs (and the span log) as JSON lines on stderr",
@@ -96,6 +109,7 @@ def _obs_requested(args: argparse.Namespace) -> bool:
     return bool(
         getattr(args, "metrics_out", None)
         or getattr(args, "spans_out", None)
+        or getattr(args, "snapshot_out", None)
         or getattr(args, "log_json", False)
         or args.command == "metrics"
     )
@@ -127,6 +141,16 @@ def _finish_obs(args: argparse.Namespace, scope) -> None:
         if args.spans_out:
             write_jsonl(
                 (record.to_dict() for record in registry.spans), args.spans_out
+            )
+        if getattr(args, "snapshot_out", None):
+            import json
+
+            from repro.obs.exporters import registry_snapshot
+
+            Path(args.snapshot_out).write_text(
+                json.dumps(registry_snapshot(registry), sort_keys=True)
+                + "\n",
+                encoding="utf-8",
             )
         if args.log_json and not args.spans_out:
             span_logger = obs_log.get_logger("repro.obs.spans")
@@ -247,6 +271,45 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint import cli as lint_cli
 
     lint_cli.add_arguments(lint)
+
+    obs = commands.add_parser(
+        "obs",
+        help="offline telemetry analysis: span profiling and SLO health",
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_commands.add_parser(
+        "report",
+        help="merge span dumps (JSONL) into one stitched profile report",
+    )
+    report.add_argument(
+        "files", nargs="+", metavar="SPANS_JSONL", help="span dump files"
+    )
+    flame = obs_commands.add_parser(
+        "flame",
+        help="export merged span dumps as collapsed stacks "
+        "(flamegraph.pl / speedscope)",
+    )
+    flame.add_argument(
+        "files", nargs="+", metavar="SPANS_JSONL", help="span dump files"
+    )
+    flame.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write collapsed stacks to FILE (default: stdout)",
+    )
+    health = obs_commands.add_parser(
+        "health",
+        help="evaluate SLO rules over registry snapshots "
+        "(exit 0 OK, 1 WARN, 2 CRIT)",
+    )
+    health.add_argument(
+        "snapshots",
+        nargs="+",
+        metavar="SNAPSHOT_JSON",
+        help="registry snapshot files (several merge into one fleet view)",
+    )
 
     commands.add_parser("list", help="list devices and experiments")
     return parser
@@ -411,6 +474,46 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0 if accepted else 1
 
 
+def _command_obs(args: argparse.Namespace) -> int:
+    """Offline telemetry analysis over span dumps and snapshots."""
+    import json
+
+    from repro.obs.aggregate import merge_snapshots
+    from repro.obs.exporters import registry_snapshot
+    from repro.obs.health import evaluate_health, health_exit_code
+    from repro.obs.profile import render_report, to_collapsed_stacks
+    from repro.obs.trace import load_span_dump, merge_span_dumps
+
+    if args.obs_command in ("report", "flame"):
+        spans = merge_span_dumps(
+            [load_span_dump(path) for path in args.files]
+        )
+        if args.obs_command == "report":
+            print(render_report(spans), end="")
+            return 0
+        collapsed = to_collapsed_stacks(spans)
+        if args.out:
+            Path(args.out).write_text(collapsed, encoding="utf-8")
+            print(
+                f"wrote {len(collapsed.splitlines())} stacks to {args.out}"
+            )
+        else:
+            print(collapsed, end="")
+        return 0
+    snapshots = [
+        json.loads(Path(path).read_text(encoding="utf-8"))
+        for path in args.snapshots
+    ]
+    snapshot = (
+        snapshots[0]
+        if len(snapshots) == 1
+        else registry_snapshot(merge_snapshots(snapshots))
+    )
+    report = evaluate_health(snapshot)
+    print(report.explain())
+    return health_exit_code(report)
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     from repro.lint import cli as lint_cli
 
@@ -439,6 +542,7 @@ _HANDLERS = {
     "experiment": _command_experiment,
     "metrics": _command_metrics,
     "lint": _command_lint,
+    "obs": _command_obs,
     "list": _command_list,
 }
 

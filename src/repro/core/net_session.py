@@ -56,19 +56,25 @@ from repro.net.batch import pack_config_commands, pack_readback_plan
 from repro.net.channel import Channel, Endpoint
 from repro.net.ethernet import ETHERTYPE_SACHA, EthernetFrame, MacAddress
 from repro.net.messages import (
+    Command,
     IcapConfigBatchCommand,
     IcapConfigCommand,
+    IcapReadbackBatchCommand,
     IcapReadbackCommand,
+    IcapReadbackMaskedCommand,
+    IcapReadbackRangeCommand,
     MacChecksumCommand,
     MacChecksumResponse,
     ReadbackBatchResponse,
     ReadbackResponse,
+    TraceHelloCommand,
     decode_command,
     decode_response,
 )
 from repro.obs import log as obs_log
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import MetricsRegistry, get_registry, use_context_registry
 from repro.obs.spans import span
+from repro.obs.trace import trace_context, trace_id_from_nonce
 from repro.perf import get_config
 from repro.sim.events import Simulator
 from repro.utils.rng import DeterministicRng
@@ -77,6 +83,20 @@ _log = obs_log.get_logger(__name__)
 
 VERIFIER_MAC = MacAddress.from_string("02:00:00:00:00:01")
 PROVER_MAC = MacAddress.from_string("02:00:00:00:00:02")
+
+
+#: Span names for prover-side command handling, by command kind.  Kinds
+#: that implement the same protocol phase share a name so phase
+#: breakdowns aggregate naturally.
+_PROVER_SPAN_NAMES = {
+    IcapConfigCommand: "prover_config",
+    IcapConfigBatchCommand: "prover_config",
+    IcapReadbackCommand: "prover_readback",
+    IcapReadbackBatchCommand: "prover_readback",
+    IcapReadbackMaskedCommand: "prover_readback",
+    IcapReadbackRangeCommand: "prover_readback",
+    MacChecksumCommand: "prover_checksum",
+}
 
 
 class _Phase(enum.Enum):
@@ -118,6 +138,7 @@ class NetworkAttestationSession:
         max_attempts: int = 1,
         arq_window: Optional[int] = None,
         readback_batch_frames: Optional[int] = None,
+        prover_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_attempts < 1:
             raise ProtocolError(
@@ -134,6 +155,11 @@ class NetworkAttestationSession:
         self._arq_tuning = arq_tuning
         self._arq_max_retries = arq_max_retries
         self._max_attempts = max_attempts
+        # Optional separate registry for prover-side telemetry.  With the
+        # in-process prover both parties would otherwise share one span
+        # store; a dedicated registry yields the genuinely multi-party
+        # dumps the trace stitcher is built for.  None -> the active one.
+        self._prover_registry = prover_registry
         config = get_config()
         if arq_window is not None:
             if arq_window < 1:
@@ -174,6 +200,8 @@ class NetworkAttestationSession:
         self._mac_pending_bytes = 0
         self._start_ns = 0.0
         self._end_ns = 0.0
+        self._trace_id = ""
+        self._prover_trace_id: Optional[str] = None
         self._link_failure: Optional[NetworkError] = None
         self.undecodable_frames = 0
         self.unexpected_frames = 0
@@ -308,8 +336,14 @@ class NetworkAttestationSession:
                         attempt=attempts,
                         max_attempts=self._max_attempts,
                     )
-                with span("session_attempt", clock=clock, attempt=attempts):
-                    failure = self._run_attempt()
+                # The nonce is drawn before the attempt span opens so the
+                # span (and the prover's, via the TraceHello handshake)
+                # can carry the nonce-derived trace id.
+                self._nonce = self._verifier.new_nonce()
+                self._trace_id = trace_id_from_nonce(self._nonce)
+                with trace_context(self._trace_id, "verifier"):
+                    with span("session_attempt", clock=clock, attempt=attempts):
+                        failure = self._run_attempt()
                 if failure is None:
                     break
         if registry.enabled:
@@ -356,6 +390,7 @@ class NetworkAttestationSession:
         """One full protocol pass; None on success, the failure otherwise."""
         # Fresh per-attempt state: nonce, plan, responses, MAC, transport.
         self._link_failure = None
+        self._prover_trace_id = None
         self._responses = []
         self._plan_cursor = 0
         self._tag = None
@@ -365,7 +400,11 @@ class NetworkAttestationSession:
         self._mac_stream = None
         self._mac_pending = []
         self._mac_pending_bytes = 0
-        self._prover.abort_run()
+        # Abort under the prover's registry: the abandoned attempt's
+        # pending command counts must land in the same shard that the
+        # delivery path used, not the verifier's ambient registry.
+        with use_context_registry(self._prover_registry or get_registry()):
+            self._prover.abort_run()
         self._install_ports()
         self._phase = _Phase.CONFIG
 
@@ -399,10 +438,10 @@ class NetworkAttestationSession:
         Byte- and telemetry-identical to the original stop-and-wait
         session; seeded determinism fingerprints pin it.
         """
+        self._send_trace_hello()
         # Fire-and-forget configuration commands; in-order delivery on the
         # point-to-point channel guarantees they are applied before the
         # readbacks that follow.
-        self._nonce = self._verifier.new_nonce()
         commands = self._verifier.config_commands(self._nonce)
         self._config_steps = len(commands)
         for command in commands:
@@ -420,7 +459,6 @@ class NetworkAttestationSession:
         order, so the whole command schedule can be enqueued before the
         first response returns — the sliding window keeps the pipe full.
         """
-        self._nonce = self._verifier.new_nonce()
         self._mac_stream = self._verifier.mac_stream()
         registry = get_registry()
         config_commands = self._verifier.config_commands(self._nonce)
@@ -429,10 +467,15 @@ class NetworkAttestationSession:
         self._plan = self._verifier.readback_plan()
         self._phase = _Phase.READBACK
         readback_batches = pack_readback_plan(self._plan, self._batch_frames)
-        # One burst carries the whole command schedule: config, readbacks,
-        # checksum.  The ARQ layer sees the burst's tail, so a window's
-        # worth of commands costs one cumulative ACK.
-        payloads = [batch.encode() for batch in config_batches]
+        # One burst carries the whole command schedule: (telemetry hello,)
+        # config, readbacks, checksum.  The ARQ layer sees the burst's
+        # tail, so a window's worth of commands costs one cumulative ACK.
+        payloads = []
+        if registry.enabled and self._trace_id:
+            payloads.append(
+                TraceHelloCommand(bytes.fromhex(self._trace_id)).encode()
+            )
+        payloads.extend(batch.encode() for batch in config_batches)
         payloads.extend(batch.encode() for batch in readback_batches)
         payloads.append(MacChecksumCommand().encode())
         self._send_burst_to_prover(payloads)
@@ -599,6 +642,17 @@ class NetworkAttestationSession:
             return
         self.unexpected_frames += 1
 
+    def _send_trace_hello(self) -> None:
+        """Announce the attempt's trace id — only when telemetry is on.
+
+        The disabled path sends nothing, keeping its wire sequence
+        byte-identical to the pre-telemetry protocol.
+        """
+        if get_registry().enabled and self._trace_id:
+            self._send_to_prover(
+                TraceHelloCommand(bytes.fromhex(self._trace_id)).encode()
+            )
+
     def _send_to_prover(self, payload: bytes) -> None:
         if self._link_failure is not None:
             return
@@ -653,6 +707,37 @@ class NetworkAttestationSession:
                 side="prover",
             )
             return
+        target = self._prover_registry or get_registry()
+        if isinstance(command, TraceHelloCommand):
+            self._prover_trace_id = command.trace_id.hex()
+            if target.enabled:
+                with use_context_registry(target):
+                    self._prover.handle_command(command)
+            else:
+                self._prover.handle_command(command)
+            return
+        if not target.enabled:
+            self._handle_prover_command(command)
+            return
+        # Prover-side telemetry: commands handled under the prover's own
+        # registry (which may be a separate shard), tagged with the trace
+        # id announced by the hello and rooted per exchange — roots
+        # because the verifier's spans live in another context/registry;
+        # the offline stitcher re-parents them under the attempt span.
+        name = _PROVER_SPAN_NAMES.get(type(command), "prover_command")
+        with use_context_registry(target), trace_context(
+            self._prover_trace_id or "", self._prover.device_id
+        ):
+            with span(
+                name,
+                clock=lambda: self._simulator.now_ns,
+                registry=target,
+                root=True,
+                kind=type(command).__name__,
+            ):
+                self._handle_prover_command(command)
+
+    def _handle_prover_command(self, command: Command) -> None:
         app_frames = self._verifier.system.app_impl.region_frames
         if isinstance(command, IcapConfigCommand):
             self._prover.handle_command(command)

@@ -34,6 +34,7 @@ from repro.net.messages import (
     ReadbackRangeResponse,
     ReadbackResponse,
     Response,
+    TraceHelloCommand,
 )
 from repro.obs.metrics import get_registry
 from repro.utils.rng import DeterministicRng
@@ -122,6 +123,13 @@ class SachaProver:
         self.configs_handled = 0
         self.readbacks_handled = 0
         self.checksums_handled = 0
+        # Trace id announced by the verifier's TraceHello (hex), if any.
+        self.last_trace_id = ""
+        # Per-kind command counts since the last flush.  Accumulated as
+        # plain ints on the per-command hot path and folded into the
+        # active registry at run boundaries (checksum / abort) — one
+        # metric update per run instead of one per command.
+        self._pending_commands: dict = {}
 
     def _new_checksum(self) -> ChecksumEngine:
         """Init MAC_K (A5).  Subclasses may substitute another engine
@@ -143,13 +151,9 @@ class SachaProver:
         """
         if not self.board.powered_on:
             raise ProtocolError("prover board is not powered on")
-        registry = get_registry()
-        if registry.enabled:
-            registry.counter(
-                "sacha_prover_commands_total",
-                "Commands handled by provers, by command kind",
-                labels=("kind",),
-            ).inc(kind=type(command).__name__)
+        counts = self._pending_commands
+        kind = type(command).__name__
+        counts[kind] = counts.get(kind, 0) + 1
         if isinstance(command, IcapConfigCommand):
             self.handle_config(command.frame_index, command.data)
             return None
@@ -171,6 +175,9 @@ class SachaProver:
             return ReadbackRangeResponse(start_index=command.start_index, data=data)
         if isinstance(command, MacChecksumCommand):
             return MacChecksumResponse(tag=self.handle_checksum())
+        if isinstance(command, TraceHelloCommand):
+            self.last_trace_id = command.trace_id.hex()
+            return None
         raise ProtocolError(f"prover cannot handle {type(command).__name__}")
 
     def handle_config(self, frame_index: int, data: bytes) -> None:
@@ -282,11 +289,34 @@ class SachaProver:
         tag = self._mac.finalize()
         self._mac = None
         self.checksums_handled += 1
+        self._flush_command_counts()
         return tag
+
+    def _flush_command_counts(self) -> None:
+        """Fold the run's per-kind command counts into the registry.
+
+        When the active registry is disabled the counts are discarded,
+        so a later enabled run never inherits stale totals.
+        """
+        counts = self._pending_commands
+        if not counts:
+            return
+        self._pending_commands = {}
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        counter = registry.counter(
+            "sacha_prover_commands_total",
+            "Commands handled by provers, by command kind",
+            labels=("kind",),
+        )
+        for kind in sorted(counts):
+            counter.inc(counts[kind], kind=kind)
 
     def abort_run(self) -> None:
         """Drop any in-progress MAC (e.g. the verifier timed out)."""
         self._mac = None
+        self._flush_command_counts()
 
 
 ProverLike = Union[SachaProver]

@@ -10,6 +10,7 @@ down to their mismatching frames.
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -20,7 +21,8 @@ from repro.core.report import AttestationReport, FailureReason, Verdict
 from repro.core.verifier import SachaVerifier
 from repro.errors import ProtocolError, ReproError
 from repro.obs import log as obs_log
-from repro.obs.metrics import get_registry
+from repro.obs.aggregate import merge_registries, shard_registry
+from repro.obs.metrics import get_registry, use_context_registry
 from repro.obs.spans import span
 from repro.utils.rng import DeterministicRng
 
@@ -185,6 +187,7 @@ class SwarmAttestation:
             max_workers = get_config().swarm_workers
         workers = min(max(max_workers, 1), len(self._members))
         report = SwarmReport()
+        registry = get_registry()
         durations: List[float] = []
         sweep_clock = lambda: sum(durations)  # noqa: E731 — sequential sweep time
         member_rngs = [rng.fork(member.device_id) for member in self._members]
@@ -193,11 +196,53 @@ class SwarmAttestation:
             durations.append(
                 member_report.timing.total_ns if member_report.timing else 0.0
             )
+            if registry.enabled:
+                registry.counter(
+                    "sacha_swarm_member_verdicts_total",
+                    "Per-member attestation outcomes across sweeps",
+                    labels=("device_id", "verdict"),
+                ).inc(
+                    device_id=member.device_id,
+                    verdict=member_report.verdict.value,
+                )
             if on_result is not None:
                 on_result(member.device_id, member_report)
 
         with span("swarm_sweep", clock=sweep_clock, members=len(self._members)):
-            if workers > 1:
+            if workers > 1 and registry.enabled:
+                # Each worker collects into its own registry shard inside
+                # a copied context: the copy carries the sweep span (so
+                # member spans stay children of ``swarm_sweep``) and the
+                # shard is installed context-locally (so threads never
+                # contend on the active registry).  Shards merge back in
+                # member order — byte-identical output to the sequential
+                # sweep regardless of worker count or completion order.
+                shards = [
+                    shard_registry(index) for index in range(len(self._members))
+                ]
+
+                def attest_in_shard(index: int) -> AttestationReport:
+                    with use_context_registry(shards[index]):
+                        return self._attest_member(
+                            self._members[index], member_rngs[index], options
+                        )
+
+                contexts = [
+                    contextvars.copy_context() for _ in self._members
+                ]
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    member_reports = list(
+                        pool.map(
+                            lambda index: contexts[index].run(
+                                attest_in_shard, index
+                            ),
+                            range(len(self._members)),
+                        )
+                    )
+                merge_registries(shards, into=registry)
+                for member, member_report in zip(self._members, member_reports):
+                    record(member, member_report)
+            elif workers > 1:
                 with ThreadPoolExecutor(max_workers=workers) as pool:
                     member_reports = list(
                         pool.map(
@@ -212,7 +257,6 @@ class SwarmAttestation:
                     record(member, self._attest_member(member, member_rng, options))
         report.sequential_ns = sum(durations)
         report.parallel_ns = max(durations) if durations else 0.0
-        registry = get_registry()
         if registry.enabled:
             registry.counter(
                 "sacha_swarm_sweeps_total", "Completed fleet attestation sweeps"

@@ -56,6 +56,7 @@ from repro.net.channel import Endpoint
 from repro.net.ethernet import EthernetFrame, MacAddress
 from repro.obs import log as obs_log
 from repro.obs.metrics import get_registry
+from repro.obs.spans import current_span
 from repro.sim.events import Event, Simulator
 from repro.utils.crc import Crc32
 from repro.utils.rng import DeterministicRng
@@ -275,7 +276,9 @@ class ArqLink:
         self._pump()
 
     def _pump(self) -> None:
-        pumped = False
+        pumped = 0
+        registry = get_registry()
+        active = current_span() if registry.enabled else None
         while self._send_queue and len(self._in_flight) < self._window:
             payload = self._send_queue.popleft()
             sequence = self._next_tx_sequence
@@ -295,9 +298,21 @@ class ArqLink:
             entry = _InFlight(_encode(frame_type, sequence, payload))
             self._in_flight[sequence] = entry
             self.payloads_sent += 1
+            if active is not None:
+                active.add_event(
+                    "arq.send",
+                    seq=sequence,
+                    endpoint=self._endpoint.name,
+                    solicit=frame_type != _TYPE_DATA,
+                )
             self._transmit(sequence, entry)
-            pumped = True
+            pumped += 1
         if pumped:
+            if registry.enabled:
+                registry.counter(
+                    "sacha_arq_payloads_total",
+                    "Distinct payloads entered into ARQ transmission",
+                ).inc(pumped)
             self._observe_in_flight()
 
     def _observe_in_flight(self) -> None:
@@ -354,6 +369,14 @@ class ArqLink:
                     "sacha_arq_give_ups_total",
                     "ARQ links that exhausted their retransmission budget",
                 ).inc()
+                active = current_span()
+                if active is not None:
+                    active.add_event(
+                        "arq.give_up",
+                        seq=sequence,
+                        endpoint=self._endpoint.name,
+                        retries=self._max_retries,
+                    )
                 _log.warning(
                     "arq_give_up",
                     endpoint=self._endpoint.name,
@@ -374,6 +397,14 @@ class ArqLink:
                 "sacha_arq_backoff_events_total",
                 "Retransmission timeouts that grew the backoff window",
             ).inc()
+            active = current_span()
+            if active is not None:
+                active.add_event(
+                    "arq.retransmit",
+                    seq=sequence,
+                    endpoint=self._endpoint.name,
+                    retry=entry.retries,
+                )
         self._transmit(sequence, entry)
 
     # -- receiving ----------------------------------------------------------------
@@ -447,6 +478,12 @@ class ArqLink:
 
     def _send_ack(self, sequence: int) -> None:
         """Cumulative ACK: confirms every sequence number <= ``sequence``."""
+        if get_registry().enabled:
+            active = current_span()
+            if active is not None:
+                active.add_event(
+                    "arq.ack", seq=sequence, endpoint=self._endpoint.name
+                )
         self._endpoint.send(
             EthernetFrame(
                 destination=self._peer_mac,

@@ -1,4 +1,4 @@
-"""Observability: metrics, structured spans, exporters, logging.
+"""Observability: metrics, spans, traces, aggregation, health.
 
 ``repro.obs`` is the measurement substrate for every attestation run:
 
@@ -7,6 +7,14 @@
 * :mod:`repro.obs.spans` — ``span("readback", frame=idx)`` context
   managers that nest via ``contextvars`` and timestamp from the
   simulation clock;
+* :mod:`repro.obs.trace` — nonce-derived trace ids propagated across
+  the networked session, and multi-party span-dump stitching;
+* :mod:`repro.obs.aggregate` — exact merging of per-worker registry
+  shards and snapshot restore for offline fleet roll-ups;
+* :mod:`repro.obs.profile` — critical-path extraction, self-time
+  breakdowns, and collapsed-stack flamegraph export;
+* :mod:`repro.obs.health` — declarative SLO rules over snapshots
+  producing an OK/WARN/CRIT :class:`HealthReport`;
 * :mod:`repro.obs.exporters` — Prometheus text exposition and JSON-lines
   logs, deterministic for golden tests;
 * :mod:`repro.obs.log` — structured event logging for library modules.
@@ -24,6 +32,13 @@ nothing.  Enable collection for a scope with::
 """
 
 from repro.obs import log
+from repro.obs.aggregate import (
+    merge_registries,
+    merge_snapshots,
+    registry_from_snapshot,
+    rollup_by_label,
+    shard_registry,
+)
 from repro.obs.exporters import (
     registry_snapshot,
     spans_to_jsonl,
@@ -31,6 +46,17 @@ from repro.obs.exporters import (
     to_prometheus,
     write_jsonl,
     write_prometheus,
+)
+from repro.obs.health import (
+    DEFAULT_RULES,
+    HealthReport,
+    HealthStatus,
+    MetricSelector,
+    QuantileRule,
+    RatioRule,
+    RuleResult,
+    evaluate_health,
+    health_exit_code,
 )
 from repro.obs.metrics import (
     DEFAULT_DURATION_BUCKETS,
@@ -40,7 +66,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     set_registry,
+    use_context_registry,
     use_registry,
+)
+from repro.obs.profile import (
+    arq_timeline,
+    critical_path,
+    phase_breakdown,
+    render_report,
+    to_collapsed_stacks,
 )
 from repro.obs.spans import (
     SpanRecord,
@@ -49,6 +83,16 @@ from repro.obs.spans import (
     span,
     span_tree,
     spans_to_trace,
+)
+from repro.obs.trace import (
+    TraceContext,
+    current_trace,
+    load_span_dump,
+    merge_span_dumps,
+    span_records_from_jsonl,
+    trace_context,
+    trace_id_from_nonce,
+    trace_ids,
 )
 
 __all__ = [
@@ -61,6 +105,7 @@ __all__ = [
     "get_registry",
     "set_registry",
     "use_registry",
+    "use_context_registry",
     "SpanRecord",
     "current_span",
     "span",
@@ -73,4 +118,31 @@ __all__ = [
     "to_prometheus",
     "write_jsonl",
     "write_prometheus",
+    "TraceContext",
+    "current_trace",
+    "trace_context",
+    "trace_id_from_nonce",
+    "trace_ids",
+    "span_records_from_jsonl",
+    "load_span_dump",
+    "merge_span_dumps",
+    "merge_registries",
+    "merge_snapshots",
+    "registry_from_snapshot",
+    "rollup_by_label",
+    "shard_registry",
+    "arq_timeline",
+    "critical_path",
+    "phase_breakdown",
+    "render_report",
+    "to_collapsed_stacks",
+    "DEFAULT_RULES",
+    "HealthReport",
+    "HealthStatus",
+    "MetricSelector",
+    "QuantileRule",
+    "RatioRule",
+    "RuleResult",
+    "evaluate_health",
+    "health_exit_code",
 ]

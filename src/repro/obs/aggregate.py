@@ -1,0 +1,182 @@
+"""Registry aggregation: merging worker shards and restoring snapshots.
+
+Thread-pool swarm sweeps give every worker its own ``MetricsRegistry``
+shard (see ``repro.core.swarm``) so instrument updates never contend on
+one registry, then merge the shards back into the sweep's registry with
+:func:`merge_registries`.  The merge is *exact*, not approximate:
+
+* counters and gauges sum per label set;
+* histograms merge bucket-wise (per-bucket counts, sums, totals add);
+* span records concatenate — shards are constructed with disjoint
+  ``span_id_base`` values, so ids never collide and no remapping is
+  needed.
+
+Merging is performed in a caller-chosen deterministic order (member
+order, not completion order), which together with the exact arithmetic
+makes the merged output byte-identical to a sequential run regardless
+of worker count.
+
+:func:`registry_from_snapshot` is the inverse of
+``repro.obs.exporters.registry_snapshot``: it rebuilds a live registry
+from the plain-dict form, so snapshots written by different runs can be
+merged offline (fleet roll-ups) and fed to the health engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+#: Span-id stride between worker shards.  A single attestation records a
+#: handful of spans, so one million ids per shard is unreachable while
+#: keeping merged ids readable.
+SPAN_ID_STRIDE = 1_000_000
+
+
+def shard_registry(index: int, enabled: bool = True) -> MetricsRegistry:
+    """A worker shard with a disjoint span-id range (1-based ``index``)."""
+    if index < 0:
+        raise ObservabilityError(f"shard index must be >= 0, got {index}")
+    return MetricsRegistry(
+        enabled=enabled, span_id_base=SPAN_ID_STRIDE * (index + 1)
+    )
+
+
+def merge_registries(
+    sources: Sequence[MetricsRegistry],
+    into: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Merge ``sources`` into ``into`` (or a fresh enabled registry).
+
+    Instruments are created on the target on first sight with the
+    source's metadata; subsequent sources must agree on kind, labels,
+    and (for histograms) bucket bounds.  Merge order is the order of
+    ``sources`` — pass shards in member order for byte-stable output.
+    """
+    target = into if into is not None else MetricsRegistry(enabled=True)
+    if not target.enabled:
+        raise ObservabilityError("cannot merge into a disabled registry")
+    for source in sources:
+        for instrument in source.instruments():
+            if isinstance(instrument, Counter):
+                mine = target.counter(
+                    instrument.name, instrument.help, instrument.label_names
+                )
+            elif isinstance(instrument, Gauge):
+                mine = target.gauge(
+                    instrument.name, instrument.help, instrument.label_names
+                )
+            elif isinstance(instrument, Histogram):
+                mine = target.histogram(
+                    instrument.name,
+                    instrument.help,
+                    instrument.label_names,
+                    buckets=instrument.buckets,
+                )
+            else:  # pragma: no cover - registries only hold the three kinds
+                raise ObservabilityError(
+                    f"cannot merge instrument kind {instrument.kind!r}"
+                )
+            mine.merge_from(instrument)
+        for record in source.spans:
+            target.record_span(record)
+    return target
+
+
+def registry_from_snapshot(snapshot: Mapping[str, Mapping]) -> MetricsRegistry:
+    """Rebuild a live registry from a ``registry_snapshot`` dict."""
+    registry = MetricsRegistry(enabled=True)
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("kind")
+        label_names = tuple(family.get("label_names", ()))
+        help_text = str(family.get("help", ""))
+        samples = family.get("samples", ())
+        if kind == "counter":
+            counter = registry.counter(name, help_text, label_names)
+            for sample in samples:
+                counter.inc(float(sample["value"]), **sample["labels"])
+        elif kind == "gauge":
+            gauge = registry.gauge(name, help_text, label_names)
+            for sample in samples:
+                gauge.set(float(sample["value"]), **sample["labels"])
+        elif kind == "histogram":
+            if "buckets" not in family:
+                raise ObservabilityError(
+                    f"snapshot of histogram {name} has no bucket bounds; "
+                    "re-export it with a current registry_snapshot"
+                )
+            histogram = registry.histogram(
+                name, help_text, label_names, buckets=family["buckets"]
+            )
+            for sample in samples:
+                if "bucket_counts" not in sample:
+                    raise ObservabilityError(
+                        f"snapshot of histogram {name} has no bucket_counts; "
+                        "re-export it with a current registry_snapshot"
+                    )
+                key = tuple(
+                    str(sample["labels"][label]) for label in label_names
+                )
+                histogram._merge_series(
+                    key,
+                    [int(count) for count in sample["bucket_counts"]],
+                    float(sample["sum"]),
+                    int(sample["count"]),
+                )
+        else:
+            raise ObservabilityError(
+                f"snapshot family {name} has unknown kind {kind!r}"
+            )
+    return registry
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, Mapping]],
+) -> MetricsRegistry:
+    """Restore and merge several snapshot dicts (offline fleet roll-up)."""
+    return merge_registries(
+        [registry_from_snapshot(snapshot) for snapshot in snapshots]
+    )
+
+
+def rollup_by_label(
+    registry: MetricsRegistry, name: str, label: str
+) -> Dict[str, float]:
+    """Per-``label``-value totals of counter/gauge ``name``.
+
+    Other labels are summed away — e.g. roll
+    ``sacha_swarm_member_verdicts_total{device_id,verdict}`` up by
+    ``verdict`` for a fleet-wide verdict distribution, or by
+    ``device_id`` to rank members.
+    """
+    instrument = registry.get(name)
+    if instrument is None:
+        return {}
+    if not isinstance(instrument, (Counter, Gauge)):
+        raise ObservabilityError(
+            f"rollup_by_label expects a counter or gauge, "
+            f"{name} is a {instrument.kind}"
+        )
+    if label not in instrument.label_names:
+        raise ObservabilityError(
+            f"metric {name} has labels {instrument.label_names}, "
+            f"not {label!r}"
+        )
+    totals: Dict[str, float] = {}
+    for labels, value in instrument.samples():
+        key = labels[label]
+        totals[key] = totals.get(key, 0.0) + value
+    return dict(sorted(totals.items()))
+
+
+def span_roots(spans: Sequence[object]) -> List[str]:
+    """Names of parentless spans in record order (shape assertions)."""
+    return [record.name for record in spans if record.parent_id is None]

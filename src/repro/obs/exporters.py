@@ -105,12 +105,21 @@ def write_jsonl(
 
 
 def registry_snapshot(registry: MetricsRegistry) -> dict:
-    """A plain-dict snapshot of every instrument (for JSON dumps/tests)."""
+    """A plain-dict snapshot of every instrument (for JSON dumps/tests).
+
+    Lossless: histograms carry their bucket bounds and per-bucket
+    (non-cumulative) counts, and every family records its help text and
+    label names, so a snapshot restores into an equivalent registry via
+    :func:`repro.obs.aggregate.registry_from_snapshot` and participates
+    in merges.
+    """
     snapshot: dict = {}
     for instrument in registry.instruments():
         if isinstance(instrument, (Counter, Gauge)):
             snapshot[instrument.name] = {
                 "kind": instrument.kind,
+                "help": instrument.help,
+                "label_names": list(instrument.label_names),
                 "samples": [
                     {"labels": labels, "value": value}
                     for labels, value in instrument.samples()
@@ -119,11 +128,15 @@ def registry_snapshot(registry: MetricsRegistry) -> dict:
         elif isinstance(instrument, Histogram):
             snapshot[instrument.name] = {
                 "kind": instrument.kind,
+                "help": instrument.help,
+                "label_names": list(instrument.label_names),
+                "buckets": list(instrument.buckets),
                 "samples": [
                     {
                         "labels": labels,
                         "count": series.count,
                         "sum": series.sum,
+                        "bucket_counts": list(series.bucket_counts),
                     }
                     for labels, series in instrument.samples()
                 ],

@@ -1,0 +1,356 @@
+"""Declarative SLO rules evaluated over registry snapshots.
+
+The wave-rollout orchestrator (ROADMAP) needs a machine-readable answer
+to "is this fleet healthy enough to widen the campaign?".  This module
+gives it one: a list of declarative rules — ratio thresholds over
+counters, quantile thresholds over histograms — evaluated against a
+plain snapshot dict (``repro.obs.exporters.registry_snapshot``) into a
+:class:`HealthReport` whose overall status is the worst rule status.
+
+Rules consume snapshots rather than live registries so they work on
+serialized telemetry from remote sessions, merged fleet roll-ups
+(:func:`repro.obs.aggregate.merge_snapshots`), and historical dumps
+alike.  A rule whose denominator has no samples is ``SKIPPED`` — no
+traffic is not an outage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+
+class HealthStatus(enum.Enum):
+    """Rule and report statuses, ordered by severity."""
+
+    OK = "ok"
+    SKIPPED = "skipped"
+    WARN = "warn"
+    CRIT = "crit"
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self]
+
+
+_SEVERITY = {
+    HealthStatus.OK: 0,
+    HealthStatus.SKIPPED: 0,
+    HealthStatus.WARN: 1,
+    HealthStatus.CRIT: 2,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSelector:
+    """Sum of a snapshot family's sample values matching a label filter.
+
+    ``labels`` is a subset match: ``{"result": "reject"}`` selects every
+    sample whose ``result`` label equals ``reject``, whatever its other
+    labels; ``{}`` selects all samples.
+    """
+
+    metric: str
+    labels: Mapping[str, str] = dataclasses.field(default_factory=dict)
+
+    def matches(self, sample_labels: Mapping[str, str]) -> bool:
+        return all(
+            str(sample_labels.get(name)) == str(value)
+            for name, value in self.labels.items()
+        )
+
+    def total(self, snapshot: Mapping[str, Mapping]) -> Optional[float]:
+        """Summed value, or None when the family is absent."""
+        family = snapshot.get(self.metric)
+        if family is None:
+            return None
+        total = 0.0
+        for sample in family.get("samples", ()):
+            if not self.matches(sample.get("labels", {})):
+                continue
+            if "value" in sample:
+                total += float(sample["value"])
+            else:  # histogram family: selector totals observations
+                total += float(sample.get("count", 0))
+        return total
+
+    def describe(self) -> str:
+        if not self.labels:
+            return self.metric
+        body = ",".join(
+            f"{name}={value}" for name, value in sorted(self.labels.items())
+        )
+        return f"{self.metric}{{{body}}}"
+
+
+@dataclasses.dataclass(frozen=True)
+class RatioRule:
+    """WARN/CRIT when ``numerator / denominator`` exceeds a threshold."""
+
+    name: str
+    numerator: MetricSelector
+    denominator: MetricSelector
+    warn: float
+    crit: float
+    description: str = ""
+
+    def evaluate(self, snapshot: Mapping[str, Mapping]) -> "RuleResult":
+        denominator = self.denominator.total(snapshot)
+        if denominator is None or denominator == 0.0:
+            return RuleResult(
+                rule=self.name,
+                status=HealthStatus.SKIPPED,
+                value=None,
+                warn=self.warn,
+                crit=self.crit,
+                reason=(
+                    f"no samples for {self.denominator.describe()}; "
+                    "rule not evaluated"
+                ),
+            )
+        numerator = self.numerator.total(snapshot) or 0.0
+        ratio = numerator / denominator
+        status = _grade(ratio, self.warn, self.crit)
+        return RuleResult(
+            rule=self.name,
+            status=status,
+            value=ratio,
+            warn=self.warn,
+            crit=self.crit,
+            reason=(
+                f"{self.numerator.describe()} / "
+                f"{self.denominator.describe()} = "
+                f"{numerator:g}/{denominator:g} = {ratio:.4f} "
+                f"(warn>{self.warn:g}, crit>{self.crit:g})"
+            ),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantileRule:
+    """WARN/CRIT when a histogram quantile exceeds a threshold.
+
+    The quantile is estimated from the snapshot's cumulative buckets by
+    linear interpolation within the target bucket; observations landing
+    in the implicit ``+Inf`` bucket report the last finite bound (a
+    lower bound on the true quantile — still enough to trip the rule).
+    """
+
+    name: str
+    selector: MetricSelector
+    quantile: float
+    warn: float
+    crit: float
+    description: str = ""
+
+    def evaluate(self, snapshot: Mapping[str, Mapping]) -> "RuleResult":
+        family = snapshot.get(self.selector.metric)
+        skipped = RuleResult(
+            rule=self.name,
+            status=HealthStatus.SKIPPED,
+            value=None,
+            warn=self.warn,
+            crit=self.crit,
+            reason=(
+                f"no samples for {self.selector.describe()}; "
+                "rule not evaluated"
+            ),
+        )
+        if family is None or family.get("kind") != "histogram":
+            return skipped
+        bounds = [float(bound) for bound in family.get("buckets", ())]
+        if not bounds:
+            return skipped
+        merged = [0] * len(bounds)
+        total = 0
+        for sample in family.get("samples", ()):
+            if not self.selector.matches(sample.get("labels", {})):
+                continue
+            counts = sample.get("bucket_counts")
+            if counts is None:
+                raise ObservabilityError(
+                    f"snapshot of {self.selector.metric} has no "
+                    "bucket_counts; re-export with a current "
+                    "registry_snapshot"
+                )
+            for index, count in enumerate(counts):
+                merged[index] += int(count)
+            total += int(sample.get("count", 0))
+        if total == 0:
+            return skipped
+        estimate = _quantile_from_buckets(bounds, merged, total, self.quantile)
+        status = _grade(estimate, self.warn, self.crit)
+        return RuleResult(
+            rule=self.name,
+            status=status,
+            value=estimate,
+            warn=self.warn,
+            crit=self.crit,
+            reason=(
+                f"p{self.quantile * 100:g}({self.selector.describe()}) "
+                f"~= {estimate:.6g}s over {total} observations "
+                f"(warn>{self.warn:g}, crit>{self.crit:g})"
+            ),
+        )
+
+
+def _grade(value: float, warn: float, crit: float) -> HealthStatus:
+    if value > crit:
+        return HealthStatus.CRIT
+    if value > warn:
+        return HealthStatus.WARN
+    return HealthStatus.OK
+
+
+def _quantile_from_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    quantile: float,
+) -> float:
+    """Linear-interpolation quantile over non-cumulative bucket counts."""
+    target = quantile * total
+    cumulative = 0
+    previous_bound = 0.0
+    for bound, count in zip(bounds, counts):
+        next_cumulative = cumulative + count
+        if next_cumulative >= target and count > 0:
+            fraction = (target - cumulative) / count
+            return previous_bound + fraction * (bound - previous_bound)
+        cumulative = next_cumulative
+        previous_bound = bound
+    # Target sits in the implicit +Inf bucket: report the last finite
+    # bound as a lower-bound estimate.
+    return float(bounds[-1])
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleResult:
+    """One rule's verdict with a human-readable reason."""
+
+    rule: str
+    status: HealthStatus
+    value: Optional[float]
+    warn: float
+    crit: float
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "status": self.status.value,
+            "value": self.value,
+            "warn": self.warn,
+            "crit": self.crit,
+            "reason": self.reason,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class HealthReport:
+    """Worst-of rule statuses plus every individual result."""
+
+    status: HealthStatus
+    results: Tuple[RuleResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (HealthStatus.OK, HealthStatus.SKIPPED)
+
+    def explain(self) -> str:
+        lines = [f"health: {self.status.value.upper()}"]
+        for result in self.results:
+            lines.append(
+                f"  [{result.status.value.upper():<7}] "
+                f"{result.rule}: {result.reason}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status.value,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+#: Default SLO thresholds (documented in docs/OBSERVABILITY.md).  Ratios
+#: are fractions of runs; durations are simulated seconds.
+DEFAULT_RULES: Tuple[object, ...] = (
+    RatioRule(
+        name="reject_rate",
+        numerator=MetricSelector(
+            "sacha_attestations_total", {"result": "reject"}
+        ),
+        denominator=MetricSelector("sacha_attestations_total"),
+        warn=0.05,
+        crit=0.20,
+        description="Fraction of attestation runs ending in REJECT",
+    ),
+    RatioRule(
+        name="swarm_inconclusive_rate",
+        numerator=MetricSelector(
+            "sacha_swarm_members_total", {"verdict": "inconclusive"}
+        ),
+        denominator=MetricSelector("sacha_swarm_members_total"),
+        warn=0.05,
+        crit=0.20,
+        description="Fraction of sweep members with no usable verdict",
+    ),
+    RatioRule(
+        name="session_inconclusive_rate",
+        numerator=MetricSelector(
+            "sacha_session_outcomes_total", {"verdict": "inconclusive"}
+        ),
+        denominator=MetricSelector("sacha_session_outcomes_total"),
+        warn=0.05,
+        crit=0.25,
+        description="Fraction of networked sessions exhausting retries",
+    ),
+    RatioRule(
+        name="arq_retransmission_ratio",
+        numerator=MetricSelector("sacha_arq_retransmissions_total"),
+        denominator=MetricSelector("sacha_arq_payloads_total"),
+        warn=0.05,
+        crit=0.25,
+        description="ARQ retransmissions per payload sent",
+    ),
+    QuantileRule(
+        name="readback_p99",
+        selector=MetricSelector(
+            "sacha_phase_duration_seconds", {"phase": "readback"}
+        ),
+        quantile=0.99,
+        warn=5.0,
+        crit=30.0,
+        description="99th-percentile simulated readback phase duration",
+    ),
+)
+
+
+def evaluate_health(
+    snapshot: Mapping[str, Mapping],
+    rules: Sequence[object] = DEFAULT_RULES,
+) -> HealthReport:
+    """Evaluate ``rules`` over a snapshot; overall status is the worst."""
+    results = tuple(rule.evaluate(snapshot) for rule in rules)
+    worst = HealthStatus.OK
+    for result in results:
+        if result.status.severity > worst.severity:
+            worst = result.status
+    if worst is HealthStatus.OK and all(
+        result.status is HealthStatus.SKIPPED for result in results
+    ) and results:
+        worst = HealthStatus.SKIPPED
+    return HealthReport(status=worst, results=results)
+
+
+def health_exit_code(report: HealthReport) -> int:
+    """CLI exit code: 0 OK/SKIPPED, 1 WARN, 2 CRIT."""
+    if report.status is HealthStatus.CRIT:
+        return 2
+    if report.status is HealthStatus.WARN:
+        return 1
+    return 0

@@ -24,6 +24,7 @@ importing :mod:`repro` never starts collecting anything.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import threading
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -42,11 +43,17 @@ DEFAULT_DURATION_BUCKETS: Tuple[float, ...] = (
 def _label_key(
     label_names: Tuple[str, ...], labels: Mapping[str, str]
 ) -> Tuple[str, ...]:
-    if set(labels) != set(label_names):
-        raise ObservabilityError(
-            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
-        )
-    return tuple(str(labels[name]) for name in label_names)
+    # Hot path: build the key directly and let a length/name mismatch
+    # fall through to the error, instead of allocating comparison sets
+    # on every single increment.
+    if len(labels) == len(label_names):
+        try:
+            return tuple(str(labels[name]) for name in label_names)
+        except KeyError:
+            pass
+    raise ObservabilityError(
+        f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+    )
 
 
 class Counter:
@@ -71,10 +78,41 @@ class Counter:
     def value(self, **labels: str) -> float:
         return self._values.get(_label_key(self.label_names, labels), 0.0)
 
+    def series(self, **labels: str) -> "CounterSeries":
+        """A pre-resolved handle for one label set's hot-path increments.
+
+        Resolving the label key once and reusing the handle turns each
+        increment into a single dict update — the difference between a
+        negligible and a measurable cost on per-frame paths.  The handle
+        skips the monotonicity check, so callers own non-negativity.
+        """
+        return CounterSeries(self._values, _label_key(self.label_names, labels))
+
     def samples(self) -> Iterator[Tuple[Dict[str, str], float]]:
         """(labels, value) pairs in deterministic (sorted) order."""
         for key in sorted(self._values):
             yield dict(zip(self.label_names, key)), self._values[key]
+
+    def merge_from(self, other: "Counter") -> None:
+        """Add ``other``'s totals into this counter, series by series."""
+        _check_mergeable(self, other)
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
+
+
+class CounterSeries:
+    """One counter series bound to its resolved label key."""
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Dict[Tuple[str, ...], float], key: Tuple[str, ...]) -> None:
+        self._values = values
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        values = self._values
+        key = self._key
+        values[key] = values.get(key, 0.0) + amount
 
 
 class Gauge:
@@ -104,6 +142,17 @@ class Gauge:
     def samples(self) -> Iterator[Tuple[Dict[str, str], float]]:
         for key in sorted(self._values):
             yield dict(zip(self.label_names, key)), self._values[key]
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Sum ``other``'s series into this gauge.
+
+        Shard gauges are additive contributions (per-shard tallies); for
+        last-writer-wins semantics, set the gauge on the merged registry
+        after merging instead.
+        """
+        _check_mergeable(self, other)
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
 
 
 class _HistogramSeries:
@@ -184,6 +233,54 @@ class Histogram:
         for key in sorted(self._series):
             yield dict(zip(self.label_names, key)), self._series[key]
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Bucket-wise merge: per-bucket counts, sums, and totals add."""
+        _check_mergeable(self, other)
+        if other.buckets != self.buckets:
+            raise ObservabilityError(
+                f"histogram {self.name} bucket mismatch: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for key, series in other._series.items():
+            self._merge_series(key, series.bucket_counts, series.sum, series.count)
+
+    def _merge_series(
+        self,
+        key: Tuple[str, ...],
+        bucket_counts: Sequence[int],
+        sum_value: float,
+        count: int,
+    ) -> None:
+        if len(bucket_counts) != len(self.buckets):
+            raise ObservabilityError(
+                f"histogram {self.name} expects {len(self.buckets)} "
+                f"bucket counts, got {len(bucket_counts)}"
+            )
+        target = self._series.get(key)
+        if target is None:
+            target = self._series[key] = _HistogramSeries(len(self.buckets))
+        for index, bucket_count in enumerate(bucket_counts):
+            target.bucket_counts[index] += bucket_count
+        target.sum += sum_value
+        target.count += count
+
+
+def _check_mergeable(target, source) -> None:
+    if source.kind != target.kind:
+        raise ObservabilityError(
+            f"cannot merge {source.kind} {source.name} into "
+            f"{target.kind} {target.name}"
+        )
+    if source.name != target.name:
+        raise ObservabilityError(
+            f"cannot merge metric {source.name} into {target.name}"
+        )
+    if source.label_names != target.label_names:
+        raise ObservabilityError(
+            f"metric {target.name} label mismatch: "
+            f"{target.label_names} vs {source.label_names}"
+        )
+
 
 class _NoOpInstrument:
     """Shared sink handed out by a disabled registry."""
@@ -214,12 +311,18 @@ _NOOP = _NoOpInstrument()
 class MetricsRegistry:
     """Owns instruments and span records for one collection scope."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, span_id_base: int = 0) -> None:
         self._enabled = enabled
         self._instruments: Dict[str, object] = {}
         self._spans: List[object] = []
-        self._span_id = 0
+        # Worker-shard registries get disjoint bases (see repro.obs.aggregate)
+        # so merged span dumps need no id remapping.
+        self._span_id_base = span_id_base
+        self._span_id = span_id_base
         self._lock = threading.Lock()
+        # Bumped by clear() so callers holding cached instrument handles
+        # (hot-path fast paths) know to re-fetch them.
+        self.generation = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -238,7 +341,8 @@ class MetricsRegistry:
         with self._lock:
             self._instruments.clear()
             self._spans.clear()
-            self._span_id = 0
+            self._span_id = self._span_id_base
+            self.generation += 1
 
     # -- instrument factories ----------------------------------------------
 
@@ -311,10 +415,24 @@ class MetricsRegistry:
 #: swaps in an enabled registry.
 _ACTIVE = MetricsRegistry(enabled=False)
 
+#: Context-local override of the active registry.  Swarm workers run
+#: each member inside a copied context with their shard registry set
+#: here, so instrumented code deep in the protocol lands metrics in the
+#: worker's shard without any plumbing — and without the workers racing
+#: on the process-wide ``_ACTIVE``.
+_CONTEXT: contextvars.ContextVar[Optional[MetricsRegistry]] = (
+    contextvars.ContextVar("repro_obs_context_registry", default=None)
+)
+
 
 def get_registry() -> MetricsRegistry:
-    """The active registry (instrumented code fetches it per run)."""
-    return _ACTIVE
+    """The active registry (instrumented code fetches it per run).
+
+    A context-local registry (see :func:`use_context_registry`) takes
+    precedence over the process-wide one.
+    """
+    contextual = _CONTEXT.get()
+    return contextual if contextual is not None else _ACTIVE
 
 
 def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
@@ -336,3 +454,18 @@ def use_registry(registry: MetricsRegistry):
         yield registry
     finally:
         set_registry(previous)
+
+
+@contextlib.contextmanager
+def use_context_registry(registry: MetricsRegistry):
+    """Install ``registry`` for the current execution context only.
+
+    Unlike :func:`use_registry` this does not touch the process-wide
+    registry, so concurrent contexts (swarm worker threads) can each
+    collect into their own shard.
+    """
+    token = _CONTEXT.set(registry)
+    try:
+        yield registry
+    finally:
+        _CONTEXT.reset(token)

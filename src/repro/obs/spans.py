@@ -20,9 +20,10 @@ from __future__ import annotations
 import contextlib
 import contextvars
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import current_trace
 
 Clock = Callable[[], float]
 
@@ -39,6 +40,9 @@ class SpanRecord:
     attributes: Dict[str, object] = field(default_factory=dict)
     status: str = "ok"  # "ok" | "error"
     error: str = ""
+    trace_id: str = ""
+    session: str = ""
+    events: Tuple[Dict[str, object], ...] = ()
 
     @property
     def duration_ns(self) -> float:
@@ -58,21 +62,57 @@ class SpanRecord:
             record["error"] = self.error
         if self.attributes:
             record["attributes"] = dict(self.attributes)
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
+        if self.session:
+            record["session"] = self.session
+        if self.events:
+            record["events"] = [dict(event) for event in self.events]
         return record
 
 
 class _ActiveSpan:
-    __slots__ = ("span_id", "parent_id", "name", "start_ns", "attributes")
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "start_ns",
+        "attributes",
+        "trace_id",
+        "session",
+        "events",
+        "clock",
+    )
 
-    def __init__(self, span_id, parent_id, name, start_ns, attributes) -> None:
+    def __init__(
+        self,
+        span_id,
+        parent_id,
+        name,
+        start_ns,
+        attributes,
+        trace_id="",
+        session="",
+        clock=None,
+    ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
         self.name = name
         self.start_ns = start_ns
         self.attributes = attributes
+        self.trace_id = trace_id
+        self.session = session
+        self.events: List[Dict[str, object]] = []
+        self.clock = clock
 
     def set_attribute(self, key: str, value: object) -> None:
         self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        """Append a timestamped point event (ARQ send/ack/retransmit)."""
+        event: Dict[str, object] = {"name": name, "t_ns": self.clock()}
+        event.update(attributes)
+        self.events.append(event)
 
 
 _CURRENT: contextvars.ContextVar[Optional[_ActiveSpan]] = contextvars.ContextVar(
@@ -90,6 +130,7 @@ def span(
     name: str,
     clock: Optional[Clock] = None,
     registry: Optional[MetricsRegistry] = None,
+    root: bool = False,
     **attributes: object,
 ) -> Iterator[Optional[_ActiveSpan]]:
     """Open a span named ``name`` until the ``with`` block exits.
@@ -98,19 +139,29 @@ def span(
     simulation time in nanoseconds; without one the span records 0.0
     (pure-structure tracing).  An exception inside the block marks the
     span ``status="error"`` (with the exception repr) and re-raises.
+    ``root=True`` detaches the span from any open parent — used when one
+    process records on behalf of another party (the in-process prover
+    inside a networked session).
+
+    If a :func:`~repro.obs.trace.trace_context` is active, the finished
+    record carries its ``trace_id``/``session``.
     """
     registry = registry or get_registry()
     if not registry.enabled:
         yield None
         return
     now: Clock = clock or (lambda: 0.0)
-    parent = _CURRENT.get()
+    parent = None if root else _CURRENT.get()
+    trace = current_trace()
     active = _ActiveSpan(
         span_id=registry.next_span_id(),
         parent_id=parent.span_id if parent else None,
         name=name,
         start_ns=now(),
         attributes=dict(attributes),
+        trace_id=trace.trace_id if trace else "",
+        session=trace.session if trace else "",
+        clock=now,
     )
     token = _CURRENT.set(active)
     status, error = "ok", ""
@@ -131,6 +182,9 @@ def span(
                 attributes=active.attributes,
                 status=status,
                 error=error,
+                trace_id=active.trace_id,
+                session=active.session,
+                events=tuple(active.events),
             )
         )
 

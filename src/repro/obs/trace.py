@@ -1,0 +1,201 @@
+"""Cross-session trace propagation and multi-party span-dump merging.
+
+A *trace* ties the spans of every party that worked on one attestation
+attempt together.  The trace id is not random: it is derived via
+SHA-256 from the attempt's session nonce, so the verifier and the
+prover compute the *same* id independently of transport timing, and two
+runs with the same seed produce byte-identical trace ids.  The
+networked session carries the id to the prover in a ``TraceHello``
+handshake frame (``repro.net.messages``), and every span opened while a
+:func:`trace_context` is active records ``trace_id`` and ``session``
+fields (see :mod:`repro.obs.spans`).
+
+The second half of this module is offline: :func:`merge_span_dumps`
+takes the span dumps of several parties (the verifier's JSONL file, the
+prover's JSONL file) and stitches them into one consistent record list
+— span ids are re-based so they cannot collide, and parentless spans of
+a trace are re-parented under the trace's anchor span (the earliest
+span carrying the id, which is the verifier's ``session_attempt``), so
+``span_tree`` sees a single tree per attestation attempt.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import ObservabilityError
+
+#: Raw trace-id width on the wire; the textual form is its hex digest.
+TRACE_ID_BYTES = 16
+
+#: Domain-separation prefix for the nonce -> trace-id derivation.
+_TRACE_DOMAIN = b"sacha-trace-v1:"
+
+
+def trace_id_from_nonce(nonce: bytes) -> str:
+    """The deterministic trace id of the attempt that drew ``nonce``.
+
+    SHA-256 with a fixed domain prefix, truncated to
+    :data:`TRACE_ID_BYTES`; returned as lowercase hex.  Deriving (not
+    inventing) the id is what lets both protocol ends agree on it with
+    nothing but the handshake frame.
+    """
+    digest = hashlib.sha256(_TRACE_DOMAIN + bytes(nonce)).digest()
+    return digest[:TRACE_ID_BYTES].hex()
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """The ambient trace of the current execution context.
+
+    ``session`` names the party recording spans — ``"verifier"``, a
+    prover's device id — and lands on every span record opened while
+    the context is active.
+    """
+
+    trace_id: str
+    session: str
+
+
+_CURRENT_TRACE: contextvars.ContextVar[Optional[TraceContext]] = (
+    contextvars.ContextVar("repro_obs_current_trace", default=None)
+)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The active :class:`TraceContext`, if any."""
+    return _CURRENT_TRACE.get()
+
+
+@contextlib.contextmanager
+def trace_context(trace_id: str, session: str) -> Iterator[TraceContext]:
+    """Install a trace context for the duration of the ``with`` block."""
+    context = TraceContext(trace_id=trace_id, session=session)
+    token = _CURRENT_TRACE.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT_TRACE.reset(token)
+
+
+# -- multi-party dump merging --------------------------------------------------
+
+
+def span_records_from_jsonl(text: str):
+    """Parse a span JSONL dump back into :class:`SpanRecord` objects.
+
+    Non-span lines (the exporters interleave trace records in the same
+    file format) are skipped.
+    """
+    from repro.obs.spans import SpanRecord
+
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            fields = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"span dump line {line_number} is not valid JSON: {exc}"
+            ) from exc
+        if fields.get("record") != "span":
+            continue
+        records.append(
+            SpanRecord(
+                span_id=int(fields["span_id"]),
+                parent_id=(
+                    int(fields["parent_id"])
+                    if fields.get("parent_id") is not None
+                    else None
+                ),
+                name=str(fields["name"]),
+                start_ns=float(fields["start_ns"]),
+                end_ns=float(fields["end_ns"]),
+                attributes=dict(fields.get("attributes", {})),
+                status=str(fields.get("status", "ok")),
+                error=str(fields.get("error", "")),
+                trace_id=str(fields.get("trace_id", "")),
+                session=str(fields.get("session", "")),
+                events=tuple(fields.get("events", ())),
+            )
+        )
+    return records
+
+
+def load_span_dump(path: Union[str, Path]):
+    """Read one party's span dump (JSON lines) from ``path``."""
+    return span_records_from_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+def merge_span_dumps(dumps: Sequence[Sequence["object"]]) -> List["object"]:
+    """Merge several parties' span dumps into one consistent record list.
+
+    Three deterministic steps:
+
+    1. **Re-base ids** — each dump's span ids are shifted by a running
+       offset so ids from different dumps cannot collide (parent links
+       are intra-dump, so they shift with their spans).
+    2. **Stitch traces** — for every trace id, the *anchor* is the
+       earliest span carrying it (ties broken by re-based id); every
+       other parentless span of the trace is re-parented under the
+       anchor.  With the networked session's dumps this hangs the
+       prover's command spans under the verifier's ``session_attempt``.
+    3. **Sort** by ``(start_ns, span_id)`` so the output is independent
+       of the order records appeared within each dump.
+
+    The result is byte-stable: same dumps in, same list out.
+    """
+    rebased = []
+    offset = 0
+    for dump in dumps:
+        highest = 0
+        for record in dump:
+            highest = max(highest, record.span_id)
+            rebased.append(
+                dataclasses.replace(
+                    record,
+                    span_id=record.span_id + offset,
+                    parent_id=(
+                        record.parent_id + offset
+                        if record.parent_id is not None
+                        else None
+                    ),
+                )
+            )
+        offset += highest
+
+    anchors: Dict[str, "object"] = {}
+    for record in rebased:
+        if not record.trace_id:
+            continue
+        anchor = anchors.get(record.trace_id)
+        if anchor is None or (record.start_ns, record.span_id) < (
+            anchor.start_ns,
+            anchor.span_id,
+        ):
+            anchors[record.trace_id] = record
+
+    stitched = []
+    for record in rebased:
+        anchor = anchors.get(record.trace_id) if record.trace_id else None
+        if (
+            anchor is not None
+            and record.parent_id is None
+            and record.span_id != anchor.span_id
+        ):
+            record = dataclasses.replace(record, parent_id=anchor.span_id)
+        stitched.append(record)
+    stitched.sort(key=lambda record: (record.start_ns, record.span_id))
+    return stitched
+
+
+def trace_ids(spans: Sequence["object"]) -> List[str]:
+    """The distinct non-empty trace ids present in ``spans``, sorted."""
+    return sorted({record.trace_id for record in spans if record.trace_id})

@@ -112,3 +112,58 @@ class TestSnapshot:
             {"labels": {"result": "reject"}, "value": 2.0},
         ]
         assert snapshot["sacha_phase_duration_seconds"]["samples"][0]["count"] == 2
+
+    def test_snapshot_carries_family_metadata(self):
+        snapshot = registry_snapshot(_sample_registry())
+        counters = snapshot["sacha_attestations_total"]
+        assert counters["kind"] == "counter"
+        assert counters["help"] == "Runs by verdict"
+        assert counters["label_names"] == ["result"]
+        histogram = snapshot["sacha_phase_duration_seconds"]
+        assert histogram["buckets"] == [0.1, 1.0]
+        assert histogram["samples"][0]["bucket_counts"] == [1, 1]
+
+    def test_snapshot_restores_losslessly(self):
+        from repro.obs.aggregate import registry_from_snapshot
+
+        restored = registry_from_snapshot(registry_snapshot(_sample_registry()))
+        assert to_prometheus(restored) == GOLDEN_PROMETHEUS
+
+    def test_snapshot_is_json_serializable(self):
+        snapshot = registry_snapshot(_sample_registry())
+        assert json.loads(json.dumps(snapshot, sort_keys=True))
+
+
+class TestSeedIdenticalTelemetry:
+    def test_parallel_swarm_exposition_matches_seed_rerun(self):
+        from repro.core.provisioning import provision_device
+        from repro.core.swarm import SwarmAttestation, SwarmMember
+        from repro.core.verifier import SachaVerifier
+        from repro.design.sacha_design import build_sacha_system
+        from repro.fpga.device import SIM_SMALL
+        from repro.obs.metrics import use_registry
+        from repro.utils.rng import DeterministicRng
+
+        def sweep():
+            members = []
+            for index in range(3):
+                system = build_sacha_system(SIM_SMALL)
+                provisioned, record = provision_device(
+                    system, f"golden-{index}", seed=880 + index
+                )
+                verifier = SachaVerifier(
+                    record.system, record.mac_key, DeterministicRng(890 + index)
+                )
+                members.append(
+                    SwarmMember(
+                        f"golden-{index}", provisioned.prover, verifier
+                    )
+                )
+            fresh = MetricsRegistry(enabled=True)
+            with use_registry(fresh):
+                SwarmAttestation(members).run(
+                    DeterministicRng(42), max_workers=3
+                )
+            return to_prometheus(fresh)
+
+        assert sweep() == sweep()

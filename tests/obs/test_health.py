@@ -1,0 +1,223 @@
+"""SLO health engine: rule grading, quantiles, exit codes, e2e sweeps."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exporters import registry_snapshot
+from repro.obs.health import (
+    DEFAULT_RULES,
+    HealthStatus,
+    MetricSelector,
+    QuantileRule,
+    RatioRule,
+    evaluate_health,
+    health_exit_code,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _snapshot_with_attestations(accepts, rejects):
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "sacha_attestations_total", "Runs", labels=("result",)
+    )
+    if accepts:
+        counter.inc(accepts, result="accept")
+    if rejects:
+        counter.inc(rejects, result="reject")
+    return registry_snapshot(registry)
+
+
+class TestMetricSelector:
+    def test_subset_label_match(self):
+        selector = MetricSelector("sacha_attestations_total", {"result": "reject"})
+        snapshot = _snapshot_with_attestations(accepts=3, rejects=2)
+        assert selector.total(snapshot) == 2.0
+        assert MetricSelector("sacha_attestations_total").total(snapshot) == 5.0
+
+    def test_absent_family_is_none(self):
+        assert MetricSelector("nope").total({}) is None
+
+    def test_histogram_selector_totals_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat", "Latency", labels=("phase",), buckets=(1.0, 10.0)
+        )
+        hist.observe(0.5, phase="readback")
+        hist.observe(2.0, phase="readback")
+        hist.observe(2.0, phase="config")
+        snapshot = registry_snapshot(registry)
+        assert MetricSelector("lat", {"phase": "readback"}).total(snapshot) == 2.0
+
+    def test_describe(self):
+        assert MetricSelector("m").describe() == "m"
+        assert (
+            MetricSelector("m", {"b": "2", "a": "1"}).describe() == "m{a=1,b=2}"
+        )
+
+
+class TestRatioRule:
+    RULE = RatioRule(
+        name="reject_rate",
+        numerator=MetricSelector("sacha_attestations_total", {"result": "reject"}),
+        denominator=MetricSelector("sacha_attestations_total"),
+        warn=0.05,
+        crit=0.20,
+    )
+
+    def test_ok_warn_crit_bands(self):
+        ok = self.RULE.evaluate(_snapshot_with_attestations(100, 2))
+        warn = self.RULE.evaluate(_snapshot_with_attestations(90, 10))
+        crit = self.RULE.evaluate(_snapshot_with_attestations(50, 50))
+        assert ok.status is HealthStatus.OK
+        assert warn.status is HealthStatus.WARN
+        assert crit.status is HealthStatus.CRIT
+        assert crit.value == 0.5
+        assert "50/100" in crit.reason
+
+    def test_skipped_without_denominator(self):
+        result = self.RULE.evaluate({})
+        assert result.status is HealthStatus.SKIPPED
+        assert result.value is None
+        assert "not evaluated" in result.reason
+
+
+class TestQuantileRule:
+    def _rule(self, warn=5.0, crit=30.0, quantile=0.99):
+        return QuantileRule(
+            name="readback_p99",
+            selector=MetricSelector(
+                "sacha_phase_duration_seconds", {"phase": "readback"}
+            ),
+            quantile=quantile,
+            warn=warn,
+            crit=crit,
+        )
+
+    def _snapshot(self, values):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "sacha_phase_duration_seconds",
+            "Durations",
+            labels=("phase",),
+            buckets=(1.0, 10.0, 100.0),
+        )
+        for value in values:
+            hist.observe(value, phase="readback")
+        return registry_snapshot(registry)
+
+    def test_interpolated_quantile(self):
+        # 10 observations in (1, 10]: p50 target=5 -> 1 + 5/10 * 9 = 5.5
+        result = self._rule(quantile=0.5).evaluate(self._snapshot([5.0] * 10))
+        assert result.value == pytest.approx(5.5)
+
+    def test_crit_when_tail_is_slow(self):
+        result = self._rule().evaluate(self._snapshot([0.5] * 5 + [90.0] * 5))
+        assert result.status is HealthStatus.CRIT
+
+    def test_overflow_bucket_reports_last_bound(self):
+        result = self._rule().evaluate(self._snapshot([1000.0]))
+        assert result.value == 100.0
+        assert result.status is HealthStatus.CRIT
+
+    def test_skipped_on_absent_or_empty_family(self):
+        assert self._rule().evaluate({}).status is HealthStatus.SKIPPED
+        assert (
+            self._rule().evaluate(self._snapshot([])).status
+            is HealthStatus.SKIPPED
+        )
+
+    def test_legacy_snapshot_without_bucket_counts_rejected(self):
+        snapshot = self._snapshot([2.0])
+        del snapshot["sacha_phase_duration_seconds"]["samples"][0][
+            "bucket_counts"
+        ]
+        with pytest.raises(ObservabilityError, match="bucket_counts"):
+            self._rule().evaluate(snapshot)
+
+
+class TestEvaluateHealth:
+    def test_worst_status_wins(self):
+        report = evaluate_health(_snapshot_with_attestations(50, 50))
+        assert report.status is HealthStatus.CRIT
+        assert not report.ok
+        assert health_exit_code(report) == 2
+        by_rule = {result.rule: result for result in report.results}
+        assert by_rule["reject_rate"].status is HealthStatus.CRIT
+        assert by_rule["swarm_inconclusive_rate"].status is HealthStatus.SKIPPED
+
+    def test_all_skipped_reports_skipped(self):
+        report = evaluate_health({})
+        assert report.status is HealthStatus.SKIPPED
+        assert report.ok
+        assert health_exit_code(report) == 0
+
+    def test_warn_exit_code(self):
+        report = evaluate_health(_snapshot_with_attestations(90, 10))
+        assert report.status is HealthStatus.WARN
+        assert health_exit_code(report) == 1
+
+    def test_explain_lists_every_rule(self):
+        report = evaluate_health(_snapshot_with_attestations(100, 0))
+        text = report.explain()
+        assert text.startswith("health: OK")
+        for rule in DEFAULT_RULES:
+            assert rule.name in text
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        report = evaluate_health(_snapshot_with_attestations(10, 1))
+        decoded = json.loads(json.dumps(report.to_dict()))
+        assert decoded["status"] == report.status.value
+        assert len(decoded["results"]) == len(DEFAULT_RULES)
+
+    def test_no_rules_is_ok(self):
+        report = evaluate_health({}, rules=())
+        assert report.status is HealthStatus.OK
+
+
+class TestHealthEndToEnd:
+    """DEFAULT_RULES over telemetry from real attestation runs."""
+
+    def _sweep_snapshot(self, tampered):
+        from repro.core.protocol import run_attestation
+        from repro.core.provisioning import provision_device
+        from repro.core.verifier import SachaVerifier
+        from repro.design.sacha_design import build_sacha_system
+        from repro.fpga.device import SIM_SMALL
+        from repro.obs.metrics import use_registry
+        from repro.utils.rng import DeterministicRng
+
+        registry = MetricsRegistry(enabled=True)
+        with use_registry(registry):
+            for index in range(4):
+                system = build_sacha_system(SIM_SMALL)
+                provisioned, record = provision_device(
+                    system, f"hlth-{index}", seed=900 + index
+                )
+                if index < tampered:
+                    frame = system.partition.static_frame_list()[0]
+                    provisioned.board.fpga.memory.flip_bit(frame, 0, 0)
+                verifier = SachaVerifier(
+                    record.system, record.mac_key, DeterministicRng(910 + index)
+                )
+                run_attestation(
+                    provisioned.prover,
+                    verifier,
+                    DeterministicRng(920 + index),
+                )
+        return registry_snapshot(registry)
+
+    def test_reject_spike_goes_crit(self):
+        report = evaluate_health(self._sweep_snapshot(tampered=2))
+        assert report.status is HealthStatus.CRIT
+        by_rule = {result.rule: result for result in report.results}
+        assert by_rule["reject_rate"].status is HealthStatus.CRIT
+        assert by_rule["reject_rate"].value == 0.5
+
+    def test_clean_sweep_is_healthy(self):
+        report = evaluate_health(self._sweep_snapshot(tampered=0))
+        assert report.ok
+        by_rule = {result.rule: result for result in report.results}
+        assert by_rule["reject_rate"].status is HealthStatus.OK

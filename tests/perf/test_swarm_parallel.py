@@ -73,3 +73,52 @@ def test_member_failure_stays_isolated_in_parallel():
     report = fleet.run(DeterministicRng(11), max_workers=3)
     assert report.inconclusive == ["par-1"]
     assert sorted(report.healthy) == ["par-0", "par-2"]
+
+class TestParallelTelemetry:
+    """Sharded parallel sweeps produce sequential-identical telemetry."""
+
+    def _sweep_registry(self, max_workers, compromise_index=None):
+        from repro.obs.exporters import registry_snapshot, to_prometheus
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry(enabled=True)
+        with use_registry(registry):
+            _fleet(4, compromise_index).run(
+                DeterministicRng(99), max_workers=max_workers
+            )
+        return to_prometheus(registry), registry_snapshot(registry), registry
+
+    def test_metrics_byte_identical_across_worker_counts(self):
+        sequential = self._sweep_registry(max_workers=1, compromise_index=2)
+        for workers in (1, 4):
+            exposition, snapshot, _ = self._sweep_registry(
+                max_workers=workers, compromise_index=2
+            )
+            assert exposition == sequential[0]
+            assert snapshot == sequential[1]
+
+    def test_member_spans_stay_under_sweep_span(self):
+        _, _, registry = self._sweep_registry(max_workers=4)
+        roots = [
+            record for record in registry.spans if record.parent_id is None
+        ]
+        assert [record.name for record in roots] == ["swarm_sweep"]
+        sweep_id = roots[0].span_id
+        attestations = [
+            record for record in registry.spans if record.name == "attestation"
+        ]
+        assert len(attestations) == 4
+        assert all(
+            record.parent_id == sweep_id for record in attestations
+        )
+
+    def test_per_member_verdict_counter(self):
+        _, _, registry = self._sweep_registry(
+            max_workers=4, compromise_index=1
+        )
+        from repro.obs.aggregate import rollup_by_label
+
+        by_verdict = rollup_by_label(
+            registry, "sacha_swarm_member_verdicts_total", "verdict"
+        )
+        assert by_verdict == {"accept": 3.0, "reject": 1.0}
