@@ -59,6 +59,16 @@ OBS_OVERHEAD_PAIR = (
     "benchmarks/bench_obs_overhead.py::test_attestation_obs_enabled",
 )
 
+#: On a 5 % lossy link the adaptive pipelined transport must stay at
+#: least this much faster than the lockstep fallback — the headroom
+#: that justifies keeping pipelining on under faults.  Compared within
+#: one run (same machine, same load), like the obs-overhead pair.
+NET_DEGRADATION_SPEEDUP = 2.0
+NET_DEGRADATION_PAIR = (
+    "benchmarks/bench_net_attestation.py::test_net_adaptive_lossy_attestation",
+    "benchmarks/bench_net_attestation.py::test_net_lockstep_lossy_attestation",
+)
+
 
 def calibrate() -> float:
     """Seconds for a fixed CPU-bound workload: the machine-speed yardstick.
@@ -204,6 +214,27 @@ def check_obs_overhead(current: Dict[str, object]) -> List[str]:
     return [line] if overhead > OBS_OVERHEAD_LIMIT else []
 
 
+def check_net_degradation(current: Dict[str, object]) -> List[str]:
+    """Adaptive-vs-lockstep speedup on the lossy link, within this run."""
+    benches: Dict[str, Dict[str, float]] = current["benchmarks"]  # type: ignore[assignment]
+    adaptive_name, lockstep_name = NET_DEGRADATION_PAIR
+    adaptive = benches.get(adaptive_name)
+    lockstep = benches.get(lockstep_name)
+    if adaptive is None or lockstep is None:
+        return [
+            "MISSING  net degradation pair: "
+            f"{adaptive_name} / {lockstep_name} did not both run"
+        ]
+    speedup = float(lockstep["min_seconds"]) / float(adaptive["min_seconds"])
+    marker = "FAIL" if speedup < NET_DEGRADATION_SPEEDUP else "ok"
+    line = (
+        f"{marker:7s} net degradation: lockstep/adaptive = "
+        f"{speedup:.2f}x (limit >={NET_DEGRADATION_SPEEDUP:.1f}x)"
+    )
+    print(line)
+    return [line] if speedup < NET_DEGRADATION_SPEEDUP else []
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -248,6 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.json}")
 
     overhead_failures = check_obs_overhead(current)
+    overhead_failures += check_net_degradation(current)
 
     if args.update_baseline:
         BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")

@@ -12,6 +12,13 @@ shape is invisible to the protocol's cryptography.
 The pipelined benchmark is the gated number for the networked hot path;
 the stop-and-wait benchmark pins the legacy shape so a regression in
 either transport is caught independently.
+
+The degradation legs measure the same attestation under a fault
+profile: a 5 % lossy link (adaptive AIMD window vs the lockstep
+fallback a deployment would otherwise drop to) and a mid-run outage.
+``bench_gate.py`` enforces that the adaptive pipelined transport stays
+at least twice as fast as lockstep on the lossy link — the headroom
+that justifies keeping pipelining on under faults at all.
 """
 
 import pytest
@@ -21,18 +28,40 @@ from repro.core.provisioning import provision_device
 from repro.core.verifier import SachaVerifier
 from repro.design.sacha_design import build_sacha_system
 from repro.fpga.device import SIM_MEDIUM
+from repro.net.arq import ArqTuning
 from repro.net.channel import Channel, LatencyModel
+from repro.net.faults import FaultModel, FaultProfile, OutageWindow
 from repro.sim.events import Simulator
 from repro.utils.rng import DeterministicRng
 
+#: The lossy-link leg: 5 % independent per-frame loss.
+LOSSY = FaultProfile(loss_probability=0.05)
 
-def _make_session(window, batch):
+#: The outage leg: the link goes dark for 2 ms mid-configuration.
+OUTAGE = FaultProfile(
+    outages=(OutageWindow(1_000_000.0, 3_000_000.0),)
+)
+
+
+def _make_session(window, batch, profile=None, adaptive=False):
     system = build_sacha_system(SIM_MEDIUM)
     provisioned, record = provision_device(system, "bench-net", seed=2019)
     simulator = Simulator()
-    channel = Channel(simulator, LatencyModel(base_ns=5_000.0))
+    model = None
+    if profile is not None:
+        model = FaultModel(profile, DeterministicRng(2021).fork("bench"))
+    channel = Channel(
+        simulator, LatencyModel(base_ns=5_000.0), fault_model=model
+    )
     verifier = SachaVerifier(
         record.system, record.mac_key, DeterministicRng(7)
+    )
+    timeout_ns = 2_000_000.0
+    tuning = ArqTuning(
+        initial_timeout_ns=timeout_ns,
+        min_timeout_ns=min(timeout_ns, ArqTuning.min_timeout_ns),
+        window=window,
+        adaptive=adaptive,
     )
     return NetworkAttestationSession(
         simulator,
@@ -41,18 +70,21 @@ def _make_session(window, batch):
         verifier,
         DeterministicRng(9),
         reliable=True,
-        arq_window=window,
+        arq_tuning=tuning,
         readback_batch_frames=batch,
     )
 
 
-def _bench_session(benchmark, window, batch, rounds):
+def _bench_session(benchmark, window, batch, rounds, profile=None,
+                   adaptive=False):
     """Time ``session.run()`` on a fresh session per round (sessions are
     single-shot), returning the last run's (result, tag)."""
     state = {}
 
     def setup():
-        state["session"] = _make_session(window, batch)
+        state["session"] = _make_session(
+            window, batch, profile=profile, adaptive=adaptive
+        )
         return (), {}
 
     def run():
@@ -85,3 +117,43 @@ def test_net_pipelined_attestation(benchmark):
     assert ref_result.report.accepted
     assert tag == reference._tag
     assert result.report.nonce == ref_result.report.nonce
+
+
+def test_net_adaptive_lossy_attestation(benchmark):
+    """The degradation headline: pipelined transport with the AIMD
+    window over a 5 % lossy link.  Gated against the lockstep leg below
+    (must stay >= 2x faster) and against the clean-link baseline.
+
+    Also asserts faults stay invisible to the crypto: the tag equals the
+    clean-link lockstep tag for the same seeds.
+    """
+    result, tag = _bench_session(
+        benchmark, window=8, batch=256, rounds=10,
+        profile=LOSSY, adaptive=True,
+    )
+    assert result.report.accepted
+    assert result.attempts == 1
+
+    reference = _make_session(1, 1)
+    reference.run()
+    assert tag == reference._tag
+
+
+def test_net_lockstep_lossy_attestation(benchmark):
+    """The fallback a deployment would drop to under sustained loss:
+    stop-and-wait, one frame per round trip, same 5 % lossy link."""
+    result, _ = _bench_session(
+        benchmark, window=1, batch=1, rounds=5, profile=LOSSY,
+    )
+    assert result.report.accepted
+
+
+def test_net_adaptive_outage_attestation(benchmark):
+    """A 2 ms mid-run outage: the ARQ rides it out on retransmission
+    backoff, the AIMD window collapses and regrows, the run accepts."""
+    result, _ = _bench_session(
+        benchmark, window=8, batch=256, rounds=10,
+        profile=OUTAGE, adaptive=True,
+    )
+    assert result.report.accepted
+    assert result.attempts == 1

@@ -28,8 +28,14 @@ def run_session(latency_ns: float, seed: int = 11, tap=None):
     if tap is not None:
         channel.add_tap(tap)
     verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(seed + 1))
+    # Pin the lockstep shape (one command frame per configuration or
+    # readback step, headerless SACHa payloads on the wire).  It is the
+    # shape the paper's timing argument describes, and it lets the MITM
+    # tap below parse raw frames directly.  The default transport now
+    # pipelines batched commands through a resequencing buffer instead.
     session = NetworkAttestationSession(
-        simulator, channel, provisioned.prover, verifier, DeterministicRng(seed + 2)
+        simulator, channel, provisioned.prover, verifier, DeterministicRng(seed + 2),
+        readback_batch_frames=1,
     )
     return session.run()
 

@@ -200,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="readback frames per batched command; 1 = per-frame lockstep "
         "(default: REPRO_READBACK_BATCH_FRAMES or 256)",
     )
+    perf.add_argument(
+        "--arq-adaptive",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="AIMD window adaptation: --arq-window becomes the ceiling of "
+        "a congestion window that halves on timeouts and regrows on clean "
+        "ACKs (default: REPRO_ARQ_ADAPTIVE or on)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     attest = commands.add_parser("attest", help="run one attestation")
@@ -240,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         metavar="N",
         help="session-level retries (fresh nonce) before giving up (default: 3)",
+    )
+    resilience.add_argument(
+        "--raw-transport",
+        action="store_true",
+        help="run without the ARQ layer (reliable=False): the resequencer "
+        "restores exactly-once in-order delivery for pipelined runs, but "
+        "lost frames fail the attempt instead of retransmitting",
     )
     _add_obs_options(attest)
 
@@ -365,19 +380,20 @@ def _attest_over_network(args, provisioned, verifier) -> int:
     )
     from repro.perf import get_config
 
-    # ArqTuning.window would shadow the configured default (the session
-    # prefers an explicit tuning), so thread the config through here —
-    # it already carries any --arq-window / REPRO_ARQ_WINDOW override.
+    # An explicit tuning is the session's single source of truth for the
+    # window, so thread the config through here — it already carries any
+    # --arq-window / --arq-adaptive / REPRO_ARQ_* override.
     session = NetworkAttestationSession(
         simulator,
         channel,
         provisioned.prover,
         verifier,
         rng.fork("session"),
-        reliable=True,
+        reliable=not args.raw_transport,
         arq_tuning=ArqTuning(
             backoff_factor=args.arq_backoff,
             window=get_config().arq_window,
+            adaptive=get_config().arq_adaptive,
         ),
         max_attempts=args.max_attempts,
     )
@@ -559,6 +575,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["swarm_workers"] = args.swarm_workers
     if args.arq_window is not None:
         overrides["arq_window"] = args.arq_window
+    if args.arq_adaptive is not None:
+        overrides["arq_adaptive"] = args.arq_adaptive
     if args.readback_batch_frames is not None:
         overrides["readback_batch_frames"] = args.readback_batch_frames
     try:

@@ -11,23 +11,31 @@ man-in-the-middle attacks use.
 
 Two transport shapes exist:
 
-* the **legacy lockstep** loop (``readback_batch_frames <= 1``, or any
-  raw ``reliable=False`` channel): one readback command per response
-  round trip, preserved byte-identically so seeded determinism tests
-  pin it;
-* the **pipelined** path (the default over ARQ): configuration and readback
+* the **legacy lockstep** loop (``readback_batch_frames <= 1``): one
+  readback command per response round trip, preserved byte-identically
+  so seeded determinism tests pin it;
+* the **pipelined** path (the default): configuration and readback
   commands are batched to the MTU (``repro.net.batch``) and all streamed
   ahead of the responses, the sliding-window ARQ keeps several payloads
-  in flight, and the verifier folds the expected MAC incrementally as
-  response fragments arrive.  The readback sweep is order-insensitive on
-  the verifier side (Section 6.1), which is what makes pipelining safe:
-  the plan-ordered fragment cursor keeps the MAC stream aligned.
+  in flight, each config batch is confirmed by one cumulative
+  :class:`~repro.net.messages.ConfigAck`, and the verifier folds the
+  expected MAC incrementally as response fragments arrive.  The readback
+  sweep is order-insensitive on the verifier side (Section 6.1), which
+  is what makes pipelining safe: the plan-ordered fragment cursor keeps
+  the MAC stream aligned.
 
-Pipelining *requires* the reliable transport: the raw channel delivers
-each frame after its own serialization delay, so a burst of mixed-size
-frames arrives out of order (a small checksum command overtakes a large
-readback batch).  The ARQ layer restores in-order delivery; without it
-the session silently stays lockstep.
+Pipelining needs in-order delivery, not reliability: the raw channel
+delivers each frame after its own serialization delay, so a burst of
+mixed-size frames arrives out of order (a small checksum command
+overtakes a large readback batch).  Over ARQ (``reliable=True``) the
+sliding window restores order; on a raw channel the session interposes
+a :class:`~repro.net.resequencer.ResequencerLink` — a bounded
+reorder/dedup buffer with no retransmission — so ``reliable=False``
+runs pipeline too, and duplication/reordering fault profiles are safe
+on raw channels (a lost frame leaves a permanent gap that drains the
+simulation and fails the attempt toward ``inconclusive``).  A raw
+lockstep session on a dup/reorder-free channel keeps the original
+headerless wire format byte-identically.
 
 The session degrades gracefully instead of raising out of the event
 loop.  Undecodable frames (bit corruption or truncation from the fault
@@ -44,8 +52,8 @@ gets a verdict: ``accept``, ``reject``, or ``inconclusive``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Union
 
 from repro.errors import NetworkError, ProtocolError
 from repro.core.prover import SachaProver
@@ -57,6 +65,7 @@ from repro.net.channel import Channel, Endpoint
 from repro.net.ethernet import ETHERTYPE_SACHA, EthernetFrame, MacAddress
 from repro.net.messages import (
     Command,
+    ConfigAck,
     IcapConfigBatchCommand,
     IcapConfigCommand,
     IcapReadbackBatchCommand,
@@ -67,6 +76,7 @@ from repro.net.messages import (
     MacChecksumResponse,
     ReadbackBatchResponse,
     ReadbackResponse,
+    Response,
     TraceHelloCommand,
     decode_command,
     decode_response,
@@ -144,7 +154,6 @@ class NetworkAttestationSession:
             raise ProtocolError(
                 f"session needs at least one attempt, got {max_attempts}"
             )
-        self._check_fault_compatibility(channel, reliable)
         self._simulator = simulator
         self._channel = channel
         self._prover = prover
@@ -161,14 +170,29 @@ class NetworkAttestationSession:
         # dumps the trace stitcher is built for.  None -> the active one.
         self._prover_registry = prover_registry
         config = get_config()
+        # Explicit, validated window precedence: ``arq_tuning`` is the
+        # single source of truth when given; a redundant ``arq_window``
+        # must agree with it (no silent override), and with no tuning the
+        # explicit window falls back to the perf config.
         if arq_window is not None:
             if arq_window < 1:
                 raise ProtocolError(f"ARQ window must be >= 1, got {arq_window}")
+            if arq_tuning is not None and arq_tuning.window != arq_window:
+                raise ProtocolError(
+                    f"conflicting ARQ windows: arq_tuning.window="
+                    f"{arq_tuning.window} but arq_window={arq_window}; "
+                    "set the window on the tuning (or pass only one)"
+                )
             self._arq_window = arq_window
         elif arq_tuning is not None:
             self._arq_window = arq_tuning.window
         else:
             self._arq_window = config.arq_window
+        # AIMD adaptation follows the tuning when one is given, the perf
+        # config otherwise (REPRO_ARQ_ADAPTIVE / --arq-adaptive).
+        self._arq_adaptive = (
+            arq_tuning.adaptive if arq_tuning is not None else config.arq_adaptive
+        )
         if readback_batch_frames is not None:
             if readback_batch_frames < 1:
                 raise ProtocolError(
@@ -203,57 +227,54 @@ class NetworkAttestationSession:
         self._trace_id = ""
         self._prover_trace_id: Optional[str] = None
         self._link_failure: Optional[NetworkError] = None
+        self._config_acked = 0
+        self._prover_configs_applied = 0
         self.undecodable_frames = 0
         self.unexpected_frames = 0
         self.total_retransmissions = 0
 
-    @staticmethod
-    def _check_fault_compatibility(channel: Channel, reliable: bool) -> None:
-        """Refuse fault profiles that silently break the raw transport.
-
-        On a non-reliable channel a duplicated or reordered readback
-        response desynchronizes the incremental MAC between prover and
-        verifier, turning an honest device into a *false reject* — a
-        fail-unsafe outcome.  The ARQ layer (``reliable=True``) restores
-        exactly-once in-order delivery, so these faults are only legal
-        there.  Loss, corruption and truncation stay allowed raw: they
-        fail towards ``inconclusive`` (a drained simulation), never
-        towards a wrong verdict.
-        """
-        model = channel.fault_model
-        if reliable or model is None:
-            return
-        profile = model.profile
-        offending = []
-        if profile.duplication_probability > 0:
-            offending.append("duplication")
-        if profile.reorder_probability > 0:
-            offending.append("reordering")
-        if offending:
-            raise ProtocolError(
-                f"fault profile injects {' and '.join(offending)} on a raw "
-                "(reliable=False) channel: duplicated/reordered readbacks "
-                "desynchronize the incremental MAC into a false reject. "
-                "Run with reliable=True (ARQ restores exactly-once in-order "
-                "delivery) or drop these faults from the profile."
-            )
-
     # -- transport plumbing --------------------------------------------------------
 
     @property
+    def _resequenced(self) -> bool:
+        """Whether raw channels get the reorder/dedup buffer.
+
+        A raw pipelined burst needs in-order delivery, and a raw channel
+        under duplication/reordering faults needs exactly-once delivery —
+        both are the resequencer's job (a duplicated or reordered
+        readback would otherwise desynchronize the incremental MAC into
+        a false reject).  A raw *lockstep* session on a dup/reorder-free
+        channel keeps the original headerless wire format, which the
+        seeded determinism fingerprints pin.
+        """
+        if self._reliable:
+            return False
+        if self._batch_frames > 1:
+            return True
+        model = self._channel.fault_model
+        if model is None:
+            return False
+        profile = model.profile
+        return (
+            profile.duplication_probability > 0
+            or profile.reorder_probability > 0
+        )
+
+    @property
     def _pipelined(self) -> bool:
-        """Batching only streams safely over the in-order ARQ transport;
-        a raw channel reorders mixed-size bursts, so it stays lockstep."""
-        return self._batch_frames > 1 and self._reliable
+        """Batching streams safely over any in-order transport: the ARQ
+        sliding window, or the resequencer above a raw channel."""
+        return self._batch_frames > 1 and (self._reliable or self._resequenced)
 
     def _effective_tuning(self) -> ArqTuning:
-        tuning = self._arq_tuning or ArqTuning(
+        if self._arq_tuning is not None:
+            return self._arq_tuning
+        return ArqTuning(
             initial_timeout_ns=self._arq_timeout_ns,
             min_timeout_ns=min(self._arq_timeout_ns, ArqTuning.min_timeout_ns),
+            window=self._arq_window,
+            adaptive=self._arq_adaptive,
         )
-        if tuning.window != self._arq_window:
-            tuning = replace(tuning, window=self._arq_window)
-        return tuning
 
     def _install_ports(self) -> None:
         """(Re)create the transport for one attempt.
@@ -261,7 +282,8 @@ class NetworkAttestationSession:
         In reliable mode every attempt gets fresh ARQ links on both
         endpoints: sequence numbers and RTT estimators restart together,
         so a retry is indistinguishable from a brand-new session to the
-        peer.
+        peer.  Resequenced raw mode likewise gets fresh
+        :class:`ResequencerLink` pairs so sequence numbers restart.
         """
         if self._reliable:
             from repro.net.arq import ArqLink
@@ -287,6 +309,18 @@ class NetworkAttestationSession:
                 rng=self._rng.fork("arq-prv"),
                 on_give_up=self._on_link_failure,
             )
+        elif self._resequenced:
+            from repro.net.resequencer import ResequencerLink
+
+            self._verifier_port = ResequencerLink(
+                self.verifier_endpoint, PROVER_MAC
+            )
+            self._prover_port = ResequencerLink(
+                self.prover_endpoint, VERIFIER_MAC
+            )
+        else:
+            self._verifier_port = self.verifier_endpoint
+            self._prover_port = self.prover_endpoint
         if self._pipelined:
             self._verifier_port.handler = self._on_verifier_delivery_pipelined
         else:
@@ -400,6 +434,8 @@ class NetworkAttestationSession:
         self._mac_stream = None
         self._mac_pending = []
         self._mac_pending_bytes = 0
+        self._config_acked = 0
+        self._prover_configs_applied = 0
         # Abort under the prover's registry: the abandoned attempt's
         # pending command counts must land in the same shard that the
         # delivery path used, not the verifier's ambient registry.
@@ -427,6 +463,17 @@ class NetworkAttestationSession:
                 kind="drained",
                 detail="simulation drained before the checksum exchange; "
                 "a message was lost",
+            )
+        if self._pipelined and self._config_acked < self._config_steps:
+            # The tag arrived but the cumulative ConfigAcks do not cover
+            # the configuration: on a transport without retransmission a
+            # config frame may be gone, and a MAC over a misconfigured
+            # device must fail toward inconclusive, not a false reject.
+            return FailureReason(
+                stage=_Phase.CONFIG.value,
+                kind="config_unacked",
+                detail=f"cumulative ConfigAcks cover {self._config_acked} of "
+                f"{self._config_steps} configuration frames",
             )
         if self._pipelined:
             self._finish_pipelined()
@@ -592,6 +639,11 @@ class NetworkAttestationSession:
                 side="verifier",
             )
             return
+        if isinstance(response, ConfigAck):
+            # Cumulative, like the ARQ's ACKs: the high-water mark is the
+            # number of configuration frames the prover has applied.
+            self._config_acked = max(self._config_acked, response.frames_applied)
+            return
         if isinstance(response, ReadbackBatchResponse):
             if (
                 self._phase is not _Phase.READBACK
@@ -748,10 +800,37 @@ class NetworkAttestationSession:
             self._prover.handle_command(command)
             if app_frames and app_frames[-1] in command.frame_indices:
                 self._scramble_after_app_config()
+            # One cumulative ack per batch: the return path costs one
+            # frame per batch instead of one per configured frame.
+            self._prover_configs_applied += len(command.frame_indices)
+            self._send_config_ack()
             return
         result = self._prover.handle_command(command)
         if result is None:
             return
+        self._send_prover_result(result)
+
+    def _send_config_ack(self) -> None:
+        """Send the cumulative configuration acknowledgement."""
+        if self._link_failure is not None:
+            return
+        self._count(
+            "sacha_config_acks_total",
+            "Cumulative ConfigAcks sent by provers",
+        )
+        try:
+            self._prover_port.send(
+                EthernetFrame(
+                    destination=VERIFIER_MAC,
+                    source=PROVER_MAC,
+                    ethertype=ETHERTYPE_SACHA,
+                    payload=ConfigAck(self._prover_configs_applied).encode(),
+                )
+            )
+        except NetworkError as error:
+            self._on_link_failure(error)
+
+    def _send_prover_result(self, result: "Union[Response, List[Response]]") -> None:
         if self._link_failure is not None:
             return
         try:

@@ -91,6 +91,7 @@ CONSTANT_TIME_PATHS: Tuple[str, ...] = (
     "repro/crypto/",
     "repro/core/",
     "repro/net/arq.py",
+    "repro/net/resequencer.py",
     "repro/system/",
 )
 

@@ -36,6 +36,7 @@ from repro.net.messages import (
     decode_response,
 )
 from repro.net.phy import GigabitPhy
+from repro.net.resequencer import ResequencerLink
 
 __all__ = [
     "ArqLink",
@@ -66,4 +67,5 @@ __all__ = [
     "decode_command",
     "decode_response",
     "GigabitPhy",
+    "ResequencerLink",
 ]

@@ -31,7 +31,20 @@ endpoint with a selective-repeat automatic-repeat-request layer:
 The retransmission timer is adaptive: each clean (non-retransmitted)
 round trip feeds a Jacobson/Karels SRTT/RTTVAR estimator, and each
 payload's retransmission timeout backs off exponentially with
-deterministic jitter while it keeps timing out.  When ``max_retries``
+deterministic jitter while it keeps timing out.
+
+With ``ArqTuning.adaptive`` the *send window* adapts too (AIMD, the
+TCP congestion-control shape): the effective window starts at the
+configured ``window`` ceiling, halves (``aimd_decrease``) on the first
+timeout of each loss window — one multiplicative decrease per
+window's worth of data, NewReno-style, so a burst of losses from a
+single congestion event is not punished repeatedly — and grows back
+additively (``aimd_increase`` per window's worth of clean cumulative
+ACKs) until it reaches the ceiling again.  A clean link therefore
+never leaves the ceiling and stays byte- and telemetry-identical to
+the static window; the adaptation is pure float arithmetic over the
+link's own loss signal, so trajectories are seed-deterministic and
+identical across processes.  When ``max_retries``
 is exhausted for any payload the link declares itself down: with an
 ``on_give_up`` callback installed it reports the failure and goes
 quiescent (so the session above can degrade to an ``inconclusive``
@@ -91,6 +104,13 @@ class ArqTuning:
     synchronization between the two directions of a link.  ``window``
     bounds how many payloads may be unacknowledged at once; 1 reproduces
     stop-and-wait exactly.
+
+    ``adaptive`` turns ``window`` into a *ceiling* for an AIMD-governed
+    effective window: multiply by ``aimd_decrease`` on the first timeout
+    of each loss window, grow by ``aimd_increase`` per window's worth of
+    clean cumulative ACKs, never above ``window`` or below 1.  The
+    effective window starts at the ceiling, so a clean link behaves
+    exactly like the static configuration.
     """
 
     initial_timeout_ns: float = 2_000_000.0
@@ -102,6 +122,9 @@ class ArqTuning:
     rttvar_gain: float = 1.0 / 4.0
     rttvar_weight: float = 4.0
     window: int = 1
+    adaptive: bool = False
+    aimd_increase: float = 1.0
+    aimd_decrease: float = 0.5
 
     def __post_init__(self) -> None:
         if self.initial_timeout_ns <= 0:
@@ -123,6 +146,12 @@ class ArqTuning:
             )
         if self.window < 1:
             raise NetworkError(f"ARQ window must be >= 1, got {self.window}")
+        for name in ("srtt_gain", "rttvar_gain", "aimd_increase", "aimd_decrease"):
+            gain = getattr(self, name)
+            if not 0.0 < gain <= 1.0:
+                raise NetworkError(
+                    f"ARQ {name} must be in (0, 1], got {gain}"
+                )
 
     def clamp(self, timeout_ns: float) -> float:
         return min(max(timeout_ns, self.min_timeout_ns), self.max_timeout_ns)
@@ -186,6 +215,14 @@ class ArqLink:
             min_timeout_ns=min(timeout_ns, ArqTuning.min_timeout_ns),
         )
         self._window = self._tuning.window
+        # AIMD state: the effective window starts at the configured
+        # ceiling, so a link that never loses never adapts (and stays
+        # byte-identical to the static configuration).  ``_recovery_until``
+        # marks the highest sequence sent when the window last halved;
+        # timeouts at or below it belong to the same loss window and do
+        # not halve again (NewReno-style single decrease per window).
+        self._cwnd = float(self._window)
+        self._recovery_until = -1
         self._max_retries = max_retries
         self._rng = rng
         self.on_give_up = on_give_up
@@ -215,6 +252,7 @@ class ArqLink:
         self.duplicates_dropped = 0
         self.corrupt_frames_dropped = 0
         self.backoff_events = 0
+        self.cwnd_halvings = 0
 
         registry = get_registry()
         if registry.enabled:
@@ -223,6 +261,8 @@ class ArqLink:
                 "Configured ARQ send-window size, by endpoint",
                 labels=("endpoint",),
             ).set(float(self._window), endpoint=self._endpoint.name)
+            if self._tuning.adaptive:
+                self._observe_cwnd(registry)
 
     @property
     def failed(self) -> Optional[NetworkError]:
@@ -241,8 +281,16 @@ class ArqLink:
 
     @property
     def window(self) -> int:
-        """The configured send-window size."""
+        """The configured send-window size (the AIMD ceiling)."""
         return self._window
+
+    @property
+    def cwnd(self) -> int:
+        """The effective send window: AIMD-governed when adaptive,
+        otherwise the configured window."""
+        if not self._tuning.adaptive:
+            return self._window
+        return max(1, int(self._cwnd))
 
     @property
     def in_flight_count(self) -> int:
@@ -279,7 +327,8 @@ class ArqLink:
         pumped = 0
         registry = get_registry()
         active = current_span() if registry.enabled else None
-        while self._send_queue and len(self._in_flight) < self._window:
+        window = self.cwnd
+        while self._send_queue and len(self._in_flight) < window:
             payload = self._send_queue.popleft()
             sequence = self._next_tx_sequence
             self._next_tx_sequence += 1
@@ -289,7 +338,7 @@ class ArqLink:
                 # Solicit an ACK from the frame that fills the window or
                 # drains the queue — the burst cannot grow past it, so
                 # one cumulative ACK covers the whole burst.
-                filling = len(self._in_flight) + 1 >= self._window
+                filling = len(self._in_flight) + 1 >= window
                 frame_type = (
                     _TYPE_DATA_SOLICIT
                     if filling or not self._send_queue
@@ -405,7 +454,72 @@ class ArqLink:
                     endpoint=self._endpoint.name,
                     retry=entry.retries,
                 )
+        if self._tuning.adaptive:
+            self._cwnd_on_loss(sequence)
         self._transmit(sequence, entry)
+
+    # -- AIMD window adaptation ----------------------------------------------------
+
+    def _cwnd_on_loss(self, sequence: int) -> None:
+        """Multiplicative decrease: halve once per loss window.
+
+        A timeout for a sequence at or below ``_recovery_until`` belongs
+        to a loss window the link already reacted to — a single
+        congestion event typically costs several frames of one burst, and
+        halving for each would collapse the window to 1 on any blip.
+        """
+        if sequence <= self._recovery_until:
+            return
+        self._recovery_until = self._next_tx_sequence - 1
+        before = self.cwnd
+        self._cwnd = max(1.0, self._cwnd * self._tuning.aimd_decrease)
+        self.cwnd_halvings += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "sacha_arq_cwnd_halvings_total",
+                "AIMD multiplicative-decrease events (window halvings)",
+            ).inc()
+            self._observe_cwnd(registry)
+            active = current_span()
+            if active is not None:
+                active.add_event(
+                    "arq.cwnd_halve",
+                    seq=sequence,
+                    endpoint=self._endpoint.name,
+                    cwnd_before=before,
+                    cwnd=self.cwnd,
+                )
+
+    def _cwnd_on_ack(self, acked_count: int, clean: bool) -> None:
+        """Additive increase: ``aimd_increase`` per window's worth of
+        clean cumulative ACKs (Karn-style, ACKs that retire retransmitted
+        payloads are ambiguous and do not grow the window)."""
+        if not clean or self._cwnd >= self._window:
+            return
+        before = self.cwnd
+        self._cwnd = min(
+            float(self._window),
+            self._cwnd + self._tuning.aimd_increase * acked_count / self._cwnd,
+        )
+        registry = get_registry()
+        if registry.enabled and self.cwnd != before:
+            self._observe_cwnd(registry)
+            active = current_span()
+            if active is not None:
+                active.add_event(
+                    "arq.cwnd_grow",
+                    endpoint=self._endpoint.name,
+                    cwnd_before=before,
+                    cwnd=self.cwnd,
+                )
+
+    def _observe_cwnd(self, registry) -> None:
+        registry.gauge(
+            "sacha_arq_cwnd",
+            "Effective (AIMD) ARQ send window, by endpoint",
+            labels=("endpoint",),
+        ).set(float(self.cwnd), endpoint=self._endpoint.name)
 
     # -- receiving ----------------------------------------------------------------
 
@@ -533,7 +647,8 @@ class ArqLink:
             return  # acknowledges something we never sent: bogus/stale
         # Cumulative: retire every in-flight payload up to the acked
         # sequence (the map iterates in transmit = sequence order).
-        acked = False
+        acked = 0
+        clean = True
         while self._in_flight:
             first = next(iter(self._in_flight))
             if first > sequence:
@@ -542,14 +657,18 @@ class ArqLink:
             if entry.timeout_event is not None:
                 entry.timeout_event.cancel()
                 entry.timeout_event = None
+            if entry.retries:
+                clean = False
             # Karn's algorithm: only sample RTT for a never-retransmitted
             # payload this ACK names directly (an ACK of a retransmission
             # or an implicit confirmation is ambiguous).
             if first == sequence and entry.retries == 0:
                 self._update_rtt(self._simulator.now_ns - entry.last_tx_ns)
-            acked = True
+            acked += 1
         if not acked:
             return  # stale ACK
+        if self._tuning.adaptive:
+            self._cwnd_on_ack(acked, clean)
         self._observe_in_flight()
         self._pump()
 

@@ -8,10 +8,13 @@ Three commands travel verifier → prover (Section 6.1 of the paper):
 3. ``MAC_checksum`` — finalize the MAC and return the tag.
 
 Two responses travel prover → verifier: the frame content for each
-readback, and the final MAC tag.  An optional ``ConfigAck`` exists for
-transports that want explicit flow control; the paper's protocol (and our
-default transport) fire-and-forgets configuration commands, with the
-per-command network overhead accounted in the timing model either way.
+readback, and the final MAC tag.  A *cumulative* ``ConfigAck`` confirms
+configuration progress: one ack per batched config command, carrying
+the total number of frames applied so far in the run — the return path
+costs one frame per batch instead of one per config frame, mirroring
+how the ARQ's solicited cumulative ACKs trim the forward path.  The
+paper's lockstep protocol fire-and-forgets per-frame configuration
+commands and sends no acks, keeping that wire sequence byte-identical.
 
 Every message is self-delimiting: 1 opcode byte, fixed-size fields, and a
 2-byte length prefix before variable data.
@@ -276,12 +279,24 @@ class TraceHelloCommand:
 
 @dataclass(frozen=True)
 class ConfigAck:
-    """Optional acknowledgement of an ``ICAP_config``."""
+    """Cumulative configuration acknowledgement.
 
-    frame_index: int
+    ``frames_applied`` is the *total* number of configuration frames the
+    prover has written in this run — cumulative like the ARQ's ACKs, so
+    one ack per ``ICAP_config_batch`` lets the verifier confirm the
+    whole configuration prefix.  The verifier tracks the high-water mark
+    and fails an attempt toward ``inconclusive`` (never a false reject)
+    if the checksum arrives with configuration coverage incomplete.
+    """
+
+    frames_applied: int
 
     def encode(self) -> bytes:
-        return bytes([OPCODE_CONFIG_ACK]) + self.frame_index.to_bytes(4, "big")
+        if self.frames_applied < 0 or self.frames_applied > 0xFFFFFFFF:
+            raise WireFormatError(
+                f"ConfigAck frames_applied {self.frames_applied} out of range"
+            )
+        return bytes([OPCODE_CONFIG_ACK]) + self.frames_applied.to_bytes(4, "big")
 
 
 @dataclass(frozen=True)

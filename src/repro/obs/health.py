@@ -317,6 +317,14 @@ DEFAULT_RULES: Tuple[object, ...] = (
         crit=0.25,
         description="ARQ retransmissions per payload sent",
     ),
+    RatioRule(
+        name="arq_cwnd_collapse",
+        numerator=MetricSelector("sacha_arq_cwnd_halvings_total"),
+        denominator=MetricSelector("sacha_arq_payloads_total"),
+        warn=0.02,
+        crit=0.10,
+        description="AIMD window halvings per payload sent",
+    ),
     QuantileRule(
         name="readback_p99",
         selector=MetricSelector(

@@ -106,10 +106,11 @@ def arq_timeline(spans: Sequence[SpanRecord]) -> List[Dict[str, object]]:
     """Every ARQ span event, flattened and time-ordered.
 
     The ARQ layer attaches ``arq.send`` / ``arq.ack`` /
-    ``arq.retransmit`` / ``arq.give_up`` events to the enclosing span
-    (see ``repro.net.arq``); this collects them across a whole trace
-    with the owning span named, so a faulty exchange can be replayed
-    exchange by exchange.
+    ``arq.retransmit`` / ``arq.give_up`` events — plus the AIMD window
+    moves ``arq.cwnd_halve`` / ``arq.cwnd_grow`` — to the enclosing
+    span (see ``repro.net.arq``); this collects them across a whole
+    trace with the owning span named, so a faulty exchange can be
+    replayed exchange by exchange.
     """
     timeline: List[Dict[str, object]] = []
     for record in sorted(spans, key=lambda item: (item.start_ns, item.span_id)):

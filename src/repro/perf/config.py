@@ -9,6 +9,7 @@ switch backends without code changes::
     REPRO_SWARM_WORKERS=4         # 0/1 = sequential sweep
     REPRO_FRAME_FASTPATH=0        # disable bulk/vectorized frame handling
     REPRO_ARQ_WINDOW=8            # ARQ payloads in flight; 1 = stop-and-wait
+    REPRO_ARQ_ADAPTIVE=1          # AIMD window adaptation (window = ceiling)
     REPRO_READBACK_BATCH_FRAMES=256  # frames per batched readback; 1 = per-frame
 
 ``auto`` (the default) picks ``native`` when the optional ``cryptography``
@@ -54,6 +55,11 @@ class ReproConfig:
     #: be unacknowledged at once.  ``1`` is the legacy stop-and-wait and
     #: stays byte-identical to it.
     arq_window: int = 8
+    #: AIMD adaptation of the ARQ send window: ``arq_window`` becomes the
+    #: *ceiling* of a congestion window that halves on retransmission
+    #: timeouts and regrows additively on clean ACKs.  The window starts
+    #: at the ceiling, so clean links behave identically either way.
+    arq_adaptive: bool = True
     #: Frames per batched readback command in the pipelined networked
     #: session.  ``1`` keeps the legacy per-frame command/await/response
     #: loop (byte-identical to it); larger values pack many frames per
@@ -107,20 +113,25 @@ class ReproConfig:
 
         window = _int_env("REPRO_ARQ_WINDOW", "8")
         batch_frames = _int_env("REPRO_READBACK_BATCH_FRAMES", "256")
-        fastpath_raw = env.get("REPRO_FRAME_FASTPATH", "1").strip().lower() or "1"
-        if fastpath_raw in _TRUTHY:
-            fastpath = True
-        elif fastpath_raw in _FALSY:
-            fastpath = False
-        else:
+
+        def _bool_env(name: str, default: str) -> bool:
+            raw = env.get(name, default).strip().lower() or default
+            if raw in _TRUTHY:
+                return True
+            if raw in _FALSY:
+                return False
             raise ReproError(
-                f"REPRO_FRAME_FASTPATH must be a boolean flag, got {fastpath_raw!r}"
+                f"{name} must be a boolean flag, got {raw!r}"
             )
+
+        fastpath = _bool_env("REPRO_FRAME_FASTPATH", "1")
+        adaptive = _bool_env("REPRO_ARQ_ADAPTIVE", "1")
         return cls(
             aes_backend=backend,
             swarm_workers=workers,
             frame_fastpath=fastpath,
             arq_window=window,
+            arq_adaptive=adaptive,
             readback_batch_frames=batch_frames,
         )
 

@@ -22,8 +22,12 @@ def _session(latency_ns=1_000.0, seed=50, tamper=None):
     simulator = Simulator()
     channel = Channel(simulator, LatencyModel(base_ns=latency_ns))
     verifier = SachaVerifier(record.system, record.mac_key, DeterministicRng(seed + 1))
+    # Pin the raw *lockstep* shape: these tests assert legacy wire
+    # specifics (per-frame counts, headerless SACHa payloads on the tap).
+    # The raw default (batch > 1) now pipelines through the resequencer.
     session = NetworkAttestationSession(
-        simulator, channel, provisioned.prover, verifier, DeterministicRng(seed + 2)
+        simulator, channel, provisioned.prover, verifier, DeterministicRng(seed + 2),
+        readback_batch_frames=1,
     )
     return session, channel
 
@@ -211,17 +215,36 @@ class TestPipelinedTransport:
         )
         assert fast.frames_sent_by_prover < slow.frames_sent_by_prover / 4
 
-    def test_raw_channel_falls_back_to_lockstep(self):
-        """Pipelining needs the ARQ's in-order guarantee; on a raw
-        channel the session must keep the legacy per-frame loop even
-        when batching is configured."""
+    def test_raw_channel_pipelines_through_resequencer(self):
+        """Pipelining needs in-order delivery, not reliability: on a raw
+        channel the session interposes the resequencer and keeps the
+        batched streaming transport instead of falling back to lockstep."""
+        from repro.net.resequencer import ResequencerLink
+
         session, _ = _reliable_session(8, 256, reliable=False)
-        assert not session._pipelined
+        assert session._pipelined
+        assert session._resequenced
         result = session.run()
         assert result.report.accepted
+        assert isinstance(session._verifier_port, ResequencerLink)
         total_frames = SIM_SMALL.total_frames
         dynamic = session._verifier.system.partition.dynamic_frame_count
-        assert result.frames_sent_by_verifier == dynamic + total_frames + 1
+        # Far fewer frames than the lockstep loop's one-per-frame counts.
+        assert result.frames_sent_by_verifier < (dynamic + total_frames + 1) / 4
+
+    def test_raw_lockstep_on_clean_channel_stays_headerless(self):
+        """A raw lockstep session without dup/reorder faults keeps the
+        original wire format: SACHa payloads, no resequencer header."""
+        session, channel = _reliable_session(1, 1, reliable=False)
+        opcodes = []
+        channel.add_tap(
+            lambda t, d, frame: opcodes.append(frame.payload[0]) or None
+        )
+        assert not session._resequenced
+        assert session.run().report.accepted
+        # Every tapped payload starts with a SACHa opcode byte, not a
+        # resequencer sequence header.
+        assert set(opcodes) <= {0x01, 0x02, 0x03, 0x81, 0x82}
 
     def test_out_of_plan_fragment_is_ignored(self):
         """A fragment that is not the next contiguous plan slice cannot
@@ -271,8 +294,9 @@ class TestPipelinedTransport:
 
 class TestFaultCompatibility:
     """Duplication/reorder faults on a raw channel would desynchronize
-    the incremental MAC into a false reject — the session must refuse
-    the configuration outright instead of failing unsafely later."""
+    the incremental MAC into a false reject — the session interposes
+    the resequencing buffer so delivery to the protocol layer stays
+    in-order and exactly-once without requiring the full ARQ."""
 
     def _channel_with(self, profile):
         from repro.net.faults import FaultModel
@@ -301,23 +325,25 @@ class TestFaultCompatibility:
             reliable=reliable,
         )
 
-    def test_duplication_on_raw_channel_rejected(self):
+    def test_duplication_on_raw_channel_resequenced(self):
         from repro.net.faults import FaultProfile
 
         simulator, channel = self._channel_with(
             FaultProfile(duplication_probability=0.1)
         )
-        with pytest.raises(ProtocolError, match="duplication"):
-            self._build(simulator, channel, reliable=False)
+        session = self._build(simulator, channel, reliable=False)
+        assert session._resequenced
+        assert session.run().report.accepted
 
-    def test_reorder_on_raw_channel_rejected(self):
+    def test_reorder_on_raw_channel_resequenced(self):
         from repro.net.faults import FaultProfile
 
         simulator, channel = self._channel_with(
             FaultProfile(reorder_probability=0.1, reorder_extra_ns=1e5)
         )
-        with pytest.raises(ProtocolError, match="reordering"):
-            self._build(simulator, channel, reliable=False)
+        session = self._build(simulator, channel, reliable=False)
+        assert session._resequenced
+        assert session.run().report.accepted
 
     def test_same_faults_allowed_over_arq(self):
         from repro.net.faults import FaultProfile
@@ -341,3 +367,76 @@ class TestFaultCompatibility:
             FaultProfile(loss_probability=0.01)
         )
         self._build(simulator, channel, reliable=False)  # must not raise
+
+
+class TestWindowPrecedence:
+    """`arq_tuning` is the single source of truth when supplied; a
+    conflicting explicit `arq_window` is a configuration error, not a
+    silent override."""
+
+    def _build(self, **kwargs):
+        system = build_sacha_system(SIM_SMALL)
+        provisioned, record = provision_device(system, "prv-wp", seed=71)
+        simulator = Simulator()
+        channel = Channel(simulator, LatencyModel(base_ns=1_000.0))
+        verifier = SachaVerifier(
+            record.system, record.mac_key, DeterministicRng(72)
+        )
+        return NetworkAttestationSession(
+            simulator, channel, provisioned.prover, verifier,
+            DeterministicRng(73), reliable=True, **kwargs,
+        )
+
+    def test_conflicting_windows_rejected(self):
+        from repro.net.arq import ArqTuning
+
+        with pytest.raises(ProtocolError, match="conflicting ARQ windows"):
+            self._build(arq_window=4, arq_tuning=ArqTuning(window=8))
+
+    def test_matching_windows_accepted(self):
+        from repro.net.arq import ArqTuning
+
+        session = self._build(arq_window=8, arq_tuning=ArqTuning(window=8))
+        assert session._arq_window == 8
+
+    def test_tuning_alone_sets_window_and_adaptivity(self):
+        from repro.net.arq import ArqTuning
+
+        session = self._build(arq_tuning=ArqTuning(window=16, adaptive=True))
+        assert session._arq_window == 16
+        assert session._arq_adaptive
+
+    def test_explicit_window_alone_accepted(self):
+        session = self._build(arq_window=3)
+        assert session._arq_window == 3
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ProtocolError, match="window"):
+            self._build(arq_window=0)
+
+
+class TestCumulativeConfigAcks:
+    """The pipelined transport streams config batches without per-frame
+    responses; cumulative ConfigAcks close the loop so a run whose
+    configuration never landed fails safe instead of timing out in
+    later phases or producing an unexplained reject."""
+
+    def test_pipelined_run_acks_every_config_frame(self):
+        session, _ = _reliable_session(8, 256)
+        assert session.run().report.accepted
+        assert session._config_steps > 0
+        assert session._config_acked == session._config_steps
+
+    def test_lockstep_sends_no_config_acks(self):
+        session, _ = _reliable_session(1, 1)
+        assert session.run().report.accepted
+        assert session._config_acked == 0
+
+    def test_missing_acks_fail_toward_inconclusive(self, monkeypatch):
+        from repro.core.report import Verdict
+
+        session, _ = _reliable_session(8, 256)
+        monkeypatch.setattr(session, "_send_config_ack", lambda: None)
+        result = session.run()
+        assert result.report.verdict is Verdict.INCONCLUSIVE
+        assert "config_unacked" in result.report.failure_reason

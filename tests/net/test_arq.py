@@ -1,9 +1,9 @@
-"""Unit tests for the stop-and-wait ARQ layer."""
+"""Unit tests for the sliding-window ARQ layer."""
 
 import pytest
 
 from repro.errors import NetworkError
-from repro.net.arq import ArqLink
+from repro.net.arq import ArqLink, ArqTuning
 from repro.net.channel import Channel, Endpoint, LatencyModel
 from repro.net.ethernet import EthernetFrame, MacAddress
 from repro.sim.events import Simulator
@@ -13,15 +13,16 @@ MAC_A = MacAddress(0x020000000011)
 MAC_B = MacAddress(0x020000000012)
 
 
-def _linked_pair(loss=0.0, rng=None, timeout_ns=50_000.0, max_retries=25):
+def _linked_pair(loss=0.0, rng=None, timeout_ns=50_000.0, max_retries=25,
+                 tuning=None):
     simulator = Simulator()
     channel = Channel(
         simulator, LatencyModel(base_ns=1_000.0), loss_probability=loss, rng=rng
     )
     left_ep, right_ep = Endpoint("left", MAC_A), Endpoint("right", MAC_B)
     channel.connect(left_ep, right_ep)
-    left = ArqLink(simulator, left_ep, MAC_B, timeout_ns, max_retries)
-    right = ArqLink(simulator, right_ep, MAC_A, timeout_ns, max_retries)
+    left = ArqLink(simulator, left_ep, MAC_B, timeout_ns, max_retries, tuning)
+    right = ArqLink(simulator, right_ep, MAC_A, timeout_ns, max_retries, tuning)
     return simulator, channel, left, right
 
 
@@ -113,6 +114,201 @@ class TestLossyDelivery:
         left.send(_payload_frame(b"doomed"))
         with pytest.raises(NetworkError, match="gave up"):
             simulator.run()
+
+
+def _adaptive_tuning(window=8, **overrides):
+    defaults = dict(
+        initial_timeout_ns=50_000.0,
+        min_timeout_ns=20_000.0,
+        window=window,
+        adaptive=True,
+    )
+    defaults.update(overrides)
+    return ArqTuning(**defaults)
+
+
+class TestAdaptiveWindow:
+    """AIMD congestion control: additive growth on clean ACK rounds,
+    one multiplicative halving per loss window, configured window as
+    ceiling."""
+
+    def test_clean_link_never_adapts(self):
+        simulator, _, left, right = _linked_pair(tuning=_adaptive_tuning())
+        right.handler = lambda frame: None
+        for index in range(40):
+            left.send(_payload_frame(bytes([index]) * 8))
+        simulator.run()
+        assert left.cwnd == left.window == 8
+        assert left.cwnd_halvings == 0
+
+    def test_lossy_link_halves_and_delivers_exactly_once(self):
+        rng = DeterministicRng(321)
+        simulator, _, left, right = _linked_pair(
+            loss=0.25, rng=rng, tuning=_adaptive_tuning()
+        )
+        received = []
+        right.handler = lambda frame: received.append(frame.payload)
+        payloads = [bytes([i]) * 8 for i in range(40)]
+        for payload in payloads:
+            left.send(_payload_frame(payload))
+        simulator.run()
+        assert received == payloads
+        assert left.cwnd_halvings > 0
+        assert 1 <= left.cwnd <= left.window
+
+    def test_one_halving_per_loss_window(self):
+        """Timeouts for sequences sent before the last decrease belong to
+        the same loss event and must not halve again (NewReno-style)."""
+        simulator, _, left, _ = _linked_pair(tuning=_adaptive_tuning())
+        left._next_tx_sequence = 10
+        left._cwnd_on_loss(3)
+        assert left.cwnd == 4
+        assert left.cwnd_halvings == 1
+        # Sequences <= the recovery mark are the same burst: no change.
+        left._cwnd_on_loss(5)
+        left._cwnd_on_loss(9)
+        assert left.cwnd == 4
+        assert left.cwnd_halvings == 1
+        # A loss beyond the mark is a new congestion signal.
+        left._next_tx_sequence = 20
+        left._cwnd_on_loss(12)
+        assert left.cwnd == 2
+        assert left.cwnd_halvings == 2
+
+    def test_cwnd_floor_is_one(self):
+        simulator, _, left, _ = _linked_pair(tuning=_adaptive_tuning(window=2))
+        for sequence in (5, 15, 25, 35):
+            left._next_tx_sequence = sequence + 1
+            left._cwnd_on_loss(sequence)
+        assert left.cwnd == 1
+
+    def test_additive_regrowth_is_capped_at_ceiling(self):
+        simulator, _, left, _ = _linked_pair(tuning=_adaptive_tuning(window=4))
+        left._next_tx_sequence = 5
+        left._cwnd_on_loss(4)
+        assert left.cwnd == 2
+        for _ in range(100):
+            left._cwnd_on_ack(1, clean=True)
+        assert left.cwnd == 4
+        assert left._cwnd == 4.0  # capped exactly, not drifting past
+
+    def test_dirty_acks_do_not_grow_window(self):
+        simulator, _, left, _ = _linked_pair(tuning=_adaptive_tuning(window=4))
+        left._next_tx_sequence = 5
+        left._cwnd_on_loss(4)
+        before = left._cwnd
+        left._cwnd_on_ack(3, clean=False)
+        assert left._cwnd == before
+
+    def test_static_tuning_ignores_aimd_state(self):
+        simulator, _, left, _ = _linked_pair()
+        assert not left._tuning.adaptive
+        assert left.cwnd == left.window
+
+    def test_deterministic_trajectory(self):
+        """Same seed, same faults -> identical cwnd trajectory."""
+        def run():
+            rng = DeterministicRng(77)
+            simulator, _, left, right = _linked_pair(
+                loss=0.2, rng=rng, tuning=_adaptive_tuning()
+            )
+            right.handler = lambda frame: None
+            trajectory = []
+            original = left._cwnd_on_loss
+
+            def spy(sequence):
+                original(sequence)
+                trajectory.append(left.cwnd)
+
+            left._cwnd_on_loss = spy
+            for index in range(30):
+                left.send(_payload_frame(bytes([index]) * 8))
+            simulator.run()
+            return trajectory, left.cwnd_halvings
+
+        assert run() == run()
+
+
+class TestCrossProcessDeterminism:
+    _SCRIPT = """
+import json, sys
+from repro.net.arq import ArqLink, ArqTuning
+from repro.net.channel import Channel, Endpoint, LatencyModel
+from repro.net.ethernet import EthernetFrame, MacAddress
+from repro.sim.events import Simulator
+from repro.utils.rng import DeterministicRng
+
+MAC_A, MAC_B = MacAddress(0x020000000011), MacAddress(0x020000000012)
+simulator = Simulator()
+rng = DeterministicRng(2024)
+channel = Channel(
+    simulator, LatencyModel(base_ns=1_000.0),
+    loss_probability=0.2, rng=rng.fork("loss"),
+)
+left_ep, right_ep = Endpoint("left", MAC_A), Endpoint("right", MAC_B)
+channel.connect(left_ep, right_ep)
+tuning = ArqTuning(
+    initial_timeout_ns=50_000.0, min_timeout_ns=20_000.0,
+    window=8, adaptive=True,
+)
+left = ArqLink(simulator, left_ep, MAC_B, max_retries=60, tuning=tuning)
+right = ArqLink(simulator, right_ep, MAC_A, max_retries=60, tuning=tuning)
+right.handler = lambda frame: None
+trajectory = []
+original = left._cwnd_on_loss
+def spy(sequence):
+    original(sequence)
+    trajectory.append(left.cwnd)
+left._cwnd_on_loss = spy
+for index in range(30):
+    left.send(EthernetFrame(MAC_B, MAC_A, 0x88B5, bytes([index]) * 8))
+simulator.run()
+print(json.dumps({
+    "trajectory": trajectory,
+    "halvings": left.cwnd_halvings,
+    "final_cwnd": left.cwnd,
+    "retransmissions": left.retransmissions,
+    "now_ns": simulator.now_ns,
+}))
+"""
+
+    def test_cwnd_trajectory_is_seed_identical_across_processes(self):
+        """Hash-seed randomization, dict ordering, interpreter state —
+        none of it may leak into the congestion trajectory."""
+        import os
+        import subprocess
+        import sys
+
+        outputs = []
+        for hash_seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            src = os.path.abspath(
+                os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            )
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [src, env.get("PYTHONPATH", "")])
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", self._SCRIPT],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(completed.stdout)
+        assert outputs[0] == outputs[1]
+        assert '"halvings"' in outputs[0]
+
+
+class TestTuningValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(NetworkError, match="window"):
+            ArqTuning(window=0)
+
+    @pytest.mark.parametrize(
+        "field", ["srtt_gain", "rttvar_gain", "aimd_increase", "aimd_decrease"]
+    )
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_gains_must_be_in_unit_interval(self, field, bad):
+        with pytest.raises(NetworkError, match=field):
+            ArqTuning(**{field: bad})
 
 
 class TestValidation:

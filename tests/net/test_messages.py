@@ -50,7 +50,21 @@ class TestResponseRoundtrip:
         assert decode_response(response.encode()) == response
 
     def test_config_ack(self):
-        assert decode_response(ConfigAck(5).encode()) == ConfigAck(5)
+        decoded = decode_response(ConfigAck(5).encode())
+        assert decoded == ConfigAck(5)
+        assert decoded.frames_applied == 5
+
+    def test_config_ack_is_cumulative_count(self):
+        # The field is a running total, not a frame index: large totals
+        # up to the 32-bit wire width must survive the round trip.
+        high_water = ConfigAck(frames_applied=0xFFFFFFFF)
+        assert decode_response(high_water.encode()) == high_water
+
+    def test_config_ack_range_validated(self):
+        with pytest.raises(WireFormatError):
+            ConfigAck(-1).encode()
+        with pytest.raises(WireFormatError):
+            ConfigAck(0x1_0000_0000).encode()
 
 
 class TestMalformedInput:

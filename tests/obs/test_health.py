@@ -82,6 +82,38 @@ class TestRatioRule:
         assert "not evaluated" in result.reason
 
 
+class TestCwndCollapseRule:
+    """The arq_cwnd_collapse default rule flags links whose AIMD window
+    keeps halving — sustained congestion the retransmission ratio alone
+    can understate once the shrunken window suppresses further losses."""
+
+    def _snapshot(self, halvings, payloads):
+        registry = MetricsRegistry()
+        sent = registry.counter(
+            "sacha_arq_payloads_total", "Payloads", labels=("endpoint",)
+        )
+        halved = registry.counter(
+            "sacha_arq_cwnd_halvings_total", "Halvings", labels=("endpoint",)
+        )
+        if payloads:
+            sent.inc(payloads, endpoint="verifier")
+        if halvings:
+            halved.inc(halvings, endpoint="verifier")
+        return registry_snapshot(registry)
+
+    def _result(self, snapshot):
+        report = evaluate_health(snapshot)
+        return {r.rule: r for r in report.results}["arq_cwnd_collapse"]
+
+    def test_bands(self):
+        assert self._result(self._snapshot(0, 100)).status is HealthStatus.OK
+        assert self._result(self._snapshot(5, 100)).status is HealthStatus.WARN
+        assert self._result(self._snapshot(20, 100)).status is HealthStatus.CRIT
+
+    def test_skipped_without_traffic(self):
+        assert self._result(self._snapshot(0, 0)).status is HealthStatus.SKIPPED
+
+
 class TestQuantileRule:
     def _rule(self, warn=5.0, crit=30.0, quantile=0.99):
         return QuantileRule(

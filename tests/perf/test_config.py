@@ -19,6 +19,7 @@ class TestValidation:
         assert config.aes_backend == "auto"
         assert config.swarm_workers == 0
         assert config.frame_fastpath is True
+        assert config.arq_adaptive is True
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ReproError):
@@ -60,6 +61,17 @@ class TestEnvironment:
 
     def test_fastpath_garbage_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_FRAME_FASTPATH", "maybe")
+        with pytest.raises(ReproError):
+            ReproConfig.from_env()
+
+    def test_arq_adaptive_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARQ_ADAPTIVE", "0")
+        assert ReproConfig.from_env().arq_adaptive is False
+        monkeypatch.setenv("REPRO_ARQ_ADAPTIVE", "yes")
+        assert ReproConfig.from_env().arq_adaptive is True
+
+    def test_arq_adaptive_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARQ_ADAPTIVE", "sometimes")
         with pytest.raises(ReproError):
             ReproConfig.from_env()
 

@@ -52,7 +52,8 @@ def _profile_for(combo) -> FaultProfile:
     )
 
 
-def _run_exchange(profile: FaultProfile, seed: int, payloads, window=1):
+def _run_exchange(profile: FaultProfile, seed: int, payloads, window=1,
+                  adaptive=False):
     simulator = Simulator()
     rng = DeterministicRng(seed)
     model = (
@@ -65,7 +66,10 @@ def _run_exchange(profile: FaultProfile, seed: int, payloads, window=1):
     channel.connect(left_ep, right_ep)
     give_ups = []
     tuning = ArqTuning(
-        initial_timeout_ns=50_000.0, min_timeout_ns=20_000.0, window=window
+        initial_timeout_ns=50_000.0,
+        min_timeout_ns=20_000.0,
+        window=window,
+        adaptive=adaptive,
     )
     left = ArqLink(
         simulator,
@@ -112,6 +116,79 @@ class TestExactlyOnceInOrder:
         assert not give_ups, f"link gave up: {give_ups}"
         assert received == payloads  # exactly once, in order
         assert left.idle
+
+
+@pytest.mark.parametrize("combo", FAULT_COMBOS, ids=_combo_id)
+class TestAdaptiveExactlyOnce:
+    """The AIMD window never changes the delivery contract: whatever the
+    congestion window does, every payload still arrives exactly once and
+    in order across the full fault matrix."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        count=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_delivery_with_adaptive_window(self, combo, seed, count):
+        payloads = [bytes([index % 256]) * 16 for index in range(count)]
+        received, give_ups, left = _run_exchange(
+            _profile_for(combo), seed, payloads, window=8, adaptive=True
+        )
+        assert not give_ups, f"link gave up: {give_ups}"
+        assert received == payloads
+        assert left.idle
+        assert 1 <= left.cwnd <= left.window
+
+
+def _run_resequenced(profile: FaultProfile, seed: int, payloads):
+    from repro.net.resequencer import ResequencerLink
+
+    simulator = Simulator()
+    rng = DeterministicRng(seed)
+    model = (
+        FaultModel(profile, rng.fork("faults")) if profile.is_active else None
+    )
+    channel = Channel(
+        simulator, LatencyModel(base_ns=1_000.0), fault_model=model
+    )
+    left_ep, right_ep = Endpoint("left", MAC_A), Endpoint("right", MAC_B)
+    channel.connect(left_ep, right_ep)
+    left = ResequencerLink(left_ep, MAC_B)
+    right = ResequencerLink(right_ep, MAC_A)
+    received = []
+    right.handler = lambda frame: received.append(frame.payload)
+    left.send_many(
+        EthernetFrame(MAC_B, MAC_A, 0x88B5, payload) for payload in payloads
+    )
+    simulator.run()
+    return received, right
+
+
+REPLAY_COMBOS = [
+    combo
+    for combo in FAULT_COMBOS
+    if (combo["dup"] or combo["reorder"])
+    and not (combo["loss"] or combo["corrupt"])
+]
+
+
+@pytest.mark.parametrize("combo", REPLAY_COMBOS, ids=_combo_id)
+class TestResequencedRaw:
+    """The resequencer alone (no ARQ) absorbs every dup/reorder mix:
+    exactly-once in-order delivery without retransmission.  Loss and
+    corruption are out of scope by design — they leave a permanent gap
+    and the session above fails toward inconclusive."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        count=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_exactly_once_without_retransmission(self, combo, seed, count):
+        payloads = [bytes([index % 256]) * 16 for index in range(count)]
+        received, right = _run_resequenced(_profile_for(combo), seed, payloads)
+        assert received == payloads
+        assert right.idle
 
 
 class TestAllFaultsAtOnce:
@@ -230,3 +307,121 @@ class TestWindowOneIsStopAndWait:
             wire.hexdigest(),
         )
         assert observed == self.LEGACY_FINGERPRINTS[(seed, count)]
+
+
+def _fingerprint_exchange(seed, count, window, adaptive, profile=None):
+    """One bursty exchange, fingerprinted: counters, clock, wire hash."""
+    import hashlib
+
+    if profile is None:
+        profile = TestWindowOneIsStopAndWait.HARSH_PROFILE
+    simulator = Simulator()
+    rng = DeterministicRng(seed)
+    model = (
+        FaultModel(profile, rng.fork("faults")) if profile.is_active else None
+    )
+    channel = Channel(
+        simulator, LatencyModel(base_ns=1_000.0), fault_model=model
+    )
+    left_ep, right_ep = Endpoint("left", MAC_A), Endpoint("right", MAC_B)
+    channel.connect(left_ep, right_ep)
+    tuning = ArqTuning(
+        initial_timeout_ns=50_000.0,
+        min_timeout_ns=20_000.0,
+        window=window,
+        adaptive=adaptive,
+    )
+    give_ups = []
+    left = ArqLink(
+        simulator, left_ep, MAC_B, max_retries=60, tuning=tuning,
+        rng=rng.fork("arq-left"), on_give_up=give_ups.append,
+    )
+    right = ArqLink(
+        simulator, right_ep, MAC_A, max_retries=60, tuning=tuning,
+        rng=rng.fork("arq-right"), on_give_up=give_ups.append,
+    )
+    received = []
+    right.handler = lambda frame: received.append(frame.payload)
+    wire = hashlib.sha256()
+    channel.add_tap(
+        lambda t, d, frame: wire.update(d.encode() + frame.payload) or None
+    )
+    payloads = [bytes([index % 256]) * 16 for index in range(count)]
+    left.send_many(
+        EthernetFrame(MAC_B, MAC_A, 0x88B5, payload) for payload in payloads
+    )
+    simulator.run()
+    assert not give_ups
+    assert received == payloads
+    return (
+        left.retransmissions,
+        left.backoff_events,
+        left.payloads_sent,
+        right.duplicates_dropped,
+        left.corrupt_frames_dropped + right.corrupt_frames_dropped,
+        simulator.now_ns,
+        left_ep.frames_sent,
+        right_ep.frames_sent,
+        wire.hexdigest(),
+    )
+
+
+class TestStaticWindowIsByteIdentical:
+    """``adaptive=False`` reproduces the pre-AIMD sliding-window ARQ
+    *exactly*.
+
+    The fingerprints were captured from the implementation as merged in
+    PR 5, before the congestion window existed, over harsh-profile
+    exchanges at windows 4 and 8.  The wire hash covers every frame
+    payload in both directions, so any AIMD leakage into the static
+    path — a reordered retransmission, a shifted timer, an extra
+    frame — fails this suite.
+    """
+
+    # (seed, count, window) -> same tuple layout as LEGACY_FINGERPRINTS.
+    PR5_FINGERPRINTS = {
+        (12345, 10, 4): (
+            19, 19, 10, 15, 3, 661957.6339411696, 29, 14,
+            "0a1e266ae0878a76d3d4ce0baec0247a22a7e446ae3e02b66166697993dc4f6b",
+        ),
+        (777, 6, 4): (
+            5, 5, 6, 5, 1, 322876.191180148, 11, 9,
+            "c593182c72e3c0e894392e6a56478fdcc72887d249448fa6f221659b9142980c",
+        ),
+        (2026, 12, 4): (
+            12, 12, 12, 8, 3, 472199.7281691076, 24, 11,
+            "39d93e41265adc58f533125ab9e2f9582b5a9655c9a0f84192cdc9042d10b7b6",
+        ),
+        (12345, 10, 8): (
+            17, 17, 10, 11, 4, 618318.4626929129, 27, 8,
+            "2fa3d9c1fc0cbd127ae289fa3e5271cb3455740b2160267d7ce1377367a08ec3",
+        ),
+        (777, 6, 8): (
+            5, 5, 6, 5, 1, 321360.86735898454, 11, 9,
+            "5bb97e8c58c5dde97930ddfef26f07bfc138752fcd3fc689eb13cf7dedeb2150",
+        ),
+        (2026, 12, 8): (
+            18, 18, 12, 15, 3, 737071.1916505571, 30, 16,
+            "01c02f5c89c095b499a7d29203547d969430bc4f8faa90aae73b9d2e66a666ca",
+        ),
+    }
+
+    @pytest.mark.parametrize(
+        "seed,count,window", sorted(PR5_FINGERPRINTS), ids=lambda v: str(v)
+    )
+    def test_static_window_matches_pr5_fingerprint(self, seed, count, window):
+        observed = _fingerprint_exchange(seed, count, window, adaptive=False)
+        assert observed == self.PR5_FINGERPRINTS[(seed, count, window)]
+
+    @pytest.mark.parametrize("window", [4, 8], ids=lambda w: f"w{w}")
+    def test_adaptive_is_byte_identical_on_clean_links(self, window):
+        """With no losses the congestion window starts at the ceiling and
+        never moves, so the adaptive wire is identical to the static one."""
+        clean = FaultProfile()
+        static = _fingerprint_exchange(
+            424242, 20, window, adaptive=False, profile=clean
+        )
+        adaptive = _fingerprint_exchange(
+            424242, 20, window, adaptive=True, profile=clean
+        )
+        assert adaptive == static
