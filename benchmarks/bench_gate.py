@@ -47,6 +47,7 @@ SUITES = [
     "benchmarks/bench_table4_protocol.py",
     "benchmarks/bench_swarm_scaling.py",
     "benchmarks/bench_net_attestation.py",
+    "benchmarks/bench_fleet_sweep.py",
     "benchmarks/bench_obs_overhead.py",
 ]
 

@@ -91,7 +91,7 @@ def _bench_session(benchmark, window, batch, rounds, profile=None,
         state["result"] = state["session"].run()
 
     benchmark.pedantic(run, setup=setup, rounds=rounds, iterations=1)
-    return state["result"], state["session"]._tag
+    return state["result"], state["session"].tag
 
 
 def test_net_stop_and_wait_attestation(benchmark):
@@ -115,7 +115,7 @@ def test_net_pipelined_attestation(benchmark):
     reference = _make_session(1, 1)
     ref_result = reference.run()
     assert ref_result.report.accepted
-    assert tag == reference._tag
+    assert tag == reference.tag
     assert result.report.nonce == ref_result.report.nonce
 
 
@@ -136,7 +136,7 @@ def test_net_adaptive_lossy_attestation(benchmark):
 
     reference = _make_session(1, 1)
     reference.run()
-    assert tag == reference._tag
+    assert tag == reference.tag
 
 
 def test_net_lockstep_lossy_attestation(benchmark):

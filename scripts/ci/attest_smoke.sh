@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# One parameterized attest smoke check, replacing the near-identical
+# fault-matrix steps: run `repro attest`, assert the expected verdict
+# line is printed, assert no traceback leaked into the output, and
+# assert the named metric family reached the Prometheus export.
+#
+#   attest_smoke.sh --name NAME --grep-metric PATTERN
+#                   [--expect PATTERN]       (default: ATTESTED)
+#                   [--seed N]               (default: 7)
+#                   [--global-flags "..."]   (before the subcommand)
+#                   [--attest-flags "..."]   (after it)
+#
+# Outputs land in /tmp/attest-NAME.out and /tmp/attest-NAME.prom so a
+# matrix job can run several shapes without clobbering evidence.
+set -euo pipefail
+
+name=""
+expect="ATTESTED"
+grep_metric=""
+seed="7"
+global_flags=""
+attest_flags=""
+
+usage() {
+    sed -n '2,15p' "$0" >&2
+    exit 64
+}
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --name) name="$2"; shift 2 ;;
+        --expect) expect="$2"; shift 2 ;;
+        --grep-metric) grep_metric="$2"; shift 2 ;;
+        --seed) seed="$2"; shift 2 ;;
+        --global-flags) global_flags="$2"; shift 2 ;;
+        --attest-flags) attest_flags="$2"; shift 2 ;;
+        *) echo "attest_smoke.sh: unknown argument: $1" >&2; usage ;;
+    esac
+done
+
+[[ -n "$name" ]] || { echo "attest_smoke.sh: --name is required" >&2; usage; }
+
+out="/tmp/attest-${name}.out"
+prom="/tmp/attest-${name}.prom"
+
+# shellcheck disable=SC2086  # flag strings are intentionally word-split
+python -m repro $global_flags \
+    attest --device SIM-SMALL --seed "$seed" $attest_flags \
+    --metrics-out "$prom" | tee "$out"
+
+grep -q "$expect" "$out"
+! grep -q 'Traceback' "$out"
+if [[ -n "$grep_metric" ]]; then
+    grep -q "$grep_metric" "$prom"
+fi
+echo "attest_smoke[${name}]: OK (expect=${expect} metric=${grep_metric:-none})"

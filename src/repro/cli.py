@@ -287,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_cli.add_arguments(lint)
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="fleet control plane: persistent registry + sharded sweeps",
+    )
+    from repro.fleet import cli as fleet_cli
+
+    fleet_cli.add_arguments(fleet)
+
     obs = commands.add_parser(
         "obs",
         help="offline telemetry analysis: span profiling and SLO health",
@@ -536,6 +544,12 @@ def _command_lint(args: argparse.Namespace) -> int:
     return lint_cli.run(args)
 
 
+def _command_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import cli as fleet_cli
+
+    return fleet_cli.run(args)
+
+
 def _command_list(_: argparse.Namespace) -> int:
     print("devices:")
     for name in catalog():
@@ -558,6 +572,7 @@ _HANDLERS = {
     "experiment": _command_experiment,
     "metrics": _command_metrics,
     "lint": _command_lint,
+    "fleet": _command_fleet,
     "obs": _command_obs,
     "list": _command_list,
 }

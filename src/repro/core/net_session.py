@@ -233,6 +233,17 @@ class NetworkAttestationSession:
         self.unexpected_frames = 0
         self.total_retransmissions = 0
 
+    @property
+    def tag(self) -> Optional[bytes]:
+        """The prover's MAC tag from the last run.
+
+        ``None`` until a checksum response arrived — callers comparing
+        transport shapes for byte-identity (benchmarks, the fleet
+        controller's history rows) read it here instead of re-deriving
+        it from the report.
+        """
+        return self._tag
+
     # -- transport plumbing --------------------------------------------------------
 
     @property

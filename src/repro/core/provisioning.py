@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.design.sacha_design import SachaSystemDesign
+from repro.design.sacha_design import SachaSystemDesign, build_sacha_system
 from repro.errors import ProvisioningError
+from repro.fpga.device import get_part
 from repro.fpga.board import Board, Fpga
 from repro.fpga.flash import BootMem
 from repro.fpga.puf import PufKeySlot, SramPuf, enroll_device
@@ -141,3 +142,29 @@ def provision_device(
         key_mode=key_mode,
     )
     return provisioned, record
+
+
+def materialize_device(
+    part: str,
+    device_id: str,
+    seed: int,
+    key_mode: str = KEY_MODE_PUF,
+    puf_noise_rate: float = 0.05,
+) -> tuple:
+    """Rebuild a provisioned board from its registry facts.
+
+    The simulated board is a pure function of ``(part, seed, key_mode)``,
+    so a persistent device registry (``repro.fleet``) stores only those
+    facts and re-materializes the device for every sweep instead of
+    keeping boards alive between attestations — the key the rebuilt
+    record derives is byte-identical to the one enrolled.  Returns
+    ``(ProvisionedDevice, VerifierRecord)`` like :func:`provision_device`.
+    """
+    system = build_sacha_system(get_part(part))
+    return provision_device(
+        system,
+        device_id,
+        seed=seed,
+        key_mode=key_mode,
+        puf_noise_rate=puf_noise_rate,
+    )

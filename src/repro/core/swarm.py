@@ -13,7 +13,7 @@ from __future__ import annotations
 import contextvars
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.core.protocol import SessionOptions, run_attestation
 from repro.core.prover import SachaProver
@@ -22,11 +22,62 @@ from repro.core.verifier import SachaVerifier
 from repro.errors import ProtocolError, ReproError
 from repro.obs import log as obs_log
 from repro.obs.aggregate import merge_registries, shard_registry
-from repro.obs.metrics import get_registry, use_context_registry
+from repro.obs.metrics import MetricsRegistry, get_registry, use_context_registry
 from repro.obs.spans import span
 from repro.utils.rng import DeterministicRng
 
 _log = obs_log.get_logger(__name__)
+
+_T = TypeVar("_T")
+
+
+def map_sharded(
+    fn: Callable[[int], _T],
+    count: int,
+    max_workers: int,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[_T]:
+    """Run ``fn(index)`` for ``count`` indices with registry-shard isolation.
+
+    The pre-forked-shard pattern of the swarm sweep, reusable by any
+    fan-out that must stay byte-identical to a sequential run (the fleet
+    controller drives its device sweeps through this): with more than
+    one worker and an enabled registry, every call runs on a thread pool
+    inside a *copied* context — so ambient spans stay parents — under
+    its own :func:`~repro.obs.aggregate.shard_registry`, and the shards
+    merge back into ``registry`` (default: the active one) in index
+    order.  Merged telemetry is therefore independent of worker count
+    and completion order.  With one worker, or a disabled registry, the
+    calls run without shards.  Results always return in index order.
+
+    Callers needing per-call randomness must fork their RNGs *before*
+    dispatch (one per index), never inside ``fn`` from shared state.
+    """
+    if count <= 0:
+        return []
+    target = registry if registry is not None else get_registry()
+    workers = min(max(max_workers, 1), count)
+    if workers <= 1:
+        return [fn(index) for index in range(count)]
+    if not target.enabled:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, range(count)))
+    shards = [shard_registry(index) for index in range(count)]
+
+    def run_in_shard(index: int) -> _T:
+        with use_context_registry(shards[index]):
+            return fn(index)
+
+    contexts = [contextvars.copy_context() for _ in range(count)]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        results = list(
+            pool.map(
+                lambda index: contexts[index].run(run_in_shard, index),
+                range(count),
+            )
+        )
+    merge_registries(shards, into=target)
+    return results
 
 
 @dataclass
@@ -209,52 +260,23 @@ class SwarmAttestation:
                 on_result(member.device_id, member_report)
 
         with span("swarm_sweep", clock=sweep_clock, members=len(self._members)):
-            if workers > 1 and registry.enabled:
-                # Each worker collects into its own registry shard inside
-                # a copied context: the copy carries the sweep span (so
-                # member spans stay children of ``swarm_sweep``) and the
-                # shard is installed context-locally (so threads never
-                # contend on the active registry).  Shards merge back in
-                # member order — byte-identical output to the sequential
-                # sweep regardless of worker count or completion order.
-                shards = [
-                    shard_registry(index) for index in range(len(self._members))
-                ]
-
-                def attest_in_shard(index: int) -> AttestationReport:
-                    with use_context_registry(shards[index]):
-                        return self._attest_member(
-                            self._members[index], member_rngs[index], options
-                        )
-
-                contexts = [
-                    contextvars.copy_context() for _ in self._members
-                ]
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    member_reports = list(
-                        pool.map(
-                            lambda index: contexts[index].run(
-                                attest_in_shard, index
-                            ),
-                            range(len(self._members)),
-                        )
-                    )
-                merge_registries(shards, into=registry)
-                for member, member_report in zip(self._members, member_reports):
-                    record(member, member_report)
-            elif workers > 1:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    member_reports = list(
-                        pool.map(
-                            lambda pair: self._attest_member(*pair, options),
-                            zip(self._members, member_rngs),
-                        )
-                    )
-                for member, member_report in zip(self._members, member_reports):
-                    record(member, member_report)
-            else:
-                for member, member_rng in zip(self._members, member_rngs):
-                    record(member, self._attest_member(member, member_rng, options))
+            # Each worker collects into its own registry shard inside a
+            # copied context: the copy carries the sweep span (so member
+            # spans stay children of ``swarm_sweep``) and the shard is
+            # installed context-locally (so threads never contend on the
+            # active registry).  Shards merge back in member order —
+            # byte-identical output to the sequential sweep regardless
+            # of worker count or completion order.
+            member_reports = map_sharded(
+                lambda index: self._attest_member(
+                    self._members[index], member_rngs[index], options
+                ),
+                len(self._members),
+                workers,
+                registry=registry,
+            )
+            for member, member_report in zip(self._members, member_reports):
+                record(member, member_report)
         report.sequential_ns = sum(durations)
         report.parallel_ns = max(durations) if durations else 0.0
         if registry.enabled:

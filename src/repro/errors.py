@@ -73,3 +73,7 @@ class VerificationError(ReproError):
 
 class ObservabilityError(ReproError):
     """Misuse of the metrics/tracing API (name, label or type conflicts)."""
+
+
+class FleetError(ReproError):
+    """Fleet control-plane failure (registry, migration, sweep state)."""

@@ -47,6 +47,22 @@ LAYER_DAG: Mapping[str, Optional[FrozenSet[str]]] = {
         }
     ),
     "system": frozenset({"core", "crypto", "errors", "utils"}),
+    # the fleet control plane composes sessions, persistence and
+    # telemetry above core — it sits beside analysis, below the CLI
+    "fleet": frozenset(
+        {
+            "core",
+            "crypto",
+            "design",
+            "errors",
+            "fpga",
+            "net",
+            "obs",
+            "perf",
+            "sim",
+            "utils",
+        }
+    ),
     "attacks": frozenset(
         {"baselines", "core", "crypto", "design", "errors", "fpga", "utils"}
     ),
@@ -76,6 +92,7 @@ FORBIDDEN_STDLIB: Mapping[str, FrozenSet[str]] = {
 #: swarm workers.
 THREADING_APPROVED: Tuple[str, ...] = (
     "repro/core/swarm.py",
+    "repro/fleet/store.py",
     "repro/obs/metrics.py",
 )
 
@@ -90,6 +107,7 @@ DETERMINISM_EXEMPT: Tuple[str, ...] = ("repro/obs/wallclock.py",)
 CONSTANT_TIME_PATHS: Tuple[str, ...] = (
     "repro/crypto/",
     "repro/core/",
+    "repro/fleet/",
     "repro/net/arq.py",
     "repro/net/resequencer.py",
     "repro/system/",

@@ -177,6 +177,37 @@ def rollup_by_label(
     return dict(sorted(totals.items()))
 
 
+def rollup_snapshot_by_label(
+    snapshot: Mapping[str, Mapping], name: str, label: str
+) -> Dict[str, float]:
+    """Per-``label``-value totals of family ``name`` in a plain snapshot.
+
+    The offline twin of :func:`rollup_by_label`: it works directly on
+    the dict form (``registry_snapshot`` output, or a sweep snapshot the
+    fleet store persisted) without rebuilding a live registry, so ops
+    surfaces like ``repro fleet status`` can summarize stored telemetry
+    cheaply.  Histogram families total observation counts.  An absent
+    family rolls up to ``{}``; a family without ``label`` raises.
+    """
+    family = snapshot.get(name)
+    if family is None:
+        return {}
+    label_names = tuple(family.get("label_names", ()))
+    if label not in label_names:
+        raise ObservabilityError(
+            f"snapshot family {name} has labels {label_names}, not {label!r}"
+        )
+    totals: Dict[str, float] = {}
+    for sample in family.get("samples", ()):
+        key = str(sample.get("labels", {}).get(label))
+        if "value" in sample:
+            value = float(sample["value"])
+        else:  # histogram family: total the observation counts
+            value = float(sample.get("count", 0))
+        totals[key] = totals.get(key, 0.0) + value
+    return dict(sorted(totals.items()))
+
+
 def span_roots(spans: Sequence[object]) -> List[str]:
     """Names of parentless spans in record order (shape assertions)."""
     return [record.name for record in spans if record.parent_id is None]

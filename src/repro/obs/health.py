@@ -325,6 +325,26 @@ DEFAULT_RULES: Tuple[object, ...] = (
         crit=0.10,
         description="AIMD window halvings per payload sent",
     ),
+    RatioRule(
+        name="fleet_reject_rate",
+        numerator=MetricSelector(
+            "sacha_fleet_attestations_total", {"verdict": "reject"}
+        ),
+        denominator=MetricSelector("sacha_fleet_attestations_total"),
+        warn=0.05,
+        crit=0.20,
+        description="Fraction of fleet sweep attestations ending in REJECT",
+    ),
+    RatioRule(
+        name="fleet_inconclusive_rate",
+        numerator=MetricSelector(
+            "sacha_fleet_attestations_total", {"verdict": "inconclusive"}
+        ),
+        denominator=MetricSelector("sacha_fleet_attestations_total"),
+        warn=0.05,
+        crit=0.25,
+        description="Fraction of fleet sweep attestations with no verdict",
+    ),
     QuantileRule(
         name="readback_p99",
         selector=MetricSelector(
