@@ -34,7 +34,7 @@ def _enrolled_store(path):
                 part="SIM-SMALL",
                 seed=9300 + index,
                 key_mode="puf",
-                key_hex=record.mac_key.hex(),
+                key=record.mac_key,
             )
         )
     return store

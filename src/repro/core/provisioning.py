@@ -21,6 +21,7 @@ from repro.fpga.puf import PufKeySlot, SramPuf, enroll_device
 from repro.core.prover import KeyProvider, PufDerivedKey, RegisterKey, SachaProver
 from repro.obs import log as obs_log
 from repro.utils.rng import DeterministicRng
+from repro.utils.secret import SecretBytes
 
 _log = obs_log.get_logger(__name__)
 
@@ -43,10 +44,15 @@ class ProvisionedDevice:
 
 @dataclass
 class VerifierRecord:
-    """What the verifier's database stores per enrolled device."""
+    """What the verifier's database stores per enrolled device.
+
+    ``mac_key`` is wrapped: the record reprs as ``<secret[16]>``, and
+    consumers that need raw bytes say so via ``mac_key.reveal()`` (the
+    verifier unwraps internally).
+    """
 
     device_id: str
-    mac_key: bytes
+    mac_key: SecretBytes
     system: SachaSystemDesign
 
 
@@ -134,7 +140,9 @@ def provision_device(
         puf=puf,
         key_slot=key_slot,
     )
-    record = VerifierRecord(device_id=device_id, mac_key=key, system=system)
+    record = VerifierRecord(
+        device_id=device_id, mac_key=SecretBytes(key), system=system
+    )
     _log.info(
         "device_provisioned",
         device_id=device_id,

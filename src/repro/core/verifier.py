@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hmac
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.net.messages import (
 from repro.obs import log as obs_log
 from repro.obs.metrics import get_registry
 from repro.utils.rng import DeterministicRng
+from repro.utils.secret import SecretBytes
 
 _log = obs_log.get_logger(__name__)
 
@@ -91,16 +92,19 @@ class SachaVerifier:
     def __init__(
         self,
         system: SachaSystemDesign,
-        key: bytes,
+        key: Union[bytes, SecretBytes],
         rng: DeterministicRng,
         order: Optional[ReadbackOrder] = None,
         policy: Optional[VerifierPolicy] = None,
         attest_live_state: bool = False,
     ) -> None:
-        if len(key) != 16:
-            raise VerificationError(f"MAC key must be 16 bytes, got {len(key)}")
+        key_bytes = key.reveal() if isinstance(key, SecretBytes) else bytes(key)
+        if len(key_bytes) != 16:
+            raise VerificationError(
+                f"MAC key must be 16 bytes, got {len(key_bytes)}"
+            )
         self.system = system
-        self._key = bytes(key)
+        self._key = key_bytes
         self._rng = rng
         self._order = order or default_order(rng.fork("readback-order"))
         self._policy = policy if policy is not None else VerifierPolicy()

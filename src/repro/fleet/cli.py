@@ -167,7 +167,7 @@ def _command_enroll(args: argparse.Namespace, store: FleetStore) -> int:
                 part=args.device,
                 seed=seed,
                 key_mode=args.key_mode,
-                key_hex=record.mac_key.hex(),
+                key=record.mac_key,
                 tampered=args.tamper,
             )
         )

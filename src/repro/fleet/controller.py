@@ -24,7 +24,6 @@ an INCONCLUSIVE outcome rather than crashing the sweep.
 
 from __future__ import annotations
 
-import hmac
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -170,9 +169,7 @@ class FleetController:
             seed=device.seed,
             key_mode=device.key_mode,
         )
-        if not hmac.compare_digest(
-            record.mac_key, bytes.fromhex(device.key_hex)
-        ):
+        if not record.mac_key.compare_digest(device.key):
             return FleetDeviceOutcome(
                 device_id=device.device_id,
                 report=AttestationReport.make_inconclusive(

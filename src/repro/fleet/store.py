@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.report import AttestationReport, Verdict
 from repro.errors import FleetError
+from repro.utils.secret import SecretBytes
 
 #: Current schema version — the highest :class:`Migration` version.
 SCHEMA_VERSION = 2
@@ -183,13 +184,19 @@ def schema_version(conn: sqlite3.Connection) -> int:
 
 @dataclass(frozen=True)
 class DeviceRecord:
-    """One enrolled device: everything needed to re-materialize it."""
+    """One enrolled device: everything needed to re-materialize it.
+
+    The enrolled key is held as an opaque :class:`SecretBytes` — the
+    record's repr shows ``<secret[16]>``, and only the store's
+    ``enroll`` persistence path reveals it (into the sanctioned
+    ``key_hex`` column).
+    """
 
     device_id: str
     part: str
     seed: int
     key_mode: str
-    key_hex: str
+    key: SecretBytes
     tampered: bool = False
 
 
@@ -289,7 +296,7 @@ class FleetStore:
                             device.part,
                             device.seed,
                             device.key_mode,
-                            device.key_hex,
+                            device.key.reveal().hex(),
                             int(device.tampered),
                         ),
                     )
@@ -329,7 +336,7 @@ class FleetStore:
             part=row["part"],
             seed=int(row["seed"]),
             key_mode=row["key_mode"],
-            key_hex=row["key_hex"],
+            key=SecretBytes.fromhex(row["key_hex"]),
             tampered=bool(row["tampered"]),
         )
 

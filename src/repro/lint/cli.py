@@ -14,6 +14,7 @@ from typing import Optional
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.engine import run_lint
+from repro.lint.program import all_program_rules
 from repro.lint.registry import all_rules
 from repro.lint.reporters import render_json, render_text
 
@@ -66,6 +67,17 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--program",
+        action="store_true",
+        help="also run the whole-program rules (SACHA006-008) over the "
+        "scanned tree",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append per-rule timing and file counts to the report",
+    )
 
 
 def default_paths() -> list:
@@ -93,6 +105,12 @@ def _list_rules(stream) -> int:
     for rule in all_rules():
         print(f"{rule.id}  {rule.title}", file=stream)
         print(f"    {rule.rationale}", file=stream)
+    for program_rule in all_program_rules():
+        print(
+            f"{program_rule.id}  {program_rule.title}  [--program]",
+            file=stream,
+        )
+        print(f"    {program_rule.rationale}", file=stream)
     return 0
 
 
@@ -120,7 +138,7 @@ def run(args: argparse.Namespace) -> int:
         baseline_path = _default_baseline_path()
 
     if args.write_baseline:
-        result = run_lint(paths, config)
+        result = run_lint(paths, config, program=args.program)
         target = baseline_path or Path.cwd() / DEFAULT_BASELINE_NAME
         Baseline.from_findings(result.findings).save(target)
         print(
@@ -132,7 +150,13 @@ def run(args: argparse.Namespace) -> int:
     if baseline_path is not None and not args.no_baseline:
         baseline = Baseline.load(baseline_path)
 
-    result = run_lint(paths, config, baseline=baseline)
+    result = run_lint(
+        paths,
+        config,
+        baseline=baseline,
+        program=args.program,
+        collect_stats=args.stats,
+    )
     report = (
         render_json(result) if args.format == "json" else render_text(result) + "\n"
     )

@@ -97,8 +97,13 @@ THREADING_APPROVED: Tuple[str, ...] = (
 )
 
 #: Paths where SACHA001 does not apply: the one sanctioned wall-clock
-#: accessor (export metadata only — never span timing or protocol state).
-DETERMINISM_EXEMPT: Tuple[str, ...] = ("repro/obs/wallclock.py",)
+#: accessor (export metadata only — never span timing or protocol state)
+#: and the linter's own ``--stats`` timer (tool diagnostics, not part of
+#: any reproducible artifact).
+DETERMINISM_EXEMPT: Tuple[str, ...] = (
+    "repro/obs/wallclock.py",
+    "repro/lint/stats.py",
+)
 
 #: Path prefixes where SACHA002 applies.  MAC/tag/digest equality in
 #: these trees must go through ``hmac.compare_digest``.  The baselines
@@ -112,6 +117,74 @@ CONSTANT_TIME_PATHS: Tuple[str, ...] = (
     "repro/net/resequencer.py",
     "repro/system/",
 )
+
+# -- whole-program tier declarations (SACHA006-008) ---------------------------
+#
+# The interprocedural passes are configured here, exactly like the
+# per-file rules: adding a taint source, a sanctioned SQLite column, or
+# a new wire-header constant is a one-line reviewable edit, never a rule
+# change.
+
+#: SACHA006: calls whose return value *is* key material.  Matched by the
+#: call's final name component, so ``provider.mac_key()``,
+#: ``slot.derive_key(...)`` and ``secret.reveal()`` all seed KEY taint.
+SECRET_SOURCE_CALLS: Tuple[str, ...] = (
+    "enroll_device",
+    "derive_key",
+    "derive_mac_key",
+    "mac_key",
+    "reveal",
+)
+
+#: SACHA006: calls whose return value is a protocol nonce.
+NONCE_SOURCE_CALLS: Tuple[str, ...] = ("new_nonce",)
+
+#: SACHA006: attribute reads that carry KEY taint — unless every class
+#: in the project that declares the attribute types it ``SecretBytes``
+#: (the sanctioned opaque boundary).
+SECRET_ATTR_NAMES: Tuple[str, ...] = ("mac_key", "key_hex")
+
+#: SACHA006: attribute reads that carry NONCE taint.
+NONCE_ATTR_NAMES: Tuple[str, ...] = ("nonce",)
+
+#: SACHA006: dataclass fields with these names must not be raw
+#: ``bytes``/``str`` — a default dataclass repr would print the secret.
+SECRET_FIELD_NAMES: Tuple[str, ...] = ("mac_key", "key_hex")
+
+#: SACHA006: calls that stop taint.  ``SecretBytes`` wraps (opaque
+#: repr), ``redact`` replaces the value with a placeholder, and the
+#: rest return values that cannot reconstruct the secret.
+TAINT_SANITIZERS: Tuple[str, ...] = (
+    "redact",
+    "SecretBytes",
+    "compare_digest",
+    "len",
+    "type",
+    "bool",
+    "id",
+)
+
+#: SACHA006: the only SQLite columns sanctioned to hold secret-derived
+#: hex (the enrolled key and the per-attestation nonce/tag audit trail).
+SQLITE_SECRET_COLUMNS: Tuple[str, ...] = ("key_hex", "nonce_hex", "tag_hex")
+
+#: SACHA006: layers where ``hex()``/``repr()``/``str()`` of key material
+#: is legitimate — the key's home, where MACs are computed.
+TAINT_REPR_EXEMPT_LAYERS: Tuple[str, ...] = ("crypto",)
+
+#: SACHA008: the wire-protocol module(s): OPCODE_* constants, encoders,
+#: and the ``decode_*`` dispatchers all live here.
+WIRE_PROTOCOL_MODULES: Tuple[str, ...] = ("repro/net/messages.py",)
+
+#: SACHA008: modules holding derived header-size constants, and which
+#: opcode's encoder each constant must agree with (constant = 1 opcode
+#: byte + the encoder's fixed-width field bytes).
+WIRE_HEADER_MODULES: Tuple[str, ...] = ("repro/net/batch.py",)
+WIRE_HEADER_OPCODES: Mapping[str, str] = {
+    "READBACK_BATCH_HEADER_BYTES": "OPCODE_ICAP_READBACK_BATCH",
+    "CONFIG_BATCH_HEADER_BYTES": "OPCODE_ICAP_CONFIG_BATCH",
+    "BATCH_RESPONSE_HEADER_BYTES": "OPCODE_READBACK_BATCH_RESPONSE",
+}
 
 
 @dataclass(frozen=True)
@@ -128,6 +201,19 @@ class LintConfig:
     threading_approved: Tuple[str, ...] = THREADING_APPROVED
     determinism_exempt: Tuple[str, ...] = DETERMINISM_EXEMPT
     constant_time_paths: Tuple[str, ...] = CONSTANT_TIME_PATHS
+    secret_source_calls: Tuple[str, ...] = SECRET_SOURCE_CALLS
+    nonce_source_calls: Tuple[str, ...] = NONCE_SOURCE_CALLS
+    secret_attr_names: Tuple[str, ...] = SECRET_ATTR_NAMES
+    nonce_attr_names: Tuple[str, ...] = NONCE_ATTR_NAMES
+    secret_field_names: Tuple[str, ...] = SECRET_FIELD_NAMES
+    taint_sanitizers: Tuple[str, ...] = TAINT_SANITIZERS
+    sqlite_secret_columns: Tuple[str, ...] = SQLITE_SECRET_COLUMNS
+    taint_repr_exempt_layers: Tuple[str, ...] = TAINT_REPR_EXEMPT_LAYERS
+    wire_protocol_modules: Tuple[str, ...] = WIRE_PROTOCOL_MODULES
+    wire_header_modules: Tuple[str, ...] = WIRE_HEADER_MODULES
+    wire_header_opcodes: Mapping[str, str] = field(
+        default_factory=lambda: WIRE_HEADER_OPCODES
+    )
 
     def selects(self, rule_id: str) -> bool:
         return not self.select or rule_id in self.select

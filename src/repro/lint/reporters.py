@@ -35,6 +35,11 @@ def render_text(result: LintResult, show_hints: bool = True) -> str:
     else:
         tallies.append("clean")
     lines.append("sachalint: " + "; ".join(tallies))
+    for timing in result.timings:
+        lines.append(
+            f"  {timing.rule}: {timing.files} file(s), "
+            f"{timing.findings} finding(s), {timing.seconds * 1000:.1f} ms"
+        )
     return "\n".join(lines)
 
 
@@ -55,6 +60,15 @@ def to_dict(result: LintResult) -> Dict[str, object]:
         ],
         "summary": dict(sorted(by_rule.items())),
         "findings": [finding.to_dict() for finding in result.findings],
+        "timings": [
+            {
+                "rule": timing.rule,
+                "files": timing.files,
+                "findings": timing.findings,
+                "seconds": timing.seconds,
+            }
+            for timing in result.timings
+        ],
     }
 
 

@@ -1,0 +1,380 @@
+"""SACHA007: every lock-guarded attribute is guarded at every write.
+
+The swarm executor fans attestation work out to threads, so the few
+classes that own a ``threading.Lock`` (the metrics registry, the fleet
+store) are the only shared mutable state in the system.  For each such
+class this pass infers which instance attributes the lock guards — any
+attribute mutated under ``with self._lock`` outside ``__init__`` — and
+then reports:
+
+* writes to a guarded attribute with no lock held (the classic
+  check-then-act race),
+* lock-order inversions (lock A held while acquiring B in one code
+  path, B while acquiring A in another — a deadlock waiting for the
+  right interleaving), including one level of call propagation, and
+* mutation of another object's guarded attribute from a different
+  module, when that module is reachable from a ``map_sharded`` worker
+  (state that must only change through the owning class's methods).
+
+``__init__`` is exempt: the object is not yet published to other
+threads while it is being constructed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.program import (
+    ClassInfo,
+    FunctionInfo,
+    ProgramRule,
+    ProjectModel,
+    dotted_tail,
+    register_program,
+)
+
+#: method calls that mutate their receiver in place
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "clear",
+        "pop",
+        "popitem",
+        "update",
+        "remove",
+        "discard",
+        "add",
+        "setdefault",
+        "sort",
+    }
+)
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+
+@dataclass
+class _Write:
+    """One mutation of ``self.<attr>`` and the locks held at that point."""
+
+    attr: str
+    node: ast.AST
+    held: Tuple[str, ...]  #: lock attr names held (innermost last)
+    in_init: bool
+
+
+@dataclass
+class _LockClass:
+    """Lock-discipline facts for one lock-owning class."""
+
+    info: ClassInfo
+    lock_attrs: Set[str] = field(default_factory=set)
+    writes: List[Tuple[FunctionInfo, _Write]] = field(default_factory=list)
+    #: attrs observed written under a lock outside __init__
+    guarded: Dict[str, str] = field(default_factory=dict)  #: attr -> lock
+    #: method name -> lock attrs the method acquires anywhere in its body
+    acquires: Dict[str, Set[str]] = field(default_factory=dict)
+    #: direct lock-order edges (outer, inner) -> example site
+    edges: Dict[Tuple[str, str], Tuple[str, ast.AST]] = field(
+        default_factory=dict
+    )
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Walk one method tracking the stack of ``self`` locks held."""
+
+    def __init__(self, owner: _LockClass, fn: FunctionInfo, model: "ProjectModel") -> None:
+        self.owner = owner
+        self.fn = fn
+        self.model = model
+        self.held: List[str] = []
+        self.in_init = fn.name == "__init__"
+
+    def run(self) -> None:
+        for statement in self.fn.node.body:
+            self.visit(statement)
+
+    # -- lock tracking -----------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.owner.lock_attrs:
+                acquired.append(attr)
+        for lock in acquired:
+            self.owner.acquires.setdefault(self.fn.name, set()).add(lock)
+            if self.held:
+                edge = (self.held[-1], lock)
+                self.owner.edges.setdefault(
+                    edge, (self.fn.relpath, node)
+                )
+            self.held.append(lock)
+        for statement in node.body:
+            self.visit(statement)
+        for _ in acquired:
+            self.held.pop()
+
+    # -- writes ------------------------------------------------------------
+
+    def _record(self, attr: str, node: ast.AST) -> None:
+        if attr in self.owner.lock_attrs:
+            return
+        self.owner.writes.append(
+            (
+                self.fn,
+                _Write(attr, node, tuple(self.held), self.in_init),
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target, node)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target, node)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_target(node.target, node)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def _record_target(self, target: ast.expr, node: ast.AST) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            self._record(attr, node)
+            return
+        if isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+            if attr is not None:
+                self._record(attr, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element, node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = _self_attr(func.value)
+            if attr is not None:
+                self._record(attr, node)
+        # one level of call propagation for lock ordering:
+        # ``with self.A: self.helper()`` where helper acquires B
+        if self.held and isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                for lock in self.owner.acquires.get(func.attr, set()):
+                    edge = (self.held[-1], lock)
+                    self.owner.edges.setdefault(
+                        edge, (self.fn.relpath, node)
+                    )
+        self.generic_visit(node)
+
+
+@register_program
+class LockDisciplineRule(ProgramRule):
+    id = "SACHA007"
+    title = "lock-guarded state is guarded at every write, in lock order"
+    rationale = (
+        "swarm workers share the metrics registry and the fleet store; "
+        "an attribute written under a lock in one method and without it "
+        "in another is a race, and two locks taken in opposite orders "
+        "deadlock under the right interleaving"
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        owners = self._collect(model)
+        findings: List[Finding] = []
+        for owner in owners.values():
+            findings.extend(self._unguarded_writes(model, owner))
+            findings.extend(self._lock_order(model, owner))
+        findings.extend(self._cross_module(model, owners))
+        return iter(sorted(set(findings)))
+
+    # -- model extraction --------------------------------------------------
+
+    def _collect(self, model: ProjectModel) -> Dict[str, _LockClass]:
+        owners: Dict[str, _LockClass] = {}
+        for klass in model.classes.values():
+            init = klass.methods.get("__init__")
+            if init is None:
+                continue
+            lock_attrs: Set[str] = set()
+            for node in ast.walk(init.node):
+                if isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call
+                ):
+                    if dotted_tail(node.value.func) in _LOCK_FACTORIES:
+                        for target in node.targets:
+                            attr = _self_attr(target)
+                            if attr is not None:
+                                lock_attrs.add(attr)
+            if not lock_attrs:
+                continue
+            owner = _LockClass(info=klass, lock_attrs=lock_attrs)
+            # two passes so call-propagated lock edges see every
+            # method's acquisition set
+            for _ in range(2):
+                owner.writes.clear()
+                owner.edges.clear()
+                for method in klass.methods.values():
+                    _MethodScan(owner, method, model).run()
+            for fn, write in owner.writes:
+                if write.held and not write.in_init:
+                    owner.guarded.setdefault(write.attr, write.held[-1])
+            owners[klass.qualname] = owner
+        return owners
+
+    # -- findings ----------------------------------------------------------
+
+    def _unguarded_writes(
+        self, model: ProjectModel, owner: _LockClass
+    ) -> Iterator[Finding]:
+        for fn, write in owner.writes:
+            if write.in_init or write.attr not in owner.guarded:
+                continue
+            if not write.held:
+                lock = owner.guarded[write.attr]
+                yield model.finding(
+                    fn.relpath,
+                    write.node,
+                    self.id,
+                    f"{owner.info.name}.{write.attr} is guarded by "
+                    f"self.{lock} elsewhere but written here without it",
+                    f"wrap the write in `with self.{lock}:`",
+                )
+
+    def _lock_order(
+        self, model: ProjectModel, owner: _LockClass
+    ) -> Iterator[Finding]:
+        # transitive closure over the direct edges, then report every
+        # unordered pair reachable in both directions
+        closure: Dict[str, Set[str]] = {}
+        for outer, inner in owner.edges:
+            closure.setdefault(outer, set()).add(inner)
+        changed = True
+        while changed:
+            changed = False
+            for outer, inners in list(closure.items()):
+                for inner in list(inners):
+                    extra = closure.get(inner, set()) - inners
+                    if extra:
+                        inners |= extra
+                        changed = True
+        reported: Set[Tuple[str, str]] = set()
+        for outer, inner in owner.edges:
+            pair = tuple(sorted((outer, inner)))
+            if outer == inner or pair in reported:
+                continue
+            if outer in closure.get(inner, set()):
+                reported.add(pair)  # type: ignore[arg-type]
+                relpath, node = owner.edges[(outer, inner)]
+                yield model.finding(
+                    relpath,
+                    node,
+                    self.id,
+                    f"lock-order inversion on {owner.info.name}: "
+                    f"self.{outer} is taken before self.{inner} here "
+                    f"but after it elsewhere",
+                    "pick one global acquisition order for the two "
+                    "locks and use it everywhere",
+                )
+
+    def _cross_module(
+        self, model: ProjectModel, owners: Dict[str, _LockClass]
+    ) -> Iterator[Finding]:
+        guarded_attrs: Dict[str, Set[str]] = {}  #: attr -> owning modules
+        for owner in owners.values():
+            for attr in owner.guarded:
+                guarded_attrs.setdefault(attr, set()).add(owner.info.module)
+        if not guarded_attrs:
+            return
+        scoped = self._sharded_modules(model)
+        for fn in model.functions.values():
+            if fn.module not in scoped:
+                continue
+            for node in ast.walk(fn.node):
+                target: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign):
+                    target = node.targets[0]
+                elif isinstance(node, ast.AugAssign):
+                    target = node.target
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr in _MUTATORS:
+                        target = node.func.value
+                if not isinstance(target, ast.Attribute):
+                    continue
+                attr = target.attr
+                receiver = target.value
+                if isinstance(receiver, ast.Name) and receiver.id in (
+                    "self",
+                    "cls",
+                ):
+                    continue
+                modules = guarded_attrs.get(attr)
+                if modules and fn.module not in modules:
+                    yield model.finding(
+                        fn.relpath,
+                        node,
+                        self.id,
+                        f"attribute {attr!r} is lock-guarded by its "
+                        "owning class but mutated here from another "
+                        "module, bypassing the lock",
+                        "add a locked method on the owning class and "
+                        "call that instead",
+                    )
+
+    @staticmethod
+    def _sharded_modules(model: ProjectModel) -> Set[str]:
+        """Modules reachable from any module that calls ``map_sharded``."""
+        roots: Set[str] = set()
+        for record in model.files.values():
+            if record.module is None:
+                continue
+            for node in ast.walk(record.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and dotted_tail(node.func) == "map_sharded"
+                ):
+                    roots.add(record.module)
+                    break
+        reachable: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            module = frontier.pop()
+            if module in reachable:
+                continue
+            reachable.add(module)
+            for imported in model.import_graph.get(module, set()):
+                # an import of ``repro.x.y`` puts both the module and
+                # its package prefix in scope; ``from pkg import mod``
+                # records the package, so expand to the package's
+                # modules too
+                candidates = {imported, ".".join(imported.split(".")[:-1])}
+                candidates.update(
+                    module_name
+                    for module_name in model.by_module
+                    if module_name.startswith(imported + ".")
+                )
+                for candidate in candidates:
+                    if candidate in model.by_module and candidate not in reachable:
+                        frontier.append(candidate)
+        return reachable

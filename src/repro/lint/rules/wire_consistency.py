@@ -1,0 +1,483 @@
+"""SACHA008: the wire-protocol table cannot drift out of sync.
+
+JustSTART-style attacks live in the gap between what an encoder writes
+and what the decoder on the other side reads.  This pass cross-checks
+the protocol module(s) statically:
+
+* every ``OPCODE_*`` constant has exactly one encoder (a class whose
+  ``encode()`` emits ``bytes([OPCODE_X])``) and exactly one decoder
+  branch (``if opcode == OPCODE_X:`` inside a ``decode_*`` function),
+* no two opcodes share a value, and every opcode appears in the
+  ``_OPCODE_NAMES`` diagnostic table,
+* the byte layout agrees between the two sides: each fixed-width
+  integer the decoder reads (``int.from_bytes(data[a:b], "big")``),
+  each blob (``_decode_blob(data, off, ...)``) and each packed vector
+  (``np.frombuffer(..., offset=o)``) must land exactly where the
+  encoder's ``+``-chain put it,
+* derived ``*_HEADER_BYTES`` constants equal 1 opcode byte plus the sum
+  of the mapped encoder's fixed integer widths.
+
+The encoder chain is flattened into segments — 1 opcode byte,
+``value.to_bytes(n, "big")`` → n bytes, ``_encode_blob`` → a
+length-prefixed blob, ``.tobytes()`` → a packed vector, anything else →
+raw bytes — and offsets are tracked up to the first dynamic segment,
+past which static checking stops.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.program import (
+    ProgramRule,
+    ProjectModel,
+    SourceFile,
+    dotted_name_of,
+    dotted_tail,
+    register_program,
+)
+
+_OP = "op"
+_INT = "int"
+_BLOB = "blob"
+_VECTOR = "vector"
+_RAW = "raw"
+
+
+@dataclass
+class _Encoder:
+    class_name: str
+    node: ast.AST  #: the return expression, for finding anchors
+    relpath: str
+    segments: List[Tuple[str, int]] = field(default_factory=list)
+
+    def fixed_int_bytes(self) -> int:
+        """All fixed integer field bytes, wherever they sit in the frame."""
+        return sum(size for kind, size in self.segments if kind == _INT)
+
+    def layout(self) -> Tuple[Dict[int, Tuple[str, int]], int, bool]:
+        """``{offset: (kind, size)}`` up to the first dynamic segment.
+
+        Returns the map, the offset where static knowledge ends, and
+        whether the frame is fully static (no dynamic tail at all).
+        """
+        offsets: Dict[int, Tuple[str, int]] = {}
+        cursor = 0
+        for kind, size in self.segments:
+            offsets[cursor] = (kind, size)
+            if kind in (_OP, _INT):
+                cursor += size
+            else:
+                return offsets, cursor, False
+        return offsets, cursor, True
+
+
+@dataclass
+class _Decoder:
+    function: str
+    node: ast.If
+    relpath: str
+    #: (kind, offset, size) reads with compile-time-constant offsets
+    reads: List[Tuple[str, int, int]] = field(default_factory=list)
+
+
+def _constant_int(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _flatten_concat(node: ast.expr) -> List[ast.expr]:
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _flatten_concat(node.left) + _flatten_concat(node.right)
+    return [node]
+
+
+def _opcode_of_bytes_literal(node: ast.expr) -> Optional[str]:
+    """``bytes([OPCODE_X])`` -> ``"OPCODE_X"``."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "bytes"
+        and len(node.args) == 1
+        and isinstance(node.args[0], (ast.List, ast.Tuple))
+        and len(node.args[0].elts) == 1
+    ):
+        return None
+    element = node.args[0].elts[0]
+    if isinstance(element, ast.Name) and element.id.startswith("OPCODE_"):
+        return element.id
+    return None
+
+
+def _classify_segment(node: ast.expr) -> Tuple[str, int]:
+    if _opcode_of_bytes_literal(node) is not None:
+        return (_OP, 1)
+    if isinstance(node, ast.Call):
+        tail = dotted_tail(node.func)
+        if tail == "to_bytes" and node.args:
+            width = _constant_int(node.args[0])
+            if width is not None:
+                return (_INT, width)
+        if tail == "_encode_blob" or tail == "encode_blob":
+            return (_BLOB, 0)
+        if tail == "tobytes":
+            return (_VECTOR, 0)
+    return (_RAW, 0)
+
+
+def _kind_label(kind: str, size: int) -> str:
+    if kind == _INT:
+        return f"a {size}-byte integer"
+    if kind == _OP:
+        return "the opcode byte"
+    if kind == _BLOB:
+        return "a length-prefixed blob"
+    if kind == _VECTOR:
+        return "a packed index vector"
+    return "raw bytes"
+
+
+@register_program
+class WireConsistencyRule(ProgramRule):
+    id = "SACHA008"
+    title = "every opcode has one encoder and one decoder that agree"
+    rationale = (
+        "an opcode with no decoder, two encoders, or a pack/unpack "
+        "layout disagreement is a protocol desync — the class of bug "
+        "JustSTART exploits in attestation stacks"
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        opcodes: Dict[str, Tuple[int, SourceFile, ast.AST]] = {}
+        names_table: Dict[str, List[str]] = {}  #: relpath -> listed opcodes
+        encoders: Dict[str, List[_Encoder]] = {}
+        decoders: Dict[str, List[_Decoder]] = {}
+        for relpath in model.config.wire_protocol_modules:
+            record = model.files.get(relpath)
+            if record is None:
+                continue
+            self._collect_constants(record, opcodes, names_table, findings, model)
+            self._collect_encoders(record, encoders)
+            self._collect_decoders(record, decoders)
+        if not opcodes:
+            return iter(findings)
+
+        findings.extend(self._value_collisions(model, opcodes))
+        findings.extend(
+            self._registration(model, opcodes, names_table, encoders, decoders)
+        )
+        for name in sorted(opcodes):
+            own_encoders = encoders.get(name, [])
+            own_decoders = decoders.get(name, [])
+            if len(own_encoders) == 1 and len(own_decoders) == 1:
+                findings.extend(
+                    self._layout_agreement(
+                        model, name, own_encoders[0], own_decoders[0]
+                    )
+                )
+        findings.extend(self._header_constants(model, encoders))
+        return iter(sorted(set(findings)))
+
+    # -- collection --------------------------------------------------------
+
+    def _collect_constants(
+        self,
+        record: SourceFile,
+        opcodes: Dict[str, Tuple[int, SourceFile, ast.AST]],
+        names_table: Dict[str, List[str]],
+        findings: List[Finding],
+        model: ProjectModel,
+    ) -> None:
+        for node in record.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id.startswith("OPCODE_"):
+                value = _constant_int(node.value)
+                if value is None:
+                    findings.append(
+                        model.finding(
+                            record.relpath,
+                            node,
+                            self.id,
+                            f"{target.id} is not a literal integer; the "
+                            "consistency checks cannot follow it",
+                            "assign opcode constants literal int values",
+                        )
+                    )
+                    continue
+                opcodes[target.id] = (value, record, node)
+            elif target.id == "_OPCODE_NAMES" and isinstance(
+                node.value, ast.Dict
+            ):
+                listed = names_table.setdefault(record.relpath, [])
+                for key in node.value.keys:
+                    if isinstance(key, ast.Name):
+                        listed.append(key.id)
+
+    @staticmethod
+    def _collect_encoders(
+        record: SourceFile, encoders: Dict[str, List[_Encoder]]
+    ) -> None:
+        for node in record.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for statement in node.body:
+                if (
+                    not isinstance(statement, ast.FunctionDef)
+                    or statement.name != "encode"
+                ):
+                    continue
+                for returned in ast.walk(statement):
+                    if not isinstance(returned, ast.Return):
+                        continue
+                    if returned.value is None:
+                        continue
+                    parts = _flatten_concat(returned.value)
+                    opcode = _opcode_of_bytes_literal(parts[0])
+                    if opcode is None:
+                        continue
+                    encoder = _Encoder(
+                        class_name=node.name,
+                        node=returned,
+                        relpath=record.relpath,
+                        segments=[_classify_segment(p) for p in parts],
+                    )
+                    encoders.setdefault(opcode, []).append(encoder)
+
+    @staticmethod
+    def _collect_decoders(
+        record: SourceFile, decoders: Dict[str, List[_Decoder]]
+    ) -> None:
+        for node in record.tree.body:
+            if not (
+                isinstance(node, ast.FunctionDef)
+                and node.name.startswith("decode")
+            ):
+                continue
+            for branch in ast.walk(node):
+                if not isinstance(branch, ast.If):
+                    continue
+                test = branch.test
+                if not (
+                    isinstance(test, ast.Compare)
+                    and len(test.ops) == 1
+                    and isinstance(test.ops[0], ast.Eq)
+                    and len(test.comparators) == 1
+                ):
+                    continue
+                comparator = test.comparators[0]
+                if not (
+                    isinstance(comparator, ast.Name)
+                    and comparator.id.startswith("OPCODE_")
+                ):
+                    continue
+                decoder = _Decoder(
+                    function=node.name, node=branch, relpath=record.relpath
+                )
+                for inner in branch.body:
+                    for call in ast.walk(inner):
+                        if not isinstance(call, ast.Call):
+                            continue
+                        read = WireConsistencyRule._classify_read(call)
+                        if read is not None:
+                            decoder.reads.append(read)
+                decoders.setdefault(comparator.id, []).append(decoder)
+
+    @staticmethod
+    def _classify_read(call: ast.Call) -> Optional[Tuple[str, int, int]]:
+        full = dotted_name_of(call.func)
+        tail = dotted_tail(call.func)
+        if full == "int.from_bytes" and call.args:
+            subscript = call.args[0]
+            if isinstance(subscript, ast.Subscript) and isinstance(
+                subscript.slice, ast.Slice
+            ):
+                lower = (
+                    _constant_int(subscript.slice.lower)
+                    if subscript.slice.lower is not None
+                    else None
+                )
+                upper = (
+                    _constant_int(subscript.slice.upper)
+                    if subscript.slice.upper is not None
+                    else None
+                )
+                if lower is not None and upper is not None:
+                    return (_INT, lower, upper - lower)
+            return None
+        if tail in ("_decode_blob", "decode_blob") and len(call.args) >= 2:
+            offset = _constant_int(call.args[1])
+            if offset is not None:
+                return (_BLOB, offset, 0)
+            return None
+        if tail == "frombuffer":
+            for keyword in call.keywords:
+                if keyword.arg == "offset":
+                    offset = _constant_int(keyword.value)
+                    if offset is not None:
+                        return (_VECTOR, offset, 0)
+        return None
+
+    # -- checks ------------------------------------------------------------
+
+    def _value_collisions(
+        self,
+        model: ProjectModel,
+        opcodes: Dict[str, Tuple[int, SourceFile, ast.AST]],
+    ) -> Iterator[Finding]:
+        by_value: Dict[int, List[str]] = {}
+        for name, (value, _, _) in opcodes.items():
+            by_value.setdefault(value, []).append(name)
+        for value, names in sorted(by_value.items()):
+            if len(names) < 2:
+                continue
+            for name in sorted(names)[1:]:
+                _, record, node = opcodes[name]
+                yield model.finding(
+                    record.relpath,
+                    node,
+                    self.id,
+                    f"opcode value {value:#04x} is shared by "
+                    f"{' and '.join(sorted(names))}",
+                    "give every opcode a unique value",
+                )
+
+    def _registration(
+        self,
+        model: ProjectModel,
+        opcodes: Dict[str, Tuple[int, SourceFile, ast.AST]],
+        names_table: Dict[str, List[str]],
+        encoders: Dict[str, List[_Encoder]],
+        decoders: Dict[str, List[_Decoder]],
+    ) -> Iterator[Finding]:
+        for name in sorted(opcodes):
+            _, record, node = opcodes[name]
+            own_encoders = encoders.get(name, [])
+            own_decoders = decoders.get(name, [])
+            if not own_encoders:
+                yield model.finding(
+                    record.relpath,
+                    node,
+                    self.id,
+                    f"{name} has no encoder (no encode() emits "
+                    f"bytes([{name}]))",
+                    "add an encoder class or delete the orphan opcode",
+                )
+            elif len(own_encoders) > 1:
+                classes = ", ".join(
+                    sorted(e.class_name for e in own_encoders)
+                )
+                yield model.finding(
+                    record.relpath,
+                    node,
+                    self.id,
+                    f"{name} has {len(own_encoders)} encoders ({classes})",
+                    "exactly one class may encode each opcode",
+                )
+            if not own_decoders:
+                yield model.finding(
+                    record.relpath,
+                    node,
+                    self.id,
+                    f"{name} has no decoder branch "
+                    f"(`if opcode == {name}:` in a decode_* function)",
+                    "add a decoder branch or delete the orphan opcode",
+                )
+            elif len(own_decoders) > 1:
+                yield model.finding(
+                    record.relpath,
+                    node,
+                    self.id,
+                    f"{name} has {len(own_decoders)} decoder branches",
+                    "exactly one branch may decode each opcode",
+                )
+            table = names_table.get(record.relpath)
+            if table is not None and name not in table:
+                yield model.finding(
+                    record.relpath,
+                    node,
+                    self.id,
+                    f"{name} is missing from _OPCODE_NAMES",
+                    "add the opcode to the diagnostic name table",
+                )
+
+    def _layout_agreement(
+        self,
+        model: ProjectModel,
+        name: str,
+        encoder: _Encoder,
+        decoder: _Decoder,
+    ) -> Iterator[Finding]:
+        offsets, static_end, fully_static = encoder.layout()
+        for kind, offset, size in decoder.reads:
+            if offset not in offsets and offset >= static_end and not fully_static:
+                continue  # past the first dynamic segment: not checkable
+            expected = offsets.get(offset)
+            if expected is None:
+                yield model.finding(
+                    decoder.relpath,
+                    decoder.node,
+                    self.id,
+                    f"{name}: decoder reads {_kind_label(kind, size)} at "
+                    f"offset {offset}, which is not a field boundary in "
+                    f"{encoder.class_name}.encode()",
+                    "align the decoder's offsets with the encoder's "
+                    "field layout",
+                )
+                continue
+            expected_kind, expected_size = expected
+            if expected_kind != kind or (
+                kind == _INT and expected_size != size
+            ):
+                yield model.finding(
+                    decoder.relpath,
+                    decoder.node,
+                    self.id,
+                    f"{name}: decoder reads {_kind_label(kind, size)} at "
+                    f"offset {offset} but {encoder.class_name}.encode() "
+                    f"writes {_kind_label(expected_kind, expected_size)} "
+                    "there",
+                    "make the unpack side mirror the pack side "
+                    "field-for-field",
+                )
+
+    def _header_constants(
+        self, model: ProjectModel, encoders: Dict[str, List[_Encoder]]
+    ) -> Iterator[Finding]:
+        for relpath in model.config.wire_header_modules:
+            record = model.files.get(relpath)
+            if record is None:
+                continue
+            for node in record.tree.body:
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                opcode = model.config.wire_header_opcodes.get(target.id)
+                if opcode is None:
+                    continue
+                declared = _constant_int(node.value)
+                own_encoders = encoders.get(opcode, [])
+                if declared is None or len(own_encoders) != 1:
+                    continue
+                expected = 1 + own_encoders[0].fixed_int_bytes()
+                if declared != expected:
+                    yield model.finding(
+                        record.relpath,
+                        node,
+                        self.id,
+                        f"{target.id} is {declared} but "
+                        f"{own_encoders[0].class_name}.encode() emits "
+                        f"{expected} fixed header bytes "
+                        "(1 opcode + integer fields)",
+                        f"set {target.id} = {expected} or fix the encoder",
+                    )

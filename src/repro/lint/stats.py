@@ -1,0 +1,18 @@
+"""The ``repro lint --stats`` timer (SACHA001-exempt, like the wallclock).
+
+Per-rule timings are tool diagnostics for the person running the
+linter; they are never part of a reproducible artifact, so this is the
+one place under ``repro.lint`` allowed to read a real clock.  The lint
+layer sits below ``repro.obs`` in the layer DAG, so it cannot borrow
+``repro.obs.wallclock`` — hence its own one-function module, listed in
+:data:`repro.lint.config.DETERMINISM_EXEMPT` with the same rationale.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def rule_clock() -> float:
+    """Monotonic seconds for timing rule execution (diagnostics only)."""
+    return time.perf_counter()

@@ -403,11 +403,15 @@ class MetricsRegistry:
 
     def record_span(self, record: object) -> None:
         if self._enabled:
-            self._spans.append(record)
+            # Same lock as clear()/instruments(): swarm workers flush
+            # span records through their shard registry concurrently.
+            with self._lock:
+                self._spans.append(record)
 
     @property
     def spans(self) -> Tuple[object, ...]:
-        return tuple(self._spans)
+        with self._lock:
+            return tuple(self._spans)
 
 
 #: The process-wide registry.  Starts disabled: importing repro collects

@@ -27,3 +27,14 @@ def wall_clock_ns() -> int:
     covered by the reproducibility guarantee.
     """
     return time.time_ns()
+
+
+def perf_counter_s() -> float:
+    """Monotonic seconds, for measuring *this machine's* speed.
+
+    The benchmark gate's calibration yardstick: it times real CPU work,
+    which is inherently machine-dependent and never part of a
+    reproducible transcript.  Same exemption, same single-module rule
+    as :func:`wall_clock_ns`.
+    """
+    return time.perf_counter()

@@ -12,6 +12,7 @@ from repro.utils.bitops import (
 )
 from repro.utils.crc import Crc16Ccitt, Crc32, XilinxBitstreamCrc, crc32
 from repro.utils.rng import DeterministicRng
+from repro.utils.secret import SecretBytes, redact
 from repro.utils.units import MHZ, format_bytes, format_time_ns, period_ns
 
 __all__ = [
@@ -28,6 +29,8 @@ __all__ = [
     "XilinxBitstreamCrc",
     "crc32",
     "DeterministicRng",
+    "SecretBytes",
+    "redact",
     "MHZ",
     "format_bytes",
     "format_time_ns",

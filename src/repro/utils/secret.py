@@ -1,0 +1,100 @@
+"""Opaque container for key material.
+
+SACHa's MAC key must exist in exactly three places: the prover's key
+register, the verifier's enrollment record, and the CMAC engines keyed
+from them.  Everything that *holds* a key therefore wraps it in
+:class:`SecretBytes`: the repr/str is an opaque ``<secret[16]>`` (so an
+accidental ``f"{record}"`` or structured-log kwarg cannot leak it), the
+raw bytes come out only through an explicit, greppable ``reveal()``
+call, and equality against other secrets is constant-time.
+
+The whole-program linter (SACHA006) treats ``SecretBytes(...)`` and
+``redact(...)`` as the sanctioned taint boundaries; ``reveal()`` is a
+taint *source*, so a revealed key is tracked again from that point on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Union
+
+
+def redact(value: object) -> str:
+    """A loggable placeholder for a sensitive value.
+
+    Carries the length (useful for debugging truncation) but nothing
+    derived from the content.
+    """
+    try:
+        size = len(value)  # type: ignore[arg-type]
+    except TypeError:
+        return "<redacted>"
+    return f"<redacted[{size}]>"
+
+
+class SecretBytes:
+    """Immutable byte string with an opaque repr and explicit reveal.
+
+    ``bytes(secret)`` raises on purpose — the implicit path back to raw
+    bytes is exactly the accident this type exists to prevent.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[bytes, bytearray, "SecretBytes"]) -> None:
+        if isinstance(value, SecretBytes):
+            self._value: bytes = value._value
+        elif isinstance(value, (bytes, bytearray)):
+            self._value = bytes(value)
+        else:
+            raise TypeError(
+                f"SecretBytes wraps bytes, not {type(value).__name__}"
+            )
+
+    @classmethod
+    def fromhex(cls, text: str) -> "SecretBytes":
+        return cls(bytes.fromhex(text))
+
+    def reveal(self) -> bytes:
+        """The raw secret.  Every call site is a greppable decision."""
+        return self._value
+
+    def compare_digest(self, other: Union[bytes, "SecretBytes"]) -> bool:
+        """Constant-time equality against raw bytes or another secret."""
+        if isinstance(other, SecretBytes):
+            other = other._value
+        return hmac.compare_digest(self._value, other)
+
+    def __len__(self) -> int:
+        return len(self._value)
+
+    def __repr__(self) -> str:
+        return f"<secret[{len(self._value)}]>"
+
+    __str__ = __repr__
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SecretBytes):
+            return hmac.compare_digest(self._value, other._value)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        # Not the salted builtin hash (SACHA001: process-dependent);
+        # derived from the value so frozen dataclasses stay hashable.
+        digest = hashlib.sha256(b"repro.SecretBytes:" + self._value).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def __bytes__(self) -> bytes:
+        raise TypeError(
+            "implicit bytes(SecretBytes) is forbidden; call .reveal()"
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self._value)

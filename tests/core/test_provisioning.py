@@ -27,7 +27,7 @@ class TestProvisioning:
             small_system, "prv-b", seed=2, key_mode=KEY_MODE_REGISTER
         )
         assert provisioned.puf is None
-        assert provisioned.key_provider.mac_key() == record.mac_key
+        assert record.mac_key.compare_digest(provisioned.key_provider.mac_key())
 
     def test_unknown_key_mode(self, small_system):
         with pytest.raises(ProvisioningError):
@@ -35,7 +35,7 @@ class TestProvisioning:
 
     def test_device_key_matches_verifier_record(self, small_system):
         provisioned, record = provision_device(small_system, "prv-d", seed=4)
-        assert provisioned.key_provider.mac_key() == record.mac_key
+        assert record.mac_key.compare_digest(provisioned.key_provider.mac_key())
 
     def test_board_is_booted_and_static_configured(self, small_system):
         provisioned, _ = provision_device(small_system, "prv-e", seed=5)

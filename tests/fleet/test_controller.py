@@ -8,6 +8,7 @@ from repro.errors import FleetError
 from repro.fleet.controller import FleetController
 from repro.fleet.store import DeviceRecord, FleetStore
 from repro.net.faults import FaultProfile
+from repro.utils.secret import SecretBytes
 
 
 def _assert_snapshots_equivalent(left, right):
@@ -51,7 +52,7 @@ def _enroll(store, count, prefix="dev", tampered=False, part="SIM-SMALL"):
             part=part,
             seed=seed,
             key_mode="puf",
-            key_hex=record.mac_key.hex(),
+            key=record.mac_key,
             tampered=tampered,
         )
         store.enroll(device)
@@ -147,7 +148,7 @@ class TestVerdictsAndExitCodes:
                 part="SIM-SMALL",
                 seed=999,
                 key_mode="puf",
-                key_hex="00" * 16,
+                key=SecretBytes(b"\x00" * 16),
                 tampered=False,
             )
             store.enroll(corrupt)
@@ -177,7 +178,7 @@ class TestSweepBookkeeping:
                 part="SIM-SMALL",
                 seed=999,
                 key_mode="puf",
-                key_hex="00" * 16,
+                key=SecretBytes(b"\x00" * 16),
                 tampered=False,
             )
             store.enroll(corrupt)

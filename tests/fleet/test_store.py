@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.report import AttestationReport, FailureReason
 from repro.errors import FleetError
+from repro.utils.secret import SecretBytes
 from repro.fleet.store import (
     MIGRATIONS,
     SCHEMA_VERSION,
@@ -23,7 +24,7 @@ def _device(device_id="dev-0000", **overrides):
         part="SIM-SMALL",
         seed=100,
         key_mode="puf",
-        key_hex="ab" * 16,
+        key=SecretBytes(b"\xab" * 16),
         tampered=False,
     )
     fields.update(overrides)
@@ -91,7 +92,7 @@ class TestPersistence:
 
         with FleetStore(path) as store:
             device = store.get_device("dev-0000")
-            assert device.key_hex == "ab" * 16
+            assert device.key.reveal().hex() == "ab" * 16
             (row,) = store.history()
             assert row.sweep_id == sweep_id
             assert row.verdict == "accept"

@@ -1,0 +1,88 @@
+"""``SecretBytes`` and ``redact``: the sanctioned secret boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.secret import SecretBytes, redact
+
+KEY = bytes(range(16))
+
+
+class TestSecretBytes:
+    def test_repr_and_str_are_opaque(self):
+        secret = SecretBytes(KEY)
+        assert repr(secret) == "<secret[16]>"
+        assert str(secret) == "<secret[16]>"
+        assert KEY.hex() not in f"{secret}"
+
+    def test_reveal_returns_the_wrapped_bytes(self):
+        assert SecretBytes(KEY).reveal() == KEY
+
+    def test_fromhex_round_trip(self):
+        secret = SecretBytes.fromhex(KEY.hex())
+        assert secret.reveal() == KEY
+
+    def test_accepts_bytearray_and_copies(self):
+        buffer = bytearray(KEY)
+        secret = SecretBytes(buffer)
+        buffer[0] ^= 0xFF
+        assert secret.reveal() == KEY
+
+    def test_wrapping_a_secret_is_idempotent(self):
+        assert SecretBytes(SecretBytes(KEY)).reveal() == KEY
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            SecretBytes("deadbeef")  # type: ignore[arg-type]
+
+    def test_compare_digest_against_bytes_and_secret(self):
+        secret = SecretBytes(KEY)
+        assert secret.compare_digest(KEY)
+        assert secret.compare_digest(SecretBytes(KEY))
+        assert not secret.compare_digest(bytes(16))
+
+    def test_equality_only_between_secrets(self):
+        assert SecretBytes(KEY) == SecretBytes(KEY)
+        assert SecretBytes(KEY) != SecretBytes(bytes(16))
+        # Comparing against raw bytes is deliberately not supported:
+        # both operands return NotImplemented, so Python falls back to
+        # identity and the comparison is False — use compare_digest.
+        assert not (SecretBytes(KEY) == KEY)
+
+    def test_usable_in_sets_and_dicts(self):
+        keys = {SecretBytes(KEY), SecretBytes(KEY), SecretBytes(bytes(16))}
+        assert len(keys) == 2
+
+    def test_len_and_bool(self):
+        assert len(SecretBytes(KEY)) == 16
+        assert SecretBytes(KEY)
+        assert not SecretBytes(b"")
+
+    def test_bytes_coercion_is_blocked(self):
+        with pytest.raises(TypeError):
+            bytes(SecretBytes(KEY))
+
+    def test_not_leaked_by_containing_dataclass_repr(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Record:
+            device_id: str
+            mac_key: SecretBytes
+
+        rendered = repr(Record("dev-0", SecretBytes(KEY)))
+        assert "<secret[16]>" in rendered
+        assert KEY.hex() not in rendered
+
+
+class TestRedact:
+    def test_sized_placeholder_for_sized_values(self):
+        assert redact(KEY) == "<redacted[16]>"
+        assert redact("abcd") == "<redacted[4]>"
+
+    def test_plain_placeholder_for_unsized_values(self):
+        assert redact(12345) == "<redacted>"
+
+    def test_never_echoes_the_value(self):
+        assert KEY.hex() not in redact(KEY.hex())
