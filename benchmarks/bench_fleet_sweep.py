@@ -11,11 +11,21 @@ The sharded leg is the gated number.  The sequential leg pins the
 single-worker shape, and the two must produce byte-identical per-device
 MAC tags — the determinism contract the fleet controller inherits from
 the swarm executor.
+
+The cold/warm pair brackets the artifact cache: ``cold_rebuild`` runs
+with the cache bypassed (every device pays a full system build), while
+``warm_cache`` starts each round with an empty memo but a populated
+on-disk tier — the cross-process warm-start shape.  ``bench_gate``
+enforces warm >= CACHE_WARM_SPEEDUP x cold within one run, and the
+``materialize_dedup`` leg pins the in-sweep dedup itself: eight
+same-part materializations against a fresh memo cost one build.
 """
 
+from repro.cache import reset_artifact_cache
 from repro.core.provisioning import materialize_device
 from repro.fleet.controller import FleetController
 from repro.fleet.store import DeviceRecord, FleetStore
+from repro.perf.config import configured
 
 FLEET_SIZE = 8
 WORKERS = 4
@@ -82,3 +92,64 @@ def test_fleet_sweep_sequential(benchmark, tmp_path):
         outcome.tag for outcome in sharded.outcomes
     ]
     assert all(outcome.tag is not None for outcome in sequential.outcomes)
+
+
+def test_fleet_sweep_cold_rebuild(benchmark, tmp_path):
+    """The cache-bypassed baseline: every device rebuilds its system."""
+    with configured(artifact_cache=False):
+        result = _bench_sweep(benchmark, tmp_path, workers=WORKERS, rounds=3)
+    assert len(result.accepted) == FLEET_SIZE
+
+
+def test_fleet_sweep_warm_cache(benchmark, tmp_path):
+    """The warm-start shape: empty memo, populated disk tier — what the
+    second ``repro fleet attest --cache-dir`` process pays.  The gated
+    counterpart of ``cold_rebuild``: tags must match it byte-for-byte."""
+    cache_dir = str(tmp_path / "artifact-cache")
+    state = {"round": 0}
+    with configured(artifact_cache=False):
+        with _enrolled_store(tmp_path / "fleet-warm-ref.db") as store:
+            cold = FleetController(store).attest(seed=7, workers=WORKERS)
+
+    with configured(cache_dir=cache_dir):
+        reset_artifact_cache().get_artifacts("SIM-SMALL")  # populate disk
+
+        def setup():
+            state["round"] += 1
+            reset_artifact_cache()  # each round warm-starts from disk only
+            state["store"] = _enrolled_store(
+                tmp_path / f"fleet-warm-{state['round']}.db"
+            )
+            return (), {}
+
+        def run():
+            state["result"] = FleetController(state["store"]).attest(
+                seed=7, workers=WORKERS
+            )
+            state["store"].close()
+
+        benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    reset_artifact_cache()
+    result = state["result"]
+    assert len(result.accepted) == FLEET_SIZE
+    assert [outcome.tag for outcome in result.outcomes] == [
+        outcome.tag for outcome in cold.outcomes
+    ]
+
+
+def test_materialize_dedup(benchmark):
+    """Eight same-part materializations, fresh memo each round: one
+    build plus seven shared hits — the in-sweep dedup in isolation."""
+
+    def setup():
+        reset_artifact_cache()
+        return (), {}
+
+    def run():
+        for index in range(FLEET_SIZE):
+            materialize_device(
+                "SIM-SMALL", f"dedup-{index:04d}", seed=9300 + index
+            )
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    reset_artifact_cache()

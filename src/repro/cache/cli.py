@@ -1,0 +1,93 @@
+"""``repro cache`` — the artifact cache's ops surface.
+
+Subcommands:
+
+* ``stats`` — both tiers: memoized bundles in this process (usually none
+  for a fresh CLI invocation) and every entry under the configured cache
+  directory, with per-entry sizes; ``--json`` for machines;
+* ``clear`` — drop the memo tier and delete every on-disk entry
+  (``--memo-only`` keeps the disk tier).
+
+The cache directory comes from the usual configuration chain: the global
+``--cache-dir`` flag, else ``REPRO_CACHE_DIR``, else no disk tier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.cache import get_artifact_cache
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``cache`` subcommand tree to ``parser``."""
+    commands = parser.add_subparsers(dest="cache_command", required=True)
+
+    stats = commands.add_parser(
+        "stats", help="per-tier entry listing and sizes"
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    clear = commands.add_parser(
+        "clear", help="drop memoized bundles and delete on-disk entries"
+    )
+    clear.add_argument(
+        "--memo-only",
+        action="store_true",
+        help="keep the on-disk tier, clear only this process's memo",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.cache_command == "stats":
+        return _command_stats(args)
+    return _command_clear(args)
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    stats = get_artifact_cache().stats()
+    if args.json:
+        print(json.dumps(stats, sort_keys=True))
+        return 0
+    memo = stats["memo"]
+    disk = stats["disk"]
+    print(
+        f"memo tier: {len(memo['entries'])} bundle(s), {memo['bytes']} bytes"
+    )
+    for entry in memo["entries"]:
+        print(
+            f"  {entry['fingerprint'][:16]}  {entry['part']}  "
+            f"{entry['bytes']} bytes"
+        )
+    if not disk["dir"]:
+        print("disk tier: disabled (set --cache-dir or REPRO_CACHE_DIR)")
+        return 0
+    print(
+        f"disk tier ({disk['dir']}): {len(disk['entries'])} entr"
+        f"{'y' if len(disk['entries']) == 1 else 'ies'}, "
+        f"{disk['bytes']} bytes"
+    )
+    for entry in disk["entries"]:
+        print(
+            f"  {entry['fingerprint'][:16]}  {entry['part']}  "
+            f"{entry['bytes']} bytes"
+        )
+    return 0
+
+
+def _command_clear(args: argparse.Namespace) -> int:
+    cache = get_artifact_cache()
+    removed = cache.clear(disk=not args.memo_only)
+    print(f"cleared {removed['memo']} memoized bundle(s)")
+    store = cache.disk_store()
+    if args.memo_only:
+        print("disk tier left intact (--memo-only)")
+    elif store is None:
+        print("disk tier: disabled, nothing to delete")
+    else:
+        print(f"deleted {removed['disk']} on-disk entr"
+              f"{'y' if removed['disk'] == 1 else 'ies'} from {store.root}")
+    return 0

@@ -1,0 +1,134 @@
+"""Packing placed implementations into flat arrays and back.
+
+The expensive halves of a system build — placement's register-bit
+derivation and bitgen's per-instance content generation — both produce
+plain data: frame lists, ``(frame, word, bit)`` register positions and
+per-frame configuration bytes.  This module flattens one
+:class:`~repro.design.bitgen.Implementation` into numpy arrays plus a
+small JSON-able metadata dict (and reverses it), so the disk tier can
+rebuild a bit-identical implementation without re-running the placer or
+the Philox generators.
+
+The designs themselves are *not* serialized: netlists are cheap, pure
+functions of the device part, so the loader rebuilds them from the
+:class:`~repro.design.sacha_design.SystemPlan` and only the derived
+placement state comes off disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.design.bitgen import Implementation
+from repro.design.netlist import Design
+from repro.design.placer import Placement
+from repro.errors import ReproError
+from repro.fpga.device import DevicePart
+from repro.fpga.registers import RegisterBit
+
+
+def pack_implementation(
+    impl: Implementation,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Flatten one implementation into (metadata, arrays)."""
+    placement = impl.placement
+    instance_order: List[str] = list(placement.frame_assignment.keys())
+    assign_frames: List[int] = []
+    assign_offsets: List[int] = [0]
+    for name in instance_order:
+        assign_frames.extend(placement.frame_assignment[name])
+        assign_offsets.append(len(assign_frames))
+    regpos_rows: List[Tuple[int, int, int, int]] = []
+    for index, name in enumerate(instance_order):
+        for position in placement.register_positions.get(name, []):
+            regpos_rows.append(
+                (
+                    index,
+                    position.frame_index,
+                    position.word_index,
+                    position.bit_index,
+                )
+            )
+    content_index = np.fromiter(
+        impl.frame_content.keys(), dtype=np.int64, count=len(impl.frame_content)
+    )
+    frame_bytes = impl.device.frame_bytes
+    content_data = np.frombuffer(
+        b"".join(impl.frame_content.values()), dtype=np.uint8
+    ).reshape(len(impl.frame_content), frame_bytes)
+    arrays = {
+        "region_frames": np.asarray(placement.region_frames, dtype=np.int64),
+        "assign_frames": np.asarray(assign_frames, dtype=np.int64),
+        "assign_offsets": np.asarray(assign_offsets, dtype=np.int64),
+        "regpos": np.asarray(regpos_rows, dtype=np.uint32).reshape(
+            len(regpos_rows), 4
+        ),
+        "content_index": content_index,
+        "content_data": content_data,
+    }
+    meta = {"design_name": impl.design.name, "instances": instance_order}
+    return meta, arrays
+
+
+def unpack_implementation(
+    design: Design,
+    device: DevicePart,
+    meta: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+) -> Implementation:
+    """Rebuild an implementation from stored (metadata, arrays).
+
+    ``design`` must be the freshly re-planned netlist the arrays were
+    packed from; the fingerprint match guarantees that, and the name
+    check below catches a manifest wired to the wrong arrays.
+    """
+    if meta.get("design_name") != design.name:
+        raise ReproError(
+            f"cached implementation is for design {meta.get('design_name')!r}, "
+            f"expected {design.name!r}"
+        )
+    instance_order = [str(name) for name in meta.get("instances", [])]
+    placed = {instance.name for instance in design}
+    if set(instance_order) != placed:
+        raise ReproError(
+            f"cached placement instances do not match design {design.name!r}"
+        )
+    assign_offsets = arrays["assign_offsets"]
+    assign_frames = arrays["assign_frames"]
+    placement = Placement(
+        design=design,
+        device=device,
+        region_frames=[int(f) for f in arrays["region_frames"]],
+    )
+    for index, name in enumerate(instance_order):
+        start, stop = int(assign_offsets[index]), int(assign_offsets[index + 1])
+        placement.frame_assignment[name] = [
+            int(frame) for frame in assign_frames[start:stop]
+        ]
+        placement.register_positions[name] = []
+    for row in arrays["regpos"]:
+        placement.register_positions[instance_order[int(row[0])]].append(
+            RegisterBit(
+                frame_index=int(row[1]),
+                word_index=int(row[2]),
+                bit_index=int(row[3]),
+            )
+        )
+    content_data = arrays["content_data"]
+    if content_data.ndim != 2 or content_data.shape[1] != device.frame_bytes:
+        raise ReproError(
+            f"cached frame content of shape {content_data.shape} does not "
+            f"fit {device.name} frames of {device.frame_bytes} bytes"
+        )
+    frame_content = {
+        int(frame_index): content_data[position].tobytes()
+        for position, frame_index in enumerate(arrays["content_index"])
+    }
+    return Implementation(
+        design=design,
+        device=device,
+        placement=placement,
+        frame_content=frame_content,
+    )

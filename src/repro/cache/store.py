@@ -1,0 +1,255 @@
+"""On-disk cache tier: one directory of checksummed blobs per fingerprint.
+
+Layout under the cache root::
+
+    <cache_dir>/<fingerprint>/
+        manifest.json       schema, part, sizes, per-file sha256 checksums
+        golden_template.npy nonce-independent golden configuration frames
+        mask_bits.npy       combined Msk bit array
+        boot_image.bin      static boot bitstream bytes
+        static_impl.npz     packed static implementation (see serialize.py)
+        app_impl.npz        packed application implementation
+
+Entries are *verified, never trusted*: every blob is checksummed against
+the manifest on load and any mismatch — truncated file, flipped byte,
+schema bump, wrong part — makes the load return ``None`` so the caller
+rebuilds and overwrites.  Writes go to a per-process temp directory that
+is renamed into place, so a reader never observes a half-written entry;
+the loser of a cross-process publish race just discards its temp dir.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cache.artifacts import SystemArtifacts, artifacts_from_system
+from repro.cache.fingerprint import CACHE_SCHEMA_VERSION, blob_checksum
+from repro.cache.serialize import pack_implementation, unpack_implementation
+from repro.design.sacha_design import SachaSystemDesign, SystemPlan
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.mask import MaskFile
+
+MANIFEST_NAME = "manifest.json"
+
+
+def _array_bytes(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+def _arrays_bytes(arrays: Dict[str, np.ndarray]) -> bytes:
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _load_array(data: bytes) -> np.ndarray:
+    return np.load(io.BytesIO(data), allow_pickle=False)
+
+
+def _load_arrays(data: bytes) -> Dict[str, np.ndarray]:
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+class DiskStore:
+    """Persistent artifact store rooted at one cache directory."""
+
+    def __init__(self, root: str) -> None:
+        self._root = os.path.abspath(root)
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    def _entry_dir(self, fingerprint: str) -> str:
+        return os.path.join(self._root, fingerprint)
+
+    # -- write ---------------------------------------------------------------
+
+    def save(self, artifacts: SystemArtifacts) -> int:
+        """Persist one bundle; returns the bytes written.
+
+        Idempotent: an existing entry for the fingerprint is left alone
+        (content-addressing makes it byte-identical by construction).
+        """
+        final_dir = self._entry_dir(artifacts.fingerprint)
+        if os.path.isfile(os.path.join(final_dir, MANIFEST_NAME)):
+            return 0
+        system = artifacts.system
+        static_meta, static_arrays = pack_implementation(system.static_impl)
+        app_meta, app_arrays = pack_implementation(system.app_impl)
+        system.freeze_artifacts()
+        template = system._golden_template
+        assert template is not None  # freeze_artifacts() just built it
+        blobs: Dict[str, bytes] = {
+            "golden_template.npy": _array_bytes(template.frames_array()),
+            "mask_bits.npy": _array_bytes(system.combined_mask().bits_array()),
+            "boot_image.bin": artifacts.boot_image,
+            "static_impl.npz": _arrays_bytes(static_arrays),
+            "app_impl.npz": _arrays_bytes(app_arrays),
+        }
+        manifest = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": artifacts.fingerprint,
+            "part": artifacts.part,
+            "nonce_bytes": system.nonce_bytes,
+            "bootmem_bytes": artifacts.bootmem_bytes,
+            "impl_meta": {"static": static_meta, "app": app_meta},
+            "files": {
+                name: {"sha256": blob_checksum(data), "bytes": len(data)}
+                for name, data in blobs.items()
+            },
+        }
+        # Per-process temp dir, renamed into place: readers only ever see
+        # complete entries, and a lost cross-process race is discarded.
+        temp_dir = os.path.join(
+            self._root, f".tmp-{artifacts.fingerprint[:12]}-{os.getpid()}"
+        )
+        os.makedirs(temp_dir, exist_ok=True)
+        try:
+            for name, data in blobs.items():
+                with open(os.path.join(temp_dir, name), "wb") as handle:
+                    handle.write(data)
+            with open(os.path.join(temp_dir, MANIFEST_NAME), "w") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+            try:
+                os.rename(temp_dir, final_dir)
+            except OSError:
+                # Another process published first; its entry is equivalent.
+                shutil.rmtree(temp_dir, ignore_errors=True)
+                return 0
+        except Exception:
+            shutil.rmtree(temp_dir, ignore_errors=True)
+            raise
+        return sum(len(data) for data in blobs.values())
+
+    # -- read ----------------------------------------------------------------
+
+    def load(
+        self, fingerprint: str, plan: SystemPlan
+    ) -> Optional[SystemArtifacts]:
+        """Load and verify one entry; ``None`` means rebuild.
+
+        ``plan`` supplies the freshly re-derived netlists — only placed
+        state comes off disk, and it is re-checksummed blob by blob.
+        """
+        entry_dir = self._entry_dir(fingerprint)
+        manifest_path = os.path.join(entry_dir, MANIFEST_NAME)
+        try:
+            with open(manifest_path, "r") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            manifest.get("schema") != CACHE_SCHEMA_VERSION
+            or manifest.get("fingerprint") != fingerprint
+            or manifest.get("part") != plan.device.name
+            or manifest.get("nonce_bytes") != plan.nonce_bytes
+        ):
+            return None
+        files = manifest.get("files", {})
+        blobs: Dict[str, bytes] = {}
+        for name, expected in files.items():
+            try:
+                with open(os.path.join(entry_dir, name), "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                return None
+            if blob_checksum(data) != expected.get("sha256"):
+                return None
+            blobs[name] = data
+        try:
+            impl_meta = manifest["impl_meta"]
+            static_impl = unpack_implementation(
+                plan.static_design,
+                plan.device,
+                impl_meta["static"],
+                _load_arrays(blobs["static_impl.npz"]),
+            )
+            app_impl = unpack_implementation(
+                plan.app_design,
+                plan.device,
+                impl_meta["app"],
+                _load_arrays(blobs["app_impl.npz"]),
+            )
+            template = ConfigurationMemory.from_frames(
+                plan.device, _load_array(blobs["golden_template.npy"])
+            )
+            mask = MaskFile.from_bits(
+                plan.device, _load_array(blobs["mask_bits.npy"])
+            )
+        except Exception:
+            return None
+        system = SachaSystemDesign(
+            device=plan.device,
+            partition=plan.partition,
+            static_impl=static_impl,
+            app_impl=app_impl,
+            nonce_bytes=plan.nonce_bytes,
+            _golden_template=template,
+            _combined_mask=mask,
+            _boot_image=blobs["boot_image.bin"],
+        )
+        artifacts = artifacts_from_system(fingerprint, system)
+        if artifacts.bootmem_bytes != manifest.get("bootmem_bytes"):
+            return None
+        return artifacts
+
+    def invalidate(self, fingerprint: str) -> None:
+        """Delete one entry (called after a failed verification, so the
+        rebuild's :meth:`save` republishes a good copy)."""
+        entry_dir = self._entry_dir(fingerprint)
+        if os.path.isdir(entry_dir):
+            shutil.rmtree(entry_dir, ignore_errors=True)
+
+    # -- ops -----------------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Manifest summaries of every complete on-disk entry."""
+        if not os.path.isdir(self._root):
+            return []
+        summaries: List[Dict[str, object]] = []
+        for name in sorted(os.listdir(self._root)):
+            manifest_path = os.path.join(self._root, name, MANIFEST_NAME)
+            try:
+                with open(manifest_path, "r") as handle:
+                    manifest = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            files = manifest.get("files", {})
+            summaries.append(
+                {
+                    "fingerprint": manifest.get("fingerprint", name),
+                    "part": manifest.get("part", "?"),
+                    "bytes": sum(
+                        int(entry.get("bytes", 0)) for entry in files.values()
+                    ),
+                }
+            )
+        return summaries
+
+    def total_bytes(self) -> int:
+        return sum(int(entry["bytes"]) for entry in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry (and stale temp dirs); returns the count."""
+        if not os.path.isdir(self._root):
+            return 0
+        removed = 0
+        for name in sorted(os.listdir(self._root)):
+            path = os.path.join(self._root, name)
+            if not os.path.isdir(path):
+                continue
+            is_entry = os.path.isfile(os.path.join(path, MANIFEST_NAME))
+            if is_entry or name.startswith(".tmp-"):
+                shutil.rmtree(path, ignore_errors=True)
+                removed += int(is_entry)
+        return removed

@@ -18,6 +18,9 @@ Commands:
 * ``obs report|flame|health`` — offline telemetry analysis: merge span
   dumps into a stitched profile report, export a collapsed-stack
   flamegraph, or evaluate SLO health rules over registry snapshots;
+* ``cache stats|clear`` — inspect or clear the content-addressed
+  artifact cache (see the global ``--cache-dir`` / ``--artifact-cache``
+  performance flags);
 * ``list`` — list devices and experiments.
 
 ``attest``, ``trace``, ``experiment`` and ``metrics`` take observability
@@ -45,10 +48,10 @@ from repro.analysis.experiments import (
     e5_security_evaluation,
     e6_protocol_trace,
 )
+from repro.cache import get_artifact_cache
 from repro.core.protocol import SessionOptions, run_attestation
 from repro.core.provisioning import provision_device
 from repro.core.verifier import SachaVerifier
-from repro.design.sacha_design import build_sacha_system
 from repro.fpga.device import catalog, get_part
 from repro.obs import log as obs_log
 from repro.obs.exporters import to_prometheus, write_jsonl, write_prometheus
@@ -208,6 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
         "a congestion window that halves on timeouts and regrows on clean "
         "ACKs (default: REPRO_ARQ_ADAPTIVE or on)",
     )
+    perf.add_argument(
+        "--artifact-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="memoize built system artifacts so same-part devices share "
+        "one build (default: REPRO_ARTIFACT_CACHE or on)",
+    )
+    perf.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist built artifacts under DIR so later processes "
+        "warm-start (default: REPRO_CACHE_DIR or off)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     attest = commands.add_parser("attest", help="run one attestation")
@@ -295,6 +312,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet_cli.add_arguments(fleet)
 
+    cache = commands.add_parser(
+        "cache",
+        help="artifact cache ops: per-tier stats and clearing",
+    )
+    from repro.cache import cli as cache_cli
+
+    cache_cli.add_arguments(cache)
+
     obs = commands.add_parser(
         "obs",
         help="offline telemetry analysis: span profiling and SLO health",
@@ -339,8 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_attest(args: argparse.Namespace) -> int:
-    device = get_part(args.device)
-    system = build_sacha_system(device)
+    system = get_artifact_cache().get_system(args.device)
     provisioned, record = provision_device(system, "cli-board", seed=args.seed)
     if args.tamper:
         frame = system.partition.static_frame_list()[0]
@@ -466,12 +490,11 @@ def _command_metrics(args: argparse.Namespace) -> int:
     tampered run exercises the reject path, so the exposition shows both
     ``result`` label values.
     """
-    device = get_part(args.device)
     registry = get_registry()  # enabled by _setup_obs for this command
     options = SessionOptions(record_trace=True, span_frames=args.span_frames)
     accepted = True
     for tamper in (False, True):
-        system = build_sacha_system(device)
+        system = get_artifact_cache().get_system(args.device)
         provisioned, record = provision_device(
             system, f"metrics-demo-{int(tamper)}", seed=args.seed + int(tamper)
         )
@@ -550,6 +573,12 @@ def _command_fleet(args: argparse.Namespace) -> int:
     return fleet_cli.run(args)
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.cache import cli as cache_cli
+
+    return cache_cli.run(args)
+
+
 def _command_list(_: argparse.Namespace) -> int:
     print("devices:")
     for name in catalog():
@@ -573,6 +602,7 @@ _HANDLERS = {
     "metrics": _command_metrics,
     "lint": _command_lint,
     "fleet": _command_fleet,
+    "cache": _command_cache,
     "obs": _command_obs,
     "list": _command_list,
 }
@@ -594,6 +624,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["arq_adaptive"] = args.arq_adaptive
     if args.readback_batch_frames is not None:
         overrides["readback_batch_frames"] = args.readback_batch_frames
+    if args.artifact_cache is not None:
+        overrides["artifact_cache"] = args.artifact_cache
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
     try:
         with configured(**overrides):
             scope = _setup_obs(args)

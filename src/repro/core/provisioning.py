@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.design.sacha_design import SachaSystemDesign, build_sacha_system
+from repro.cache import get_artifact_cache
+from repro.design.sacha_design import SachaSystemDesign
 from repro.errors import ProvisioningError
-from repro.fpga.device import get_part
 from repro.fpga.board import Board, Fpga
 from repro.fpga.flash import BootMem
 from repro.fpga.puf import PufKeySlot, SramPuf, enroll_device
@@ -167,8 +167,14 @@ def materialize_device(
     keeping boards alive between attestations — the key the rebuilt
     record derives is byte-identical to the one enrolled.  Returns
     ``(ProvisionedDevice, VerifierRecord)`` like :func:`provision_device`.
+
+    The system build routes through the artifact cache: every device of
+    the same part shares one frozen golden template / mask / boot image
+    bundle (and, with a cache dir configured, warm-starts from disk),
+    while the board, PUF, registers and keys built here stay strictly
+    per-device.
     """
-    system = build_sacha_system(get_part(part))
+    system = get_artifact_cache().get_system(part)
     return provision_device(
         system,
         device_id,

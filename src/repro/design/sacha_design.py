@@ -92,6 +92,24 @@ def default_floorplan(device: DevicePart) -> PartitionMap:
     )
 
 
+@dataclass(frozen=True)
+class SystemPlan:
+    """The nonce-independent inputs of one SACHa system build.
+
+    Everything here is a cheap, pure function of the device part and the
+    requested application cores — no placement, no bit generation.  The
+    plan is what the artifact cache fingerprints: two identical plans
+    implement to byte-identical golden templates, masks and boot images,
+    so a plan hash is a sound content address for the built artifacts.
+    """
+
+    device: DevicePart
+    partition: PartitionMap
+    static_design: Design
+    app_design: Design
+    nonce_bytes: int = 8
+
+
 @dataclass
 class SachaSystemDesign:
     """A complete SACHa configuration of one device."""
@@ -108,6 +126,12 @@ class SachaSystemDesign:
         default=None, repr=False, compare=False
     )
     _combined_mask: Optional[MaskFile] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Cached static boot image: pure function of the static
+    #: implementation, rebuilt for every provisioned board otherwise
+    #: (``recommended_bootmem_bytes`` alone walks it once per device).
+    _boot_image: Optional[bytes] = field(
         default=None, repr=False, compare=False
     )
 
@@ -163,7 +187,23 @@ class SachaSystemDesign:
         )
 
     def boot_image(self) -> bytes:
-        return self.static_bitstream().to_bytes()
+        if self._boot_image is None:
+            self._boot_image = self.static_bitstream().to_bytes()
+        return self._boot_image
+
+    def freeze_artifacts(self) -> None:
+        """Eagerly build every lazily-cached shared artifact.
+
+        The artifact cache shares one system object across shard
+        workers; materializing the golden template, the combined mask
+        (including its keep-bit complement) and the boot image *before*
+        the object is published keeps the shared state strictly
+        read-only afterwards — no lazy first-touch initialization racing
+        between threads.
+        """
+        self.golden_memory(bytes(self.nonce_bytes))
+        self.combined_mask().freeze()
+        self.boot_image()
 
     def recommended_bootmem_bytes(self) -> int:
         """BootMem sizing: fits the static image, not the partial bitstream.
@@ -227,6 +267,58 @@ def _row(resources: ResourceCount) -> Dict[str, int]:
     }
 
 
+def plan_sacha_system(
+    device: DevicePart = XC6VLX240T,
+    app_cores: Optional[Sequence[CoreSpec]] = None,
+    include_dynamic_puf: bool = False,
+    floorplan: Optional[PartitionMap] = None,
+) -> SystemPlan:
+    """The cheap, deterministic front half of :func:`build_sacha_system`.
+
+    Resolves the floorplan and both netlists without placing or
+    generating a single frame — milliseconds even on the full part —
+    so callers (the artifact cache above all) can fingerprint a build
+    before paying for it.
+    """
+    partition = floorplan or default_floorplan(device)
+    fabric = Fabric(device)
+    static_design = (
+        build_static_design()
+        if device.name == XC6VLX240T.name
+        else scaled_static_design(device)
+    )
+    cores = list(app_cores) if app_cores is not None else [APP_BLINKER]
+    if include_dynamic_puf:
+        cores.append(PUF_CORE)
+    cores.append(NONCE_REGISTER)
+    app_design = design_from_cores(
+        "sacha_app", _fit_cores(cores, device, fabric, partition)
+    )
+    return SystemPlan(
+        device=device,
+        partition=partition,
+        static_design=static_design,
+        app_design=app_design,
+    )
+
+
+def implement_plan(plan: SystemPlan) -> SachaSystemDesign:
+    """The expensive back half: place both designs and generate content."""
+    static_impl = implement(
+        plan.static_design, plan.device, plan.partition.static_frame_list()
+    )
+    app_impl = implement(
+        plan.app_design, plan.device, plan.partition.application_frame_list()
+    )
+    return SachaSystemDesign(
+        device=plan.device,
+        partition=plan.partition,
+        static_impl=static_impl,
+        app_impl=app_impl,
+        nonce_bytes=plan.nonce_bytes,
+    )
+
+
 def build_sacha_system(
     device: DevicePart = XC6VLX240T,
     app_cores: Optional[Sequence[CoreSpec]] = None,
@@ -240,31 +332,13 @@ def build_sacha_system(
     verifier-supplied PUF core (key option 2 of Section 5.2.1) is added
     to the dynamic design.
     """
-    partition = floorplan or default_floorplan(device)
-    fabric = Fabric(device)
-
-    static_design = (
-        build_static_design()
-        if device.name == XC6VLX240T.name
-        else scaled_static_design(device)
-    )
-    static_impl = implement(
-        static_design, device, partition.static_frame_list()
-    )
-
-    cores = list(app_cores) if app_cores is not None else [APP_BLINKER]
-    if include_dynamic_puf:
-        cores.append(PUF_CORE)
-    cores.append(NONCE_REGISTER)
-    app_design = design_from_cores("sacha_app", _fit_cores(cores, device, fabric, partition))
-    app_impl = implement(
-        app_design, device, partition.application_frame_list()
-    )
-    return SachaSystemDesign(
-        device=device,
-        partition=partition,
-        static_impl=static_impl,
-        app_impl=app_impl,
+    return implement_plan(
+        plan_sacha_system(
+            device,
+            app_cores=app_cores,
+            include_dynamic_puf=include_dynamic_puf,
+            floorplan=floorplan,
+        )
     )
 
 

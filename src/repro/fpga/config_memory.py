@@ -36,6 +36,19 @@ class ConfigurationMemory:
             (device.total_frames, device.words_per_frame), dtype=">u4"
         )
 
+    @classmethod
+    def from_frames(cls, device: DevicePart, frames: np.ndarray) -> "ConfigurationMemory":
+        """Rebuild a memory from a stored frame array (the ``.npy`` blob)."""
+        expected = (device.total_frames, device.words_per_frame)
+        if frames.shape != expected:
+            raise ConfigMemoryError(
+                f"frame array of shape {frames.shape} does not fit "
+                f"{device.name} ({expected[0]} x {expected[1]} words)"
+            )
+        memory = cls(device)
+        memory._frames = frames.astype(">u4")
+        return memory
+
     @property
     def device(self) -> DevicePart:
         return self._device

@@ -37,6 +37,19 @@ class MaskFile:
         )
         self._keep: Optional[np.ndarray] = None  # cached ~mask, lazily built
 
+    @classmethod
+    def from_bits(cls, device: DevicePart, bits: np.ndarray) -> "MaskFile":
+        """Rebuild a mask from a stored bit array (the ``.npy`` blob)."""
+        expected = (device.total_frames, device.words_per_frame)
+        if bits.shape != expected:
+            raise ConfigMemoryError(
+                f"mask bits of shape {bits.shape} do not fit "
+                f"{device.name} ({expected[0]} x {expected[1]} words)"
+            )
+        mask = cls(device)
+        mask._bits = bits.astype(">u4")
+        return mask
+
     @property
     def device(self) -> DevicePart:
         return self._device
@@ -111,6 +124,22 @@ class MaskFile:
             )
         indices = np.asarray(frame_indices, dtype=np.intp)
         return frames & self._keep_bits()[indices]
+
+    def freeze(self) -> None:
+        """Build the keep-bit cache now, before the mask is shared.
+
+        A mask published to concurrent readers (the artifact cache hands
+        one combined mask to every shard worker) must not lazily build
+        state on first use; freezing makes every later call read-only.
+        """
+        self._keep_bits()
+
+    def bits_array(self) -> np.ndarray:
+        """The raw ``(total_frames, words_per_frame)`` mask-bit array.
+
+        Zero-copy view for serialization; treat as read-only.
+        """
+        return self._bits
 
     def union(self, other: "MaskFile") -> "MaskFile":
         """Combine two masks (bits masked in either)."""

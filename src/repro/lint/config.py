@@ -30,10 +30,17 @@ LAYER_DAG: Mapping[str, Optional[FrozenSet[str]]] = {
     "obs": frozenset({"errors", "sim"}),
     "net": frozenset({"errors", "obs", "sim", "utils"}),
     "perf": frozenset({"crypto", "errors", "obs", "utils"}),
+    # the artifact cache memoizes design builds: it may see the design
+    # and fpga layers it caches plus config/metrics, never core or fleet
+    # (which consume it) and never the network
+    "cache": frozenset(
+        {"crypto", "design", "errors", "fpga", "obs", "perf", "utils"}
+    ),
     "timing": frozenset({"fpga", "utils"}),
     "baselines": frozenset({"crypto", "errors", "fpga", "utils"}),
     "core": frozenset(
         {
+            "cache",
             "crypto",
             "design",
             "errors",
@@ -51,6 +58,7 @@ LAYER_DAG: Mapping[str, Optional[FrozenSet[str]]] = {
     # telemetry above core — it sits beside analysis, below the CLI
     "fleet": frozenset(
         {
+            "cache",
             "core",
             "crypto",
             "design",
@@ -91,6 +99,7 @@ FORBIDDEN_STDLIB: Mapping[str, FrozenSet[str]] = {
 #: registry holds the lock that makes its counters safe to update from
 #: swarm workers.
 THREADING_APPROVED: Tuple[str, ...] = (
+    "repro/cache/memo.py",
     "repro/core/swarm.py",
     "repro/fleet/store.py",
     "repro/obs/metrics.py",

@@ -1,0 +1,93 @@
+"""``repro cache`` end to end, plus the global cache flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import reset_artifact_cache
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    reset_artifact_cache()
+    yield
+    reset_artifact_cache()
+
+
+class TestParser:
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_global_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--cache-dir", "/tmp/x", "--no-artifact-cache", "cache", "stats"]
+        )
+        assert args.cache_dir == "/tmp/x"
+        assert args.artifact_cache is False
+
+
+class TestLifecycle:
+    def test_attest_populates_then_stats_then_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["--cache-dir", cache_dir, "attest", "--device", "SIM-SMALL"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["--cache-dir", cache_dir, "cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "disk tier" in out
+        assert "SIM-SMALL" in out
+
+        assert main(
+            ["--cache-dir", cache_dir, "cache", "stats", "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert len(stats["disk"]["entries"]) == 1
+        assert stats["disk"]["entries"][0]["part"] == "SIM-SMALL"
+        assert stats["disk"]["bytes"] > 0
+
+        assert main(["--cache-dir", cache_dir, "cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1 on-disk entry" in out
+
+        assert main(
+            ["--cache-dir", cache_dir, "cache", "stats", "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["disk"]["entries"] == []
+
+    def test_stats_without_disk_tier(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "disk tier: disabled" in out
+
+    def test_clear_memo_only_keeps_disk(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["--cache-dir", cache_dir, "attest", "--device", "SIM-SMALL"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["--cache-dir", cache_dir, "cache", "clear", "--memo-only"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "disk tier left intact" in out
+        assert main(
+            ["--cache-dir", cache_dir, "cache", "stats", "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert len(stats["disk"]["entries"]) == 1
+
+    def test_attest_verdicts_match_with_cache_disabled(self, tmp_path, capsys):
+        assert main(["--no-artifact-cache", "attest", "--device",
+                     "SIM-SMALL"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["--cache-dir", str(tmp_path / "cache"), "attest",
+                     "--device", "SIM-SMALL"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold

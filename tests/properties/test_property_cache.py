@@ -1,0 +1,123 @@
+"""The artifact cache's contract: it changes speed, never answers.
+
+Warm runs — memo-shared within a process, disk-loaded across simulated
+process boundaries — must be byte-identical to cold (cache-bypassed)
+runs: same MAC tags, same wire traces, same per-device verdicts, at any
+worker count and on both test parts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import get_artifact_cache, reset_artifact_cache
+from repro.core.protocol import SessionOptions, run_attestation
+from repro.core.provisioning import materialize_device, provision_device
+from repro.core.verifier import SachaVerifier
+from repro.fleet.controller import FleetController
+from repro.fleet.store import DeviceRecord, FleetStore
+from repro.perf.config import configured
+from repro.utils.rng import DeterministicRng
+
+FLEET_SIZE = 3
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    reset_artifact_cache()
+    yield
+    reset_artifact_cache()
+
+
+def _enrolled_store(path, part):
+    store = FleetStore(str(path))
+    for index in range(FLEET_SIZE):
+        device_id = f"prop-{index:04d}"
+        _, record = materialize_device(part, device_id, seed=5200 + index)
+        store.enroll(
+            DeviceRecord(
+                device_id=device_id,
+                part=part,
+                seed=5200 + index,
+                key_mode="puf",
+                key=record.mac_key,
+            )
+        )
+    return store
+
+
+def _sweep_outcomes(path, part, workers):
+    with _enrolled_store(path, part) as store:
+        result = FleetController(store).attest(seed=11, workers=workers)
+    return [
+        (outcome.device_id, outcome.verdict.value, outcome.tag)
+        for outcome in result.outcomes
+    ]
+
+
+@pytest.mark.parametrize("part", ["SIM-SMALL", "SIM-MEDIUM"])
+@pytest.mark.parametrize("workers", [1, 4])
+def test_warm_sweeps_are_byte_identical_to_cold(tmp_path, part, workers):
+    """Cold bypass, memo-warm, and disk-warm sweeps agree tag-for-tag."""
+    with configured(artifact_cache=False):
+        cold = _sweep_outcomes(tmp_path / "cold.db", part, workers)
+    with configured(cache_dir=str(tmp_path / "cache")):
+        reset_artifact_cache()
+        populate = _sweep_outcomes(tmp_path / "populate.db", part, workers)
+        reset_artifact_cache()  # simulate a new process: disk tier only
+        warm = _sweep_outcomes(tmp_path / "warm.db", part, workers)
+    assert populate == cold
+    assert warm == cold
+    assert all(tag is not None for _, _, tag in cold)
+    assert [verdict for _, verdict, _ in cold] == ["accept"] * FLEET_SIZE
+
+
+@pytest.mark.parametrize("part", ["SIM-SMALL", "SIM-MEDIUM"])
+def test_warm_wire_trace_is_byte_identical_to_cold(tmp_path, part):
+    """The protocol transcript — every message either way — matches."""
+
+    def attest_once():
+        system = get_artifact_cache().get_system(part)
+        provisioned, record = provision_device(system, "prop-wire", seed=311)
+        verifier = SachaVerifier(
+            record.system, record.mac_key, DeterministicRng(312)
+        )
+        result = run_attestation(
+            provisioned.prover,
+            verifier,
+            DeterministicRng(313),
+            SessionOptions(record_trace=True),
+        )
+        assert result.report.accepted
+        return result.report.trace.to_jsonl()
+
+    with configured(artifact_cache=False):
+        cold_trace = attest_once()
+    with configured(cache_dir=str(tmp_path / "cache")):
+        reset_artifact_cache()
+        assert attest_once() == cold_trace  # cold build through the cache
+        assert attest_once() == cold_trace  # memo-warm
+        reset_artifact_cache()
+        assert attest_once() == cold_trace  # disk-warm
+
+
+def test_memo_hit_miss_counts_are_worker_independent(tmp_path):
+    """One miss + N-1 hits for N same-part devices, at any worker count."""
+    from repro.obs.aggregate import rollup_snapshot_by_label
+
+    counts = []
+    for workers in (1, 4):
+        reset_artifact_cache()
+        with _enrolled_store(
+            tmp_path / f"wk{workers}.db", "SIM-SMALL"
+        ) as store:
+            reset_artifact_cache()  # enrollment warmed the memo; start cold
+            result = FleetController(store).attest(seed=11, workers=workers)
+        hits = rollup_snapshot_by_label(
+            result.snapshot, "sacha_cache_hits_total", "tier"
+        )
+        misses = rollup_snapshot_by_label(
+            result.snapshot, "sacha_cache_misses_total", "tier"
+        )
+        counts.append((hits.get("memo", 0), misses.get("memo", 0)))
+    assert counts == [(FLEET_SIZE - 1, 1), (FLEET_SIZE - 1, 1)]
